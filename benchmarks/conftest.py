@@ -1,0 +1,46 @@
+"""Shared fixtures for the experiment-regeneration benchmarks.
+
+Each ``test_fig*.py`` module regenerates one table or figure of the paper.
+The evaluation contexts (golden run + full pre-characterization) are built
+once per session; each benchmark prints its paper-style table *and* writes
+it to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture when run without ``-s``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.context import build_context
+from repro.soc.programs import (
+    illegal_read_benchmark,
+    illegal_write_benchmark,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def write_context():
+    """Full-configuration context for the illegal-write benchmark."""
+    return build_context(illegal_write_benchmark())
+
+
+@pytest.fixture(scope="session")
+def read_context():
+    """Full-configuration context for the illegal-read benchmark."""
+    return build_context(illegal_read_benchmark())
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,134 @@
+"""Fig. 7 — bit-error patterns at the end of the fault-injection cycle.
+
+Paper: (a) 58.6% single-bit / 26.9% single-byte / 14.5% multi-byte, and no
+error fills all the bits of a byte — so neither the single-bit nor the
+single-byte fault model is faithful; (b) attacks on combinational gates
+induce far more distinct error patterns than attacks on the sequential
+elements (91.0% comb-only / 6.1% common / 2.9% seq-only).
+"""
+
+import numpy as np
+
+from repro import (
+    CrossLevelEngine,
+    RandomSampler,
+    default_attack_spec,
+)
+from repro.analysis.patterns import pattern_overlap, pattern_statistics
+from repro.analysis.reporting import format_table
+from repro.gatesim.transient import TransientInjection, TransientSimulator
+
+N_SAMPLES = 1500
+
+
+def collect_patterns(context, target_filter, seed):
+    spec = default_attack_spec(
+        context, window=50, target_filter=target_filter
+    )
+    engine = CrossLevelEngine(context, spec)
+    result = engine.evaluate(RandomSampler(spec), N_SAMPLES, seed=seed)
+    return [r.flipped_bits for r in result.records]
+
+
+def enumerate_cell_patterns(context):
+    """Fig. 7(b)'s experiment: inject at *every* cell of the sub-block —
+    voltage transients at each combinational gate (a few strike phases
+    each), direct upsets at each flip-flop — and collect the distinct
+    latched error patterns per cell class."""
+    spec = default_attack_spec(context, window=50)
+    sim = TransientSimulator(context.netlist, context.timing)
+    entry = context.mpu_trace[context.target_cycle]
+    inputs, state = entry.inputs, entry.state
+    period = context.timing.clock_period_ps
+    comb_patterns, seq_patterns = set(), set()
+    for nid in spec.spatial.universe:
+        node = context.netlist.node(nid)
+        if node.is_dff:
+            result = sim.simulate_cycle(
+                inputs, state, TransientInjection(struck_dffs=[nid])
+            )
+            if result.flipped_bits:
+                seq_patterns.add(frozenset(result.flipped_bits))
+        elif node.kind.is_combinational:
+            for phase in (0.55, 0.75, 0.95):
+                result = sim.simulate_cycle(
+                    inputs,
+                    state,
+                    TransientInjection(
+                        gate_pulses={nid: 280.0},
+                        strike_time_ps=phase * period,
+                    ),
+                )
+                if result.flipped_bits:
+                    comb_patterns.add(frozenset(result.flipped_bits))
+    return comb_patterns, seq_patterns
+
+
+def test_fig7_error_patterns(benchmark, write_context, emit):
+    def run():
+        return (
+            collect_patterns(write_context, None, seed=41),
+            *enumerate_cell_patterns(write_context),
+        )
+
+    all_patterns, comb_patterns, seq_patterns = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    widths = write_context.netlist.register_widths()
+    stats = pattern_statistics(all_patterns, widths)
+    fr = stats.fractions()
+
+    paper_a = {"single_bit": 0.586, "single_byte": 0.269, "multi_byte": 0.145}
+    rows_a = [
+        [
+            kind,
+            f"{100 * fr.get(kind, 0.0):.1f} %",
+            f"{100 * share:.1f} %",
+        ]
+        for kind, share in paper_a.items()
+    ]
+    rows_a.append(
+        [
+            "errors filling a whole byte",
+            f"{stats.whole_byte_count} ({100 * stats.whole_byte_count / max(1, stats.n_faulty):.1f} %)",
+            "0 (none)",
+        ]
+    )
+
+    venn = pattern_overlap(comb_patterns, seq_patterns)
+    total = max(1, sum(venn.values()))
+    rows_b = [
+        ["comb. only", venn["only_a"], f"{100 * venn['only_a'] / total:.1f} %", "91.0 %"],
+        ["common", venn["common"], f"{100 * venn['common'] / total:.1f} %", "6.1 %"],
+        ["seq. only", venn["only_b"], f"{100 * venn['only_b'] / total:.1f} %", "2.9 %"],
+    ]
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["pattern class", "measured", "paper"],
+                rows_a,
+                title=f"Fig. 7(a) — error patterns over {stats.n_faulty} faulty injections",
+            ),
+            format_table(
+                ["origin", "distinct patterns", "measured share", "paper"],
+                rows_b,
+                title="Fig. 7(b) — distinct patterns: comb-gate vs sequential attacks",
+            ),
+        ]
+    )
+    emit("fig7_error_patterns", text)
+
+    # Qualitative claims of the paper.
+    assert fr.get("single_bit", 0) > fr.get("multi_byte", 0)
+    assert fr.get("multi_byte", 0) > 0.02  # single-bit model insufficient
+    # whole-byte errors are (at most) a rare corner, so the single-byte
+    # model is not faithful either
+    assert stats.whole_byte_count < 0.1 * stats.n_faulty
+    # Combinational attacks contribute patterns that register strikes
+    # cannot produce — the reason gate-level modelling is necessary.  (The
+    # paper's 91% comb share is design-dependent: its processor has wide
+    # datapath cones, while our MPU's decision cone collapses onto two
+    # bits; see EXPERIMENTS.md.)
+    assert venn["only_a"] > 0
+    assert any(len(p) > 1 for p in comb_patterns)

@@ -1,0 +1,86 @@
+"""Fig. 8 — effectiveness of the importance-sampling strategy.
+
+Regenerates (a) the sampling distribution ``g_T`` over the timing-distance
+support and (b) the sample-space reduction: total registers vs fanin-cone
+registers vs fanin-cone *computation-type* registers per unrolled cycle.
+"""
+
+from repro import ImportanceSampler, default_attack_spec
+from repro.analysis.reporting import format_table
+
+
+def test_fig8_sampling_distribution(benchmark, write_context, emit):
+    def run():
+        spec = default_attack_spec(write_context, window=50)
+        sampler = ImportanceSampler(
+            spec,
+            write_context.characterization,
+            placement=write_context.placement,
+        )
+        profile = write_context.characterization.sample_space_profile(20)
+        return spec, sampler, profile
+
+    spec, sampler, profile = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows_a = []
+    for t in range(0, 50, 5):
+        mass = sum(sampler.g_T(tt) for tt in range(t, min(t + 5, 50)))
+        bar = "#" * int(round(60 * mass))
+        rows_a.append([f"t in [{t}, {min(t + 5, 50)})", f"{mass:.4f}", bar])
+
+    rows_b = []
+    for frame in range(0, 21, 2):
+        total = profile["total"][frame]
+        cone = profile["cone_registers"][frame]
+        comp = profile["cone_computation_registers"][frame]
+        alive = profile["eligible_computation_registers"][frame]
+        rows_b.append(
+            [
+                frame,
+                total,
+                f"{cone} ({100 * cone / total:.0f} %)",
+                f"{comp} ({100 * comp / total:.0f} %)",
+                f"{alive} ({100 * alive / total:.0f} %)",
+            ]
+        )
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["timing distance", "g_T mass", ""],
+                rows_a,
+                title="Fig. 8(a) — importance-sampling distribution over Omega_T",
+            ),
+            format_table(
+                [
+                    "unrolled cycle",
+                    "total regs",
+                    "fanin-cone regs",
+                    "cone comp.-type regs",
+                    "lifetime-eligible comp. regs",
+                ],
+                rows_b,
+                title="Fig. 8(b) — sample-space reduction per unrolled cycle",
+            ),
+        ]
+    )
+    emit("fig8_sampling_distribution", text)
+
+    # Shape assertions: cones shrink the space, computation-type more so,
+    # and the reduction deepens with the unrolled cycle index.
+    assert all(
+        profile["cone_registers"][f] < profile["total"][f] for f in range(1, 21)
+    )
+    assert all(
+        profile["cone_computation_registers"][f] <= profile["cone_registers"][f]
+        for f in range(21)
+    )
+    assert (
+        profile["cone_computation_registers"][15]
+        < profile["cone_registers"][15] / 2
+    )
+    # the lifetime-eligible series shrinks with depth (paper's plot shape)
+    assert (
+        profile["eligible_computation_registers"][15]
+        < profile["eligible_computation_registers"][1]
+    )

@@ -1,0 +1,143 @@
+"""Fig. 9 / its embedded table — convergence of the sampling strategies.
+
+Paper setup: range of t is 50 cycles, the spatial range a sub-block of
+about 1/8 of the MPU.  Compared: random sampling, fanin-cone sampling, and
+the full importance-sampling strategy (with the analytical memory-type
+path).  The paper reports sample variances 2.61e-2 / 2.10e-2 / 9.70e-5 — a
+~2500x reduction; we reproduce the *ordering* and report the measured
+factors (see EXPERIMENTS.md for the fidelity discussion).
+"""
+
+from repro import (
+    CrossLevelEngine,
+    FaninConeSampler,
+    ImportanceSampler,
+    RandomSampler,
+    default_attack_spec,
+)
+from repro.analysis.reporting import format_table
+
+N_SAMPLES = 2000
+
+
+PAPER_VARIANCE = {"Random": 0.0261, "Fanin Cone": 0.0210, "Importance (ours)": 9.70e-5}
+
+# Two technique-variation regimes: the default wide-spot mix, and a
+# precise-spot attacker (smaller radii).  The paper notes "the speedup is
+# related to the systems, benchmarks and uncertainty of attack process" —
+# tighter spots concentrate the success set and widen the gap.
+REGIMES = [
+    ("wide spots (r=3-9um)", (3.0, 5.0, 7.0, 9.0)),
+    ("precise spots (r=1.5-3.5um)", (1.5, 2.5, 3.5)),
+]
+
+
+def run_regime(context, radii):
+    spec = default_attack_spec(context, window=50, radii_um=radii)
+    engine = CrossLevelEngine(context, spec)
+    ch = context.characterization
+    samplers = [
+        ("Random", RandomSampler(spec)),
+        ("Fanin Cone", FaninConeSampler(spec, ch)),
+        (
+            "Importance (ours)",
+            ImportanceSampler(
+                spec, ch, alpha=300.0, placement=context.placement
+            ),
+        ),
+    ]
+    return [
+        (name, engine.evaluate(sampler, N_SAMPLES, seed=77))
+        for name, sampler in samplers
+    ]
+
+
+def test_fig9_convergence(benchmark, write_context, emit):
+    def run():
+        return {
+            regime: run_regime(write_context, radii)
+            for regime, radii in REGIMES
+        }
+
+    by_regime = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for regime, results in by_regime.items():
+        random_var = results[0][1].variance
+        rows = []
+        for name, result in results:
+            rows.append(
+                [
+                    name,
+                    result.n_success,
+                    f"{result.ssf:.5f}",
+                    f"{result.variance:.3e}",
+                    f"{random_var / max(result.variance, 1e-12):.1f}x",
+                    f"{PAPER_VARIANCE[name]:.2e}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                [
+                    "strategy",
+                    f"# succ / {N_SAMPLES}",
+                    "SSF",
+                    "sample variance",
+                    "reduction vs random",
+                    "paper variance",
+                ],
+                rows,
+                title=f"Fig. 9(b) — strategy statistics, {regime} "
+                "(t range 50 cycles, P over ~1/8 of the MPU)",
+            )
+        )
+
+    convergence_rows = []
+    results = by_regime[REGIMES[0][0]]
+    for checkpoint in (100, 500, 1000, 2000):
+        row = [checkpoint]
+        for _name, result in results:
+            history = result.estimator.history
+            row.append(f"{history[min(checkpoint, len(history)) - 1]:.5f}")
+        convergence_rows.append(row)
+    blocks.append(
+        format_table(
+            ["samples", "Random", "Fanin Cone", "Importance"],
+            convergence_rows,
+            title="Fig. 9(a) — running SSF estimate (wide spots)",
+        )
+    )
+
+    # Bootstrap significance of the variance reduction, per regime.
+    from repro.analysis.statistics import compare_variances
+
+    sig_rows = []
+    for regime, results in by_regime.items():
+        comparison = compare_variances(results[0][1], results[2][1], seed=5)
+        sig_rows.append(
+            [
+                regime,
+                f"{comparison.ratio:.2f}x",
+                f"[{comparison.ci[0]:.2f}, {comparison.ci[1]:.2f}]",
+                "yes" if comparison.significant else "no",
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["regime", "var(random)/var(IS)", "95% bootstrap CI", "significant"],
+            sig_rows,
+            title="Variance-reduction significance (bootstrap)",
+        )
+    )
+    emit("fig9_convergence", "\n\n".join(blocks))
+
+    for regime, results in by_regime.items():
+        random_result, cone_result, imp_result = (r for _n, r in results)
+        # The paper's ordering must hold in both regimes.
+        assert imp_result.variance < cone_result.variance, regime
+        assert cone_result.variance < random_result.variance, regime
+        # All three estimate the same SSF (unbiasedness).
+        assert imp_result.ssf > 0
+        assert abs(imp_result.ssf - random_result.ssf) < 0.8 * max(
+            imp_result.ssf, random_result.ssf
+        )

@@ -1,0 +1,82 @@
+"""Scenario 2: differential fault analysis against a cipher block.
+
+The paper's attack model covers a second target category — leaking system
+information, with ``Te`` the injection time and ``Tt`` the observation
+time of the (faulty) output. This example runs it end-to-end on the toy
+SPN cipher: radiation spots are injected during encryption at gate level,
+the faulty ciphertexts feed the classical last-round DFA, and the campaign
+reports how many injections a blind vs an aimed attacker needs to recover
+the whitening key.
+
+Run:  python examples/dfa_key_recovery.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.scenarios import DfaCampaign
+from repro.scenarios.cipher import N_KEYS
+
+
+def run_campaign(label, keys, aim_at_state, n_samples, seed):
+    campaign = DfaCampaign(keys)
+    if aim_at_state:
+        campaign.universe = [
+            campaign.netlist.register_dff("state", b).nid for b in range(16)
+        ]
+    report = campaign.evaluate(n_samples, seed=seed)
+    by_round = report.usefulness_by_round()
+    return [
+        label,
+        f"{report.ssf:.3f}",
+        f"{report.masked_fraction:.2f}",
+        "yes" if report.key_recovered else "no",
+        report.injections_to_recovery or "-",
+        " ".join(f"r{r}:{v:.2f}" for r, v in by_round.items()),
+    ], report
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    keys = [int(rng.integers(0, 1 << 16)) for _ in range(N_KEYS)]
+    print(f"Secret whitening key: {keys[-1]:#06x} (the attacker's target)\n")
+
+    rows = []
+    row, blind = run_campaign("blind (whole die)", keys, False, 2500, seed=9)
+    rows.append(row)
+    row, aimed = run_campaign("aimed (state register)", keys, True, 2000, seed=9)
+    rows.append(row)
+
+    print(
+        format_table(
+            [
+                "attacker",
+                "P(useful pair)",
+                "masked",
+                "key recovered",
+                "# injections",
+                "usefulness by round",
+            ],
+            rows,
+            title="DFA campaigns against the SPN cipher",
+        )
+    )
+    for label, report in (("blind", blind), ("aimed", aimed)):
+        if report.key_recovered:
+            ok = report.recovered_key == keys[-1]
+            print(
+                f"\n{label}: recovered {report.recovered_key:#06x} "
+                f"({'CORRECT' if ok else 'WRONG'}) after "
+                f"{report.injections_to_recovery} injections"
+            )
+    print(
+        "\nNote: in this 16-bit miniature, diffusion never exceeds the "
+        "single-bit-per-nibble fault model, so even early-round faults "
+        "leak — the 'last round only' rule of thumb is a property of "
+        "full-width ciphers, and the framework measures rather than "
+        "assumes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

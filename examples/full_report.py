@@ -1,0 +1,45 @@
+"""Generate a complete vulnerability-assessment report.
+
+The design-review deliverable: one markdown document with the SSF estimate
+and its confidence, the fault outcome mix, the observed error patterns,
+the critical register bits (necessity-attributed), and a hardening
+recommendation.
+
+Run:  python examples/full_report.py [output.md]
+"""
+
+import sys
+
+from repro import (
+    CrossLevelEngine,
+    ImportanceSampler,
+    build_context,
+    default_attack_spec,
+    illegal_write_benchmark,
+)
+from repro.analysis import vulnerability_report
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "vulnerability_report.md"
+    print("Building evaluation context...")
+    context = build_context(illegal_write_benchmark())
+    spec = default_attack_spec(context, window=50)
+    engine = CrossLevelEngine(context, spec)
+    sampler = ImportanceSampler(
+        spec, context.characterization, placement=context.placement
+    )
+    print("Running the campaign (1200 samples)...")
+    result = engine.evaluate(sampler, n_samples=1200, seed=7)
+
+    report = vulnerability_report(
+        context, result, oracle=engine.outcome_oracle()
+    )
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    print(f"\nWrote {out_path} ({len(report.splitlines())} lines):\n")
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Post-processing: error-pattern statistics and report tables."""
+
+from repro.analysis.patterns import (
+    PatternStats,
+    classify_pattern,
+    pattern_statistics,
+)
+from repro.analysis.reporting import format_table, normalize_series
+from repro.analysis.report import vulnerability_report
+from repro.analysis.statistics import (
+    compare_variances,
+    ssf_confidence_interval,
+)
+
+__all__ = [
+    "PatternStats",
+    "classify_pattern",
+    "pattern_statistics",
+    "format_table",
+    "normalize_series",
+    "vulnerability_report",
+    "compare_variances",
+    "ssf_confidence_interval",
+]

@@ -1,0 +1,166 @@
+"""Full vulnerability-assessment report generation.
+
+Section 2 of the paper motivates the framework as a *design-guidance* tool:
+quantify vulnerability, identify critical components, evaluate
+countermeasures.  :func:`vulnerability_report` bundles one campaign's
+findings into a single markdown document a designer can act on — the
+deliverable a security sign-off flow would attach to the design review.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.patterns import pattern_statistics
+from repro.analysis.reporting import format_table
+from repro.core.hardening import HardeningStudy, attribute_ssf, critical_bits
+from repro.core.results import CampaignResult, OutcomeCategory
+from repro.utils.stats import samples_for_risk
+
+
+def vulnerability_report(
+    context,
+    result: CampaignResult,
+    oracle=None,
+    hardening_coverage: float = 0.95,
+    top_bits: int = 10,
+) -> str:
+    """Render a markdown vulnerability assessment for one campaign."""
+    lines: List[str] = []
+    bench = context.benchmark
+    lines.append(f"# Fault-attack vulnerability report — `{bench.name}`")
+    lines.append("")
+
+    # ------------------------------------------------------------ system
+    stats = context.netlist.stats()
+    lines.append("## System under evaluation")
+    lines.append("")
+    lines.append(
+        format_table(
+            ["property", "value"],
+            [
+                ["MPU variant", context.mpu_variant.name],
+                ["netlist nodes", stats["total"]],
+                ["combinational gates", stats["combinational"]],
+                ["flip-flops", stats["dff"]],
+                ["cell area (um^2)", f"{context.netlist.area():.0f}"],
+                ["benchmark length (cycles)", context.n_cycles],
+                ["target cycle Tt", context.target_cycle],
+            ],
+        )
+    )
+    lines.append("")
+
+    # --------------------------------------------------------------- SSF
+    lines.append("## System Security Factor")
+    lines.append("")
+    estimator = result.estimator
+    lo, hi = estimator.raw_confidence_interval()
+    rows = [
+        ["SSF estimate", f"{result.ssf:.5f}"],
+        ["sampling strategy", result.strategy],
+        ["samples", result.n_samples],
+        ["successful attacks", result.n_success],
+        ["raw success rate (under g)", f"{estimator.success_rate():.4f}"],
+        ["95% CI of raw rate", f"[{lo:.4f}, {hi:.4f}]"],
+        ["sample variance", f"{result.variance:.3e}"],
+    ]
+    if result.variance > 0:
+        rows.append(
+            [
+                "samples for +/-10% at 95% (Chebyshev)",
+                samples_for_risk(result.variance, 0.1 * max(result.ssf, 1e-9), 0.05),
+            ]
+        )
+    lines.append(format_table(["quantity", "value"], rows))
+    lines.append("")
+
+    # ---------------------------------------------------------- outcomes
+    lines.append("## Fault outcome mix")
+    lines.append("")
+    fractions = result.category_fractions()
+    lines.append(
+        format_table(
+            ["outcome", "share"],
+            [
+                [category.value, f"{100 * fraction:.1f} %"]
+                for category, fraction in fractions.items()
+                if fraction > 0
+            ],
+        )
+    )
+    lines.append("")
+
+    # ---------------------------------------------------------- patterns
+    stats = pattern_statistics(
+        [record.flipped_bits for record in result.records],
+        context.netlist.register_widths(),
+    )
+    if stats.n_faulty:
+        lines.append("## Latched error patterns")
+        lines.append("")
+        lines.append(
+            format_table(
+                ["pattern class", "share"],
+                [
+                    [kind, f"{100 * share:.1f} %"]
+                    for kind, share in sorted(stats.fractions().items())
+                ],
+            )
+        )
+        lines.append("")
+
+    # ---------------------------------------------------------- critical
+    shares = attribute_ssf(result, oracle)
+    if shares:
+        lines.append("## Critical register bits")
+        lines.append("")
+        total = sum(shares.values())
+        ranked = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
+        lines.append(
+            format_table(
+                ["register bit", "SSF share"],
+                [
+                    [f"{reg}[{bit}]", f"{100 * value / total:.1f} %"]
+                    for (reg, bit), value in ranked[:top_bits]
+                ],
+            )
+        )
+        lines.append("")
+
+        crit = critical_bits(shares, hardening_coverage)
+        study = HardeningStudy(context.netlist, result, oracle=oracle)
+        outcome = study.harden(crit)
+        lines.append("## Recommended hardening")
+        lines.append("")
+        lines.append(
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["bits to harden", len(crit)],
+                    [
+                        "SSF after hardening",
+                        f"{outcome.ssf_after:.5f}",
+                    ],
+                    ["improvement", f"{outcome.ssf_improvement:.1f}x"],
+                    ["area overhead", f"{100 * outcome.area_overhead:.2f} %"],
+                ],
+            )
+        )
+        lines.append("")
+        lines.append(
+            "Hardened bits: "
+            + ", ".join(f"`{reg}[{bit}]`" for reg, bit in crit[:24])
+            + ("..." if len(crit) > 24 else "")
+        )
+        lines.append("")
+    else:
+        lines.append("## Critical register bits")
+        lines.append("")
+        lines.append(
+            "No successful attacks in this campaign — increase the sample "
+            "count or widen the attack model before signing off."
+        )
+        lines.append("")
+
+    return "\n".join(lines)

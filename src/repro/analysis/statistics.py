@@ -1,0 +1,124 @@
+"""Resampling statistics for Monte Carlo campaigns.
+
+The Chebyshev bound of Section 3.3 is loose; for reporting, bootstrap
+confidence intervals on the SSF and on *variance-reduction factors*
+between strategies give calibrated uncertainty — especially important for
+rare-event estimates where normal approximations misbehave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.errors import EvaluationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def campaign_values(result: CampaignResult) -> np.ndarray:
+    """Per-sample contributions ``w_i * e_i`` of a campaign."""
+    return np.array([r.sample.weight * r.e for r in result.records])
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI of ``statistic`` over ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        raise EvaluationError("bootstrap needs at least two samples")
+    if not 0 < alpha < 1:
+        raise EvaluationError("alpha must lie in (0, 1)")
+    rng = as_generator(seed)
+    indices = rng.integers(0, values.size, size=(n_boot, values.size))
+    stats = np.array([statistic(values[row]) for row in indices])
+    lo, hi = np.quantile(stats, [alpha / 2, 1 - alpha / 2])
+    return float(lo), float(hi)
+
+
+def ssf_confidence_interval(
+    result: CampaignResult,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Bootstrap CI of the (weighted) SSF estimate."""
+    return bootstrap_ci(
+        campaign_values(result), np.mean, n_boot=n_boot, alpha=alpha, seed=seed
+    )
+
+
+@dataclass(frozen=True)
+class VarianceComparison:
+    """Bootstrap comparison of two strategies' sample variances."""
+
+    ratio: float                       # var(a) / var(b): >1 means b better
+    ci: Tuple[float, float]
+    significant: bool                  # CI excludes 1.0
+
+    def __str__(self) -> str:
+        lo, hi = self.ci
+        verdict = "significant" if self.significant else "not significant"
+        return f"variance ratio {self.ratio:.2f} [{lo:.2f}, {hi:.2f}] ({verdict})"
+
+
+def compare_variances(
+    a: CampaignResult,
+    b: CampaignResult,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+    seed: SeedLike = 0,
+) -> VarianceComparison:
+    """Is strategy ``b``'s sample variance genuinely below ``a``'s?
+
+    Bootstraps the ratio ``var(a)/var(b)`` by resampling both campaigns'
+    per-sample contributions independently.
+    """
+    va = campaign_values(a)
+    vb = campaign_values(b)
+    if va.size < 2 or vb.size < 2:
+        raise EvaluationError("both campaigns need at least two samples")
+    rng = as_generator(seed)
+    ratios: List[float] = []
+    for _ in range(n_boot):
+        ra = va[rng.integers(0, va.size, va.size)]
+        rb = vb[rng.integers(0, vb.size, vb.size)]
+        var_b = np.var(rb, ddof=1)
+        if var_b <= 0:
+            continue
+        ratios.append(float(np.var(ra, ddof=1) / var_b))
+    if not ratios:
+        raise EvaluationError(
+            "variance ratio undefined (a campaign with no successes?)"
+        )
+    lo, hi = np.quantile(ratios, [alpha / 2, 1 - alpha / 2])
+    point = float(np.var(va, ddof=1) / np.var(vb, ddof=1))
+    return VarianceComparison(
+        ratio=point,
+        ci=(float(lo), float(hi)),
+        significant=bool(lo > 1.0 or hi < 1.0),
+    )
+
+
+def required_samples_estimate(
+    result: CampaignResult, rel_precision: float = 0.1, alpha: float = 0.05
+) -> int:
+    """CLT-based sample count for a relative-precision SSF estimate.
+
+    ``N >= (z * sigma / (rel * SSF))^2`` — the planning number a user wants
+    after a pilot campaign.
+    """
+    from scipy import stats as spstats  # optional dependency
+
+    if result.ssf <= 0:
+        raise EvaluationError("cannot plan precision for a zero SSF estimate")
+    z = float(spstats.norm.ppf(1 - alpha / 2))
+    sigma = float(np.sqrt(max(result.variance, 0.0)))
+    return int(np.ceil((z * sigma / (rel_precision * result.ssf)) ** 2))

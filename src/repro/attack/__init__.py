@@ -1,0 +1,45 @@
+"""Holistic probabilistic attack modelling (Section 3 of the paper).
+
+The attack process is characterized by the timing distance ``t = Tt - Te``
+and a technique parameter vector ``p``; both are random variables whose
+joint distribution ``f_{T,P}`` captures the technique's temporal accuracy
+and cycle-to-cycle parameter variation.
+
+* :mod:`repro.attack.techniques` — physical injection techniques.  The
+  radiation model (``p = [g, r]``: spot centre gate and radius) follows the
+  paper's Section 3.2 / [18]; clock- and voltage-glitch models are provided
+  for the framework's generality claim.
+* :mod:`repro.attack.distributions` — ``f_T`` (temporal window around the
+  target cycle) and ``f_P`` (spatial distribution over candidate centre
+  gates, from uniform to delta, plus the discrete radius distribution).
+* :mod:`repro.attack.spec` — :class:`AttackSpec`, the bundle the engine and
+  the samplers consume, including pointwise ``f_{T,P}`` evaluation for
+  importance weights.
+"""
+
+from repro.attack.techniques import (
+    AttackTechnique,
+    ClockGlitchTechnique,
+    PinpointUpsetTechnique,
+    RadiationTechnique,
+    VoltageGlitchTechnique,
+)
+from repro.attack.distributions import (
+    RadiusDistribution,
+    SpatialDistribution,
+    TemporalDistribution,
+)
+from repro.attack.spec import AttackSpec, select_subblock
+
+__all__ = [
+    "AttackTechnique",
+    "RadiationTechnique",
+    "PinpointUpsetTechnique",
+    "ClockGlitchTechnique",
+    "VoltageGlitchTechnique",
+    "TemporalDistribution",
+    "SpatialDistribution",
+    "RadiusDistribution",
+    "AttackSpec",
+    "select_subblock",
+]

@@ -1,0 +1,131 @@
+"""The attack-parameter distribution ``f_{T,P}``.
+
+The paper regards both the timing distance ``T`` and the technique
+parameters ``P`` as random variables: temporal accuracy and parameter
+variation differ per technique and per attacker skill.  Section 6 sweeps
+both (Fig. 11), so the distributions here are parameterized:
+
+* :class:`TemporalDistribution` — uniform over an integer window of timing
+  distances ``t = Tt - Te`` (window width = the technique's temporal
+  accuracy; width 1 = a perfectly timed attacker).
+* :class:`SpatialDistribution` — distribution of the radiation centre over
+  a gate universe, interpolating from **uniform** (no spatial control) to
+  **delta** on a target set (perfect aim) via a concentration parameter.
+* :class:`RadiusDistribution` — uniform over a discrete set of spot radii
+  (cycle-to-cycle parameter variation).
+
+All three expose exact pointwise probability mass, which the importance
+sampling weights ``f/g`` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AttackModelError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class TemporalDistribution:
+    """Uniform pmf over an integer window of timing distances.
+
+    With ``centre=None`` (the default), the window is anchored at the
+    target: ``t in {0, ..., window - 1}`` — every injection lands at or
+    before the target cycle.  With an explicit ``centre``, the window is
+    centred there (the paper's "uniform distribution with the range
+    centered at the targeted time"): an inaccurate attacker also wastes
+    shots *after* the target (negative ``t``), which is exactly the
+    dilution Fig. 11(a) measures.
+    """
+
+    window: int
+    centre: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise AttackModelError("temporal window must be positive")
+
+    @property
+    def start(self) -> int:
+        if self.centre is None:
+            return 0
+        return self.centre - self.window // 2
+
+    def support(self) -> range:
+        return range(self.start, self.start + self.window)
+
+    def pmf(self, t: int) -> float:
+        return 1.0 / self.window if t in self.support() else 0.0
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.start, self.start + self.window))
+
+
+class SpatialDistribution:
+    """Centre-gate distribution over a fixed universe of node ids.
+
+    ``concentration = 0`` is uniform over the universe; ``1`` is uniform
+    over the ``targets`` subset (a delta when there is one target).  In
+    between, the mass is the mixture ``(1 - c) * uniform(universe) +
+    c * uniform(targets)`` — a simple, exactly-evaluable family that spans
+    the paper's Fig. 11(b) sweep from "Uniform" to "Delta".
+    """
+
+    def __init__(
+        self,
+        universe: Sequence[int],
+        targets: Optional[Sequence[int]] = None,
+        concentration: float = 0.0,
+    ):
+        if not universe:
+            raise AttackModelError("spatial universe must be non-empty")
+        if not 0.0 <= concentration <= 1.0:
+            raise AttackModelError("concentration must lie in [0, 1]")
+        if concentration > 0 and not targets:
+            raise AttackModelError("concentration > 0 needs a target set")
+        self.universe: Tuple[int, ...] = tuple(sorted(set(universe)))
+        self.targets: Tuple[int, ...] = tuple(sorted(set(targets or ())))
+        bad = set(self.targets) - set(self.universe)
+        if bad:
+            raise AttackModelError(f"targets outside universe: {sorted(bad)[:5]}")
+        self.concentration = concentration
+        self._universe_index = {nid: i for i, nid in enumerate(self.universe)}
+
+    def pmf(self, nid: int) -> float:
+        if nid not in self._universe_index:
+            return 0.0
+        mass = (1.0 - self.concentration) / len(self.universe)
+        if self.targets and nid in self.targets:
+            mass += self.concentration / len(self.targets)
+        return mass
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.targets and rng.random() < self.concentration:
+            return int(self.targets[rng.integers(0, len(self.targets))])
+        return int(self.universe[rng.integers(0, len(self.universe))])
+
+    def __len__(self) -> int:
+        return len(self.universe)
+
+
+@dataclass(frozen=True)
+class RadiusDistribution:
+    """Uniform pmf over a discrete set of spot radii (micrometres)."""
+
+    radii_um: Tuple[float, ...] = (3.0, 5.0, 7.0, 9.0)
+
+    def __post_init__(self) -> None:
+        if not self.radii_um:
+            raise AttackModelError("need at least one radius")
+        if any(r <= 0 for r in self.radii_um):
+            raise AttackModelError("radii must be positive")
+
+    def pmf(self, radius: float) -> float:
+        return 1.0 / len(self.radii_um) if radius in self.radii_um else 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.radii_um[rng.integers(0, len(self.radii_um))])

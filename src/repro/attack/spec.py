@@ -1,0 +1,105 @@
+"""The attack specification: technique + ``f_{T,P}`` in one bundle.
+
+An :class:`AttackSpec` is what the SSF engine and every sampling strategy
+consume.  It also evaluates the *nominal* density ``f_{T,P}(t, p)``
+pointwise — the numerator of every importance weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.attack.distributions import (
+    RadiusDistribution,
+    SpatialDistribution,
+    TemporalDistribution,
+)
+from repro.attack.techniques import AttackTechnique
+from repro.errors import AttackModelError
+from repro.gatesim.transient import TransientInjection
+from repro.netlist.placement import Placement
+
+
+@dataclass(frozen=True)
+class AttackSample:
+    """One draw of attack parameters ``(t, p)`` with its sampling weight.
+
+    ``weight`` is the importance ratio ``f(t,p)/g(t,p)`` (1.0 under direct
+    sampling from ``f``).  The estimator averages ``weight * e``.
+    """
+
+    t: int
+    centre: int
+    radius_um: float
+    weight: float = 1.0
+
+
+@dataclass
+class AttackSpec:
+    """Technique plus the holistic distribution of its parameters."""
+
+    technique: AttackTechnique
+    temporal: TemporalDistribution
+    spatial: SpatialDistribution
+    radius: RadiusDistribution
+
+    def density(self, t: int, centre: int, radius_um: float) -> float:
+        """Pointwise ``f_{T,P}``."""
+        return (
+            self.temporal.pmf(t)
+            * self.spatial.pmf(centre)
+            * self.radius.pmf(radius_um)
+        )
+
+    def sample_nominal(self, rng: np.random.Generator) -> AttackSample:
+        """Draw directly from ``f_{T,P}`` (random-sampling baseline)."""
+        return AttackSample(
+            t=self.temporal.sample(rng),
+            centre=self.spatial.sample(rng),
+            radius_um=self.radius.sample(rng),
+            weight=1.0,
+        )
+
+    def build_injection(
+        self, placement: Placement, sample: AttackSample, rng: np.random.Generator
+    ) -> TransientInjection:
+        return self.technique.build_injection(
+            placement, sample.centre, sample.radius_um, rng
+        )
+
+
+def select_subblock(
+    placement: Placement,
+    seed_nodes: Sequence[int],
+    fraction: float = 0.125,
+) -> List[int]:
+    """Pick a physically contiguous sub-block of cells around seed nodes.
+
+    Reproduces the paper's experimental setup where "the range for P
+    includes a sub-block of gates of around 1/8 of MPU": the attacker aims
+    the spot at the part of the die that contains the logic of interest.
+    Returns the ``fraction`` of physical cells nearest the centroid of
+    ``seed_nodes``.
+    """
+    if not 0 < fraction <= 1:
+        raise AttackModelError("fraction must be in (0, 1]")
+    if not seed_nodes:
+        raise AttackModelError("need at least one seed node")
+    netlist = placement.netlist
+    cx = float(np.mean([placement.x[n] for n in seed_nodes]))
+    cy = float(np.mean([placement.y[n] for n in seed_nodes]))
+    physical = [
+        node.nid
+        for node in netlist.nodes
+        if node.kind.value not in ("input", "const0", "const1")
+    ]
+    d2 = [
+        (placement.x[nid] - cx) ** 2 + (placement.y[nid] - cy) ** 2
+        for nid in physical
+    ]
+    order = np.argsort(d2, kind="stable")
+    n_keep = max(1, int(round(fraction * len(physical))))
+    return sorted(int(physical[i]) for i in order[:n_keep])

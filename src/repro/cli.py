@@ -1,0 +1,345 @@
+"""Command-line interface.
+
+Exposes the main workflows without writing Python::
+
+    python -m repro info
+    python -m repro evaluate --benchmark write --sampler importance -n 1000
+    python -m repro characterize --benchmark write --out charac.json
+    python -m repro evaluate --benchmark write --charac-cache charac.json
+    python -m repro harden --benchmark write -n 1500 --coverage 0.95
+    python -m repro countermeasures --benchmark write -n 600
+
+All commands print the same tables the library APIs produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.soc.mpu import MpuVariant
+from repro.soc.programs import (
+    BenchmarkProgram,
+    dma_exfiltration_benchmark,
+    illegal_read_benchmark,
+    illegal_write_benchmark,
+)
+
+BENCHMARKS: Dict[str, Callable[[], BenchmarkProgram]] = {
+    "write": illegal_write_benchmark,
+    "read": illegal_read_benchmark,
+    "dma": dma_exfiltration_benchmark,
+}
+
+
+def _parse_variant(text: str) -> MpuVariant:
+    """'none', 'parity', 'dual', 'dual+parity', 'tmr', 'tmr+parity'."""
+    parts = set(text.lower().split("+"))
+    parity = "parity" in parts
+    parts.discard("parity")
+    parts.discard("none")
+    redundancy = parts.pop() if parts else "none"
+    return MpuVariant(redundancy=redundancy, cfg_parity=parity)
+
+
+def _build_context(args):
+    from repro.core.context import build_context
+    from repro.precharac.persistence import load_characterization
+
+    variant = _parse_variant(getattr(args, "variant", "none"))
+    cache = getattr(args, "charac_cache", None)
+    if cache:
+        import pathlib
+
+        if pathlib.Path(cache).exists():
+            context = build_context(
+                BENCHMARKS[args.benchmark](),
+                characterize=False,
+                mpu_variant=variant,
+            )
+            context.characterization = load_characterization(
+                cache, context.netlist
+            )
+            return context
+    return build_context(BENCHMARKS[args.benchmark](), mpu_variant=variant)
+
+
+def _make_sampler(name: str, spec, context):
+    from repro.sampling import (
+        FaninConeSampler,
+        ImportanceSampler,
+        RandomSampler,
+    )
+
+    if name == "random":
+        return RandomSampler(spec)
+    if name == "cone":
+        return FaninConeSampler(spec, context.characterization)
+    return ImportanceSampler(
+        spec, context.characterization, placement=context.placement
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_info(args) -> int:
+    import repro
+    from repro.soc.mpu import build_mpu_netlist
+
+    netlist = build_mpu_netlist(variant=_parse_variant(args.variant))
+    stats = netlist.stats()
+    rows = [
+        ["version", repro.__version__],
+        ["MPU variant", _parse_variant(args.variant).name],
+        ["netlist nodes", stats["total"]],
+        ["combinational gates", stats["combinational"]],
+        ["flip-flops", stats["dff"]],
+        ["cell area (um^2)", f"{netlist.area():.0f}"],
+        ["benchmarks", ", ".join(BENCHMARKS)],
+    ]
+    print(format_table(["property", "value"], rows, title="repro platform"))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro import default_attack_spec
+    from repro.core.engine import CrossLevelEngine
+
+    print("Building evaluation context...", file=sys.stderr)
+    context = _build_context(args)
+    spec = default_attack_spec(
+        context, window=args.window, subblock_fraction=args.subblock
+    )
+    if args.impact_cycles > 1:
+        spec.technique.impact_cycles = args.impact_cycles
+    engine = CrossLevelEngine(context, spec)
+    sampler = _make_sampler(args.sampler, spec, context)
+    print(f"Running {args.samples} samples ({args.sampler})...", file=sys.stderr)
+    if args.workers > 1:
+        from repro.core.parallel import parallel_evaluate
+
+        result = parallel_evaluate(
+            engine, sampler, args.samples, seed=args.seed, n_workers=args.workers
+        )
+    else:
+        result = engine.evaluate(sampler, args.samples, seed=args.seed)
+
+    rows = [
+        ["benchmark", context.benchmark.name],
+        ["MPU variant", context.mpu_variant.name],
+        ["sampler", args.sampler],
+        ["SSF", f"{result.ssf:.5f}"],
+        ["sample variance", f"{result.variance:.3e}"],
+        ["std error", f"{result.estimator.std_error:.2e}"],
+        ["successes", f"{result.n_success}/{result.n_samples}"],
+        ["wall time", f"{result.wall_time_s:.1f} s"],
+    ]
+    for category, count in result.category_counts().items():
+        if count:
+            rows.append([f"outcome {category.value}", count])
+    print(format_table(["quantity", "value"], rows, title="SSF evaluation"))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.precharac.persistence import save_characterization
+
+    print("Building context + pre-characterization...", file=sys.stderr)
+    context = _build_context(args)
+    save_characterization(context.characterization, args.out)
+    ch = context.characterization
+    rows = [
+        ["output", args.out],
+        ["cone nodes", len(ch.cones.all_nodes())],
+        ["memory-type bits", len(ch.memory_type)],
+        ["computation-type bits", len(ch.computation_type)],
+        ["correlation entries", len(ch.signatures.correlations)],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Pre-characterization"))
+    return 0
+
+
+def cmd_harden(args) -> int:
+    from repro import default_attack_spec
+    from repro.core.engine import CrossLevelEngine
+    from repro.core.hardening import HardeningStudy, attribute_ssf, critical_bits
+
+    print("Building evaluation context...", file=sys.stderr)
+    context = _build_context(args)
+    spec = default_attack_spec(context, window=args.window)
+    engine = CrossLevelEngine(context, spec)
+    sampler = _make_sampler("importance", spec, context)
+    print(f"Running {args.samples} samples...", file=sys.stderr)
+    result = engine.evaluate(sampler, args.samples, seed=args.seed)
+    oracle = engine.outcome_oracle()
+    study = HardeningStudy(context.netlist, result, oracle=oracle)
+    outcome = study.harden_for_coverage(args.coverage)
+
+    shares = attribute_ssf(result, oracle)
+    crit = critical_bits(shares, args.coverage)
+    rows = [
+        ["SSF before", f"{result.ssf:.5f}"],
+        ["critical bits", len(crit)],
+        ["SSF after hardening", f"{outcome.ssf_after:.5f}"],
+        ["improvement", f"{outcome.ssf_improvement:.1f}x"],
+        ["area overhead", f"{100 * outcome.area_overhead:.2f} %"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Selective hardening"))
+    for reg, bit in crit[:12]:
+        print(f"  critical: {reg}[{bit}]")
+    return 0
+
+
+def cmd_enumerate(args) -> int:
+    from repro import default_attack_spec
+    from repro.core.engine import CrossLevelEngine
+    from repro.core.exhaustive import enumerate_single_bit_faults
+
+    print("Building evaluation context...", file=sys.stderr)
+    context = _build_context(args)
+    spec = default_attack_spec(context, window=args.window)
+    engine = CrossLevelEngine(context, spec)
+    print("Enumerating single-bit register faults...", file=sys.stderr)
+    result = enumerate_single_bit_faults(engine)
+    rows = [
+        ["evaluations", result.n_evaluations],
+        ["exact SSF (single-bit-upset model)", f"{result.ssf_exact:.5f}"],
+        ["wall time", f"{result.wall_time_s:.1f} s"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Exhaustive enumeration"))
+    counts = sorted(
+        result.per_bit_success_count().items(), key=lambda kv: kv[1], reverse=True
+    )
+    for (reg, bit), count in counts[:12]:
+        print(f"  {reg}[{bit}]: grants at {count}/{len(result.timing_distances)} timing distances")
+    return 0
+
+
+def cmd_export_verilog(args) -> int:
+    from repro.netlist.verilog import write_verilog
+    from repro.soc.mpu import build_mpu_netlist
+
+    netlist = build_mpu_netlist(variant=_parse_variant(args.variant))
+    write_verilog(netlist, args.out, module_name=args.module)
+    stats = netlist.stats()
+    print(
+        f"wrote {args.out}: module {args.module}, "
+        f"{stats['combinational']} gates, {stats['dff']} flops"
+    )
+    return 0
+
+
+def cmd_countermeasures(args) -> int:
+    from repro.countermeasures import CountermeasureStudy, STANDARD_VARIANTS
+
+    variants = (
+        [_parse_variant(v) for v in args.variants]
+        if args.variants
+        else STANDARD_VARIANTS
+    )
+    study = CountermeasureStudy(
+        BENCHMARKS[args.benchmark],
+        variants=variants,
+        n_samples=args.samples,
+        window=args.window,
+        seed=args.seed,
+    )
+    print(f"Evaluating {len(variants)} variants...", file=sys.stderr)
+    results = study.run()
+    print(
+        format_table(
+            ["countermeasure", "SSF", "# succ", "improvement", "area overhead"],
+            CountermeasureStudy.table_rows(results),
+            title="Countermeasure comparison",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument plumbing
+# ----------------------------------------------------------------------
+def _add_common(parser: argparse.ArgumentParser, with_sampler: bool = True) -> None:
+    parser.add_argument(
+        "--benchmark", choices=sorted(BENCHMARKS), default="write"
+    )
+    parser.add_argument("--variant", default="none",
+                        help="none | parity | dual | dual+parity | tmr | tmr+parity")
+    parser.add_argument("-n", "--samples", type=int, default=1000)
+    parser.add_argument("--window", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--charac-cache", default=None,
+                        help="JSON file from `characterize` to reuse")
+    if with_sampler:
+        parser.add_argument(
+            "--sampler",
+            choices=("random", "cone", "importance"),
+            default="importance",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-level Monte Carlo fault-attack vulnerability "
+        "evaluation (DAC 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="platform summary")
+    p.add_argument("--variant", default="none")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("evaluate", help="estimate the SSF of a benchmark")
+    _add_common(p)
+    p.add_argument("--subblock", type=float, default=0.125,
+                   help="fraction of the MPU the attacker can aim at")
+    p.add_argument("--impact-cycles", type=int, default=1,
+                   help="consecutive cycles disturbed per injection")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel worker processes (fork platforms)")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser(
+        "enumerate",
+        help="exhaustive single-bit register-fault census (exact SSF)",
+    )
+    _add_common(p, with_sampler=False)
+    p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser("export-verilog", help="emit the MPU netlist as Verilog")
+    p.add_argument("--variant", default="none")
+    p.add_argument("--out", default="mpu.v")
+    p.add_argument("--module", default="mpu")
+    p.set_defaults(func=cmd_export_verilog)
+
+    p = sub.add_parser("characterize", help="run + save the pre-characterization")
+    _add_common(p, with_sampler=False)
+    p.add_argument("--out", default="characterization.json")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("harden", help="critical-register hardening study")
+    _add_common(p, with_sampler=False)
+    p.add_argument("--coverage", type=float, default=0.95)
+    p.set_defaults(func=cmd_harden)
+
+    p = sub.add_parser("countermeasures", help="compare MPU variants")
+    _add_common(p, with_sampler=False)
+    p.add_argument("--variants", nargs="*", default=None,
+                   help="variant names (default: the standard five)")
+    p.set_defaults(func=cmd_countermeasures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

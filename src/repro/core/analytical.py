@@ -1,0 +1,144 @@
+"""Analytical outcome evaluation for memory-type faults (Section 5.2).
+
+When every latched error sits in a *memory-type* register, the attack
+outcome is "not determined by the timing distance ... but mainly by the
+functionality of the memory-type registers" (paper, Observation 3).  For
+the MPU that functionality is the pure decision function
+:func:`repro.soc.mpu.mpu_decision` over the (now corrupted) configuration,
+so the outcome follows from the golden run's request trace without any
+re-simulation:
+
+* a fault that sets the sticky violation flag means the attack is detected
+  -> ``e = 0``;
+* otherwise, replay every request issued at or after the injection cycle
+  against the corrupted configuration: the attack succeeds iff the
+  benchmark's illegal access is now *granted* while no previously-granted
+  request turns into a violation (which would fire the handler and flag
+  detection).
+
+The equivalence of this evaluation with full RTL re-simulation for
+memory-type faults is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.soc.mpu import BASELINE_VARIANT, MpuSemantics, MpuVariant
+from repro.soc.memmap import DEFAULT_MEMORY_MAP, MemoryMap
+from repro.soc.programs import BenchmarkProgram
+
+
+@dataclass(frozen=True)
+class _Request:
+    issue_cycle: int
+    addr: int
+    write: bool
+    priv: bool
+
+
+class AnalyticalEvaluator:
+    """Replays the golden request trace against a corrupted MPU state.
+
+    Variant-aware: the decision function is the same
+    :class:`~repro.soc.mpu.MpuSemantics` the behavioural model uses, so a
+    parity-protected MPU correctly turns an unmatched configuration flip
+    into a fail-secure violation (-> attack detected, ``e = 0``).
+    """
+
+    def __init__(
+        self,
+        benchmark: BenchmarkProgram,
+        mpu_trace: Sequence,
+        n_regions: int,
+        memmap: Optional[MemoryMap] = None,
+        variant: MpuVariant = BASELINE_VARIANT,
+    ):
+        self.benchmark = benchmark
+        self.n_regions = n_regions
+        self.semantics = MpuSemantics(memmap or DEFAULT_MEMORY_MAP, variant)
+        if not mpu_trace:
+            raise EvaluationError("analytical evaluator needs the golden MPU trace")
+        self._trace = list(mpu_trace)
+        self._requests: List[_Request] = [
+            _Request(
+                issue_cycle=entry.cycle,
+                addr=entry.inputs["in_addr"],
+                write=bool(entry.inputs["in_write"]),
+                priv=bool(entry.inputs["in_priv"]),
+            )
+            for entry in self._trace
+            if entry.inputs["in_valid"]
+        ]
+
+    # ------------------------------------------------------------------
+    def _states_at(
+        self, cycle: int, flips: FrozenSet[Tuple[str, int]]
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """(golden, faulty) register states effective for checks after
+        ``cycle``."""
+        idx = min(max(cycle, 0), len(self._trace) - 1)
+        golden = dict(self._trace[idx].state)
+        faulty = dict(golden)
+        for reg, bit in flips:
+            if reg in faulty:
+                faulty[reg] = faulty[reg] ^ (1 << bit)
+        return golden, faulty
+
+    def _decision_state_differs(
+        self, golden: Dict[str, int], faulty: Dict[str, int]
+    ) -> bool:
+        """Did any configuration (or parity) register change?"""
+        for name in golden:
+            if name.startswith("cfg_") and golden[name] != faulty[name]:
+                return True
+        return False
+
+    def _is_illegal_target(self, request: _Request) -> bool:
+        return any(
+            request.addr == ia.addr
+            and request.write == ia.write
+            and request.priv == ia.priv
+            for ia in self.benchmark.illegal_accesses
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        flipped_bits: FrozenSet[Tuple[str, int]],
+        injection_cycle: int,
+    ) -> int:
+        """The success indicator ``e`` for a memory-type-only fault."""
+        # A fault that raises the sticky flag is itself a detection.
+        if ("sticky_flag", 0) in flipped_bits:
+            return 0
+
+        golden, faulty = self._states_at(injection_cycle + 1, flipped_bits)
+        if not self._decision_state_differs(golden, faulty):
+            # No configuration register was touched (e.g. viol_addr or idle
+            # DMA registers): decisions are unchanged, the illegal access
+            # stays blocked.
+            return 0
+
+        violates = self.semantics.violates
+        target_seen = False
+        target_granted = True
+        for request in self._requests:
+            affected = request.issue_cycle >= injection_cycle
+            state = faulty if affected else golden
+            viol = violates(state, request.addr, request.write, request.priv)
+            if self._is_illegal_target(request):
+                target_seen = True
+                if viol or not affected:
+                    target_granted = False
+            else:
+                golden_viol = violates(
+                    golden, request.addr, request.write, request.priv
+                )
+                if viol and not golden_viol:
+                    # A benign request now violates: handler fires, counter
+                    # increments -> detected.
+                    return 0
+        return 1 if (target_seen and target_granted) else 0

@@ -1,0 +1,269 @@
+"""The cross-level Monte Carlo engine (Fig. 5 of the paper).
+
+Per sample:
+
+1. draw ``(t, p)`` from the active sampling strategy (with its importance
+   weight);
+2. restart the RTL simulation from the nearest golden checkpoint and run to
+   the injection cycle ``Te = Tt - t``;
+3. switch to gate level for the injection cycle: generate the technique's
+   voltage transients / direct flops upsets, propagate, and collect the
+   register bits latched wrong;
+4. if nothing latched — masked, done.  If only memory-type registers are
+   hit — analytical evaluation.  Otherwise write the bit errors back into
+   the RTL state and resume simulation to the end of the benchmark;
+5. the success indicator compares the final state against the golden
+   outcome (malicious operation committed *and* undetected).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.attack.spec import AttackSample, AttackSpec
+from repro.core.analytical import AnalyticalEvaluator
+from repro.core.context import EvaluationContext
+from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
+from repro.errors import EvaluationError
+from repro.gatesim.transient import TransientSimulator
+from repro.sampling.base import Sampler
+from repro.sampling.estimator import SsfEstimator
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class EngineConfig:
+    """Engine behaviour knobs."""
+
+    # Use the analytical evaluator when all faulty bits are memory-type.
+    analytical_memory_eval: bool = True
+    # Stop early once the estimator converges (see SsfEstimator.converged).
+    stop_on_convergence: bool = False
+    convergence_rel_tol: float = 0.05
+    min_samples: int = 200
+
+
+class CrossLevelEngine:
+    """Runs fault-attack campaigns against one evaluation context."""
+
+    def __init__(
+        self,
+        context: EvaluationContext,
+        spec: AttackSpec,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.context = context
+        self.spec = spec
+        self.config = config or EngineConfig()
+        self.transient_sim = TransientSimulator(context.netlist, context.timing)
+        self._analytical: Optional[AnalyticalEvaluator] = None
+        if context.characterization is not None:
+            self._analytical = AnalyticalEvaluator(
+                context.benchmark,
+                context.mpu_trace,
+                context.memmap.n_mpu_regions,
+                memmap=context.memmap,
+                variant=context.mpu_variant,
+            )
+
+    # ------------------------------------------------------------------
+    # single-sample flow
+    # ------------------------------------------------------------------
+    def run_sample(
+        self, sample: AttackSample, rng: np.random.Generator
+    ) -> SampleRecord:
+        context = self.context
+        injection_cycle = context.target_cycle - sample.t
+        # Negative t (injection after the target) can overrun the run end;
+        # either direction out of the simulated window is a guaranteed miss.
+        if injection_cycle < 0 or injection_cycle >= context.n_cycles:
+            return SampleRecord(
+                sample=sample,
+                e=0,
+                category=OutcomeCategory.OUT_OF_RANGE,
+                flipped_bits=frozenset(),
+                injection_cycle=injection_cycle,
+            )
+
+        # Steps 3+4: RTL to the injection cycle, then gate-level simulation
+        # of each impacted cycle, with latched errors written back into the
+        # RTL state as they occur (multi-cycle impact per Section 3.2).
+        simulator = context.simulator
+        soc = context.soc
+        simulator.restart_from(context.golden, injection_cycle)
+        impact_cycles = getattr(self.spec.technique, "impact_cycles", 1)
+
+        flipped: frozenset = frozenset()
+        n_injected = n_latched = 0
+        for _ in range(impact_cycles):
+            if simulator.cycle >= context.n_cycles:
+                break
+            soc.record_mpu_trace = True
+            soc.mpu_trace = []
+            simulator.step()
+            soc.record_mpu_trace = False
+            entry = soc.mpu_trace[-1]
+
+            injection = self.spec.build_injection(context.placement, sample, rng)
+            result = self.transient_sim.simulate_cycle(
+                entry.inputs, entry.state, injection
+            )
+            n_injected += result.n_pulses_injected
+            n_latched += result.n_pulses_latched
+            if result.flipped_bits:
+                masks: Dict[str, int] = {}
+                for register, bit in result.flipped_bits:
+                    masks[register] = masks.get(register, 0) | (1 << bit)
+                simulator.inject_bit_errors(masks)
+                # A bit flipped twice is back to fault-free: symmetric diff.
+                flipped = flipped ^ frozenset(result.flipped_bits)
+
+        if not flipped:
+            return SampleRecord(
+                sample=sample,
+                e=0,
+                category=OutcomeCategory.MASKED,
+                flipped_bits=flipped,
+                injection_cycle=injection_cycle,
+                n_pulses_injected=n_injected,
+                n_pulses_latched=n_latched,
+            )
+
+        memory_only = self._all_memory_type(flipped)
+        category = (
+            OutcomeCategory.MEMORY_ONLY if memory_only else OutcomeCategory.NEEDS_RTL
+        )
+
+        if (
+            memory_only
+            and impact_cycles == 1
+            and self.config.analytical_memory_eval
+            and self._analytical is not None
+        ):
+            e = self._analytical.evaluate(flipped, injection_cycle)
+            return SampleRecord(
+                sample=sample,
+                e=e,
+                category=category,
+                flipped_bits=flipped,
+                injection_cycle=injection_cycle,
+                n_pulses_injected=n_injected,
+                n_pulses_latched=n_latched,
+                analytical=True,
+            )
+
+        # Step 5: the errors are already in the RTL state; resume to the end.
+        simulator.run_to(context.n_cycles)
+        e = 1 if context.benchmark.attack_succeeded(soc) else 0
+        return SampleRecord(
+            sample=sample,
+            e=e,
+            category=category,
+            flipped_bits=flipped,
+            injection_cycle=injection_cycle,
+            n_pulses_injected=n_injected,
+            n_pulses_latched=n_latched,
+        )
+
+    def _all_memory_type(self, flipped: FrozenSet[Tuple[str, int]]) -> bool:
+        characterization = self.context.characterization
+        if characterization is None:
+            return False
+        return all(characterization.is_memory_type(reg, bit) for reg, bit in flipped)
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        sampler: Sampler,
+        n_samples: int,
+        seed: SeedLike = None,
+        progress: Optional[Callable[[int, SsfEstimator], None]] = None,
+    ) -> CampaignResult:
+        """Run a Monte Carlo campaign with the given strategy."""
+        if n_samples <= 0:
+            raise EvaluationError("n_samples must be positive")
+        rng = as_generator(seed)
+        estimator = SsfEstimator(record_history=True)
+        records = []
+        start = time.perf_counter()
+        for i in range(n_samples):
+            sample = sampler.sample(rng)
+            record = self.run_sample(sample, rng)
+            estimator.push(sample, record.e)
+            records.append(record)
+            if progress is not None:
+                progress(i, estimator)
+            if self.config.stop_on_convergence and estimator.converged(
+                self.config.convergence_rel_tol, self.config.min_samples
+            ):
+                break
+        wall = time.perf_counter() - start
+        return CampaignResult(
+            strategy=sampler.name,
+            records=records,
+            estimator=estimator,
+            wall_time_s=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # outcome oracle (necessity analysis for attribution / hardening)
+    # ------------------------------------------------------------------
+    def outcome_oracle(self):
+        """A callable ``(record, flips) -> e`` re-judging a record with an
+        altered flip set.
+
+        Memory-type-only flip sets are judged analytically (microseconds);
+        anything else falls back to a deterministic RTL probe.  Used by
+        :func:`repro.core.hardening.attribute_ssf` to find the bits that
+        were *necessary* for each successful attack.
+        """
+        cache: Dict[Tuple[int, FrozenSet[Tuple[str, int]]], int] = {}
+
+        def oracle(record, flips) -> int:
+            flips = frozenset(flips)
+            if not flips:
+                return 0
+            key = (record.injection_cycle, flips)
+            if key not in cache:
+                if self._analytical is not None and self._all_memory_type(flips):
+                    cache[key] = self._analytical.evaluate(
+                        flips, record.injection_cycle
+                    )
+                else:
+                    cache[key] = self.probe_register_flips(
+                        flips, record.injection_cycle
+                    )
+            return cache[key]
+
+        return oracle
+
+    # ------------------------------------------------------------------
+    # deterministic single-fault probe (used by tests and hardening)
+    # ------------------------------------------------------------------
+    def probe_register_flips(
+        self,
+        flips: FrozenSet[Tuple[str, int]],
+        injection_cycle: int,
+    ) -> int:
+        """Ground-truth RTL outcome of flipping exact bits at a cycle.
+
+        Bypasses the gate level entirely: restart, step through the
+        injection cycle, apply the flips, resume, and judge.  Used to
+        validate the analytical evaluator and to attribute SSF.
+        """
+        context = self.context
+        simulator = context.simulator
+        simulator.restart_from(context.golden, injection_cycle)
+        simulator.step()
+        masks: Dict[str, int] = {}
+        for register, bit in flips:
+            masks[register] = masks.get(register, 0) | (1 << bit)
+        simulator.inject_bit_errors(masks)
+        simulator.run_to(context.n_cycles)
+        return 1 if context.benchmark.attack_succeeded(context.soc) else 0

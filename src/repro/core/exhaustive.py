@@ -1,0 +1,114 @@
+"""Exhaustive single-bit fault enumeration.
+
+For the restricted attack model "exactly one register bit flips, at a
+uniformly chosen timing distance", the fault space is small enough to
+enumerate *completely* — giving the exact SSF this model induces.  That
+exact value is the validation anchor for the Monte Carlo machinery: a
+campaign run with :class:`~repro.attack.techniques.PinpointUpsetTechnique`
+over the same support must converge to it (asserted by
+``benchmarks/test_exhaustive_validation.py``).
+
+Enumeration is also the practical tool for *small* designs; the paper's
+framework exists precisely because it stops scaling — the bench records
+the evaluations/second of both approaches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.engine import CrossLevelEngine
+from repro.errors import EvaluationError
+
+RegisterBit = Tuple[str, int]
+
+
+@dataclass
+class ExhaustiveResult:
+    """Complete truth table of the single-bit fault model."""
+
+    bits: List[RegisterBit]
+    timing_distances: List[int]
+    outcomes: Dict[Tuple[RegisterBit, int], int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ssf_exact(self) -> float:
+        """Exact SSF under uniform (bit, t): the mean of the indicator."""
+        if not self.outcomes:
+            return 0.0
+        return sum(self.outcomes.values()) / len(self.outcomes)
+
+    def successful_faults(self) -> List[Tuple[RegisterBit, int]]:
+        return sorted(key for key, e in self.outcomes.items() if e)
+
+    def per_bit_success_count(self) -> Dict[RegisterBit, int]:
+        counts: Dict[RegisterBit, int] = {}
+        for (bit, _t), e in self.outcomes.items():
+            if e:
+                counts[bit] = counts.get(bit, 0) + 1
+        return counts
+
+    def ssf_of_bit(self, bit: RegisterBit) -> float:
+        values = [e for (b, _t), e in self.outcomes.items() if b == bit]
+        return sum(values) / len(values) if values else 0.0
+
+
+def enumerate_single_bit_faults(
+    engine: CrossLevelEngine,
+    bits: Optional[Sequence[RegisterBit]] = None,
+    timing_distances: Optional[Sequence[int]] = None,
+    use_analytical: bool = True,
+    progress=None,
+) -> ExhaustiveResult:
+    """Evaluate every (register bit, timing distance) single-bit fault.
+
+    Defaults: every register bit in the responding signals' cones, at
+    every timing distance of the engine's attack spec.  Memory-type bits
+    are judged analytically when the engine has the characterization
+    (bit-exact with RTL, per the analytical-evaluator tests); everything
+    else is a deterministic RTL probe.
+    """
+    context = engine.context
+    if bits is None:
+        if context.characterization is None:
+            raise EvaluationError(
+                "no characterization: pass the bit list explicitly"
+            )
+        bits = context.characterization.cone_register_bits()
+    if timing_distances is None:
+        timing_distances = [
+            t for t in engine.spec.temporal.support() if t >= 0
+        ]
+    bits = list(bits)
+    timing_distances = list(timing_distances)
+    if not bits or not timing_distances:
+        raise EvaluationError("empty enumeration space")
+
+    analytical = engine._analytical if use_analytical else None
+    result = ExhaustiveResult(bits=bits, timing_distances=timing_distances)
+    start = time.perf_counter()
+    done = 0
+    for bit in bits:
+        flips: FrozenSet[RegisterBit] = frozenset({bit})
+        memory_type = engine._all_memory_type(flips)
+        for t in timing_distances:
+            injection_cycle = context.target_cycle - t
+            if injection_cycle < 0 or injection_cycle >= context.n_cycles:
+                e = 0
+            elif memory_type and analytical is not None:
+                e = analytical.evaluate(flips, injection_cycle)
+            else:
+                e = engine.probe_register_flips(flips, injection_cycle)
+            result.outcomes[(bit, t)] = e
+            done += 1
+            if progress is not None:
+                progress(done, len(bits) * len(timing_distances))
+    result.wall_time_s = time.perf_counter() - start
+    return result

@@ -1,0 +1,212 @@
+"""SSF attribution and the selective-hardening study (Section 6).
+
+From a finished campaign, :func:`attribute_ssf` splits the SSF estimate
+over the register bits whose corruption drove each successful attack.  The
+paper's observation — a tiny fraction of registers carries almost all of
+the SSF — then motivates :class:`HardeningStudy`: replace only those flops
+with resilient designs ([19, 20]: ~10x better resilience at ~3x cell area)
+and evaluate the security gain against the area cost.
+
+The SSF reduction model follows the paper's own arithmetic: a contribution
+whose *necessary* faulty bits are hardened is attenuated by the resilience
+factor.  Necessity is established with an **outcome oracle** — the engine's
+analytical evaluator (memory-type faults) or an RTL probe — that re-judges
+a record with a subset of its bit flips removed: radiation spots flip many
+incidental neighbours, and crediting those would dilute the paper's
+"3% of registers carry >95% of SSF" observation into noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.results import CampaignResult, SampleRecord
+from repro.errors import EvaluationError
+from repro.netlist.graph import Netlist
+
+RegisterBit = Tuple[str, int]
+
+# Re-evaluates a record with an altered flip set: (record, flips) -> e.
+OutcomeOracle = Callable[[SampleRecord, FrozenSet[RegisterBit]], int]
+
+
+def necessary_bits(
+    record: SampleRecord, oracle: OutcomeOracle
+) -> FrozenSet[RegisterBit]:
+    """The bits actually responsible for this successful attack.
+
+    First choice: bits whose individual removal defeats the attack
+    (*necessary* bits).  When none exists — e.g. two independently
+    sufficient flips landed in one radiation spot — the bits that succeed
+    *alone* are credited instead.  Only if neither analysis identifies
+    culprits (a genuinely conjunctive multi-bit interaction) is the whole
+    flip set credited.
+    """
+    flips = record.flipped_bits
+    necessary = frozenset(
+        bit for bit in flips if oracle(record, flips - {bit}) == 0
+    )
+    if necessary:
+        return necessary
+    sufficient = frozenset(
+        bit for bit in flips if oracle(record, frozenset({bit})) == 1
+    )
+    return sufficient if sufficient else flips
+
+
+def attribute_ssf(
+    result: CampaignResult, oracle: Optional[OutcomeOracle] = None
+) -> Dict[RegisterBit, float]:
+    """Per-register-bit share of the SSF estimate.
+
+    Every successful record contributes ``w·e/N`` to SSF.  With an oracle,
+    the contribution is credited only to the record's *necessary* bits;
+    without one, to every flipped bit (each is jointly responsible).
+    """
+    n = max(1, result.n_samples)
+    shares: Dict[RegisterBit, float] = {}
+    for record in result.records:
+        if not record.e:
+            continue
+        contribution = record.contribution / n
+        bits = (
+            necessary_bits(record, oracle) if oracle else record.flipped_bits
+        )
+        for bit in bits:
+            shares[bit] = shares.get(bit, 0.0) + contribution
+    return shares
+
+
+def critical_bits(
+    shares: Dict[RegisterBit, float], coverage: float = 0.95
+) -> List[RegisterBit]:
+    """Smallest prefix of bits (by share) that covers ``coverage`` of the
+    attributable SSF."""
+    if not 0 < coverage <= 1:
+        raise EvaluationError("coverage must be in (0, 1]")
+    total = sum(shares.values())
+    if total <= 0:
+        return []
+    ranked = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)
+    picked: List[RegisterBit] = []
+    acc = 0.0
+    for bit, share in ranked:
+        picked.append(bit)
+        acc += share
+        if acc >= coverage * total:
+            break
+    return picked
+
+
+@dataclass
+class HardeningOutcome:
+    """Result of one hardening what-if."""
+
+    hardened_bits: List[RegisterBit]
+    ssf_before: float
+    ssf_after: float
+    area_before_um2: float
+    area_after_um2: float
+    covered_share: float
+
+    @property
+    def ssf_improvement(self) -> float:
+        if self.ssf_after <= 0:
+            return float("inf")
+        return self.ssf_before / self.ssf_after
+
+    @property
+    def area_overhead(self) -> float:
+        if self.area_before_um2 <= 0:
+            return 0.0
+        return self.area_after_um2 / self.area_before_um2 - 1.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "n_hardened_bits": len(self.hardened_bits),
+            "ssf_before": self.ssf_before,
+            "ssf_after": self.ssf_after,
+            "ssf_improvement_x": round(self.ssf_improvement, 2),
+            "area_overhead_pct": round(100 * self.area_overhead, 3),
+            "covered_ssf_share_pct": round(100 * self.covered_share, 2),
+        }
+
+
+class HardeningStudy:
+    """Selective hardening of the most SSF-critical register bits."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        result: CampaignResult,
+        resilience_factor: float = 10.0,
+        area_factor: float = 3.0,
+        oracle: Optional[OutcomeOracle] = None,
+    ):
+        if resilience_factor <= 1:
+            raise EvaluationError("resilience factor must exceed 1")
+        if area_factor < 1:
+            raise EvaluationError("area factor must be at least 1")
+        self.netlist = netlist
+        self.result = result
+        self.resilience_factor = resilience_factor
+        self.area_factor = area_factor
+        self.oracle = oracle
+        self.shares = attribute_ssf(result, oracle)
+
+    def total_register_bits(self) -> int:
+        return sum(1 for node in self.netlist.nodes if node.is_dff)
+
+    def harden(self, bits: Sequence[RegisterBit]) -> HardeningOutcome:
+        """Evaluate hardening exactly the given bits."""
+        hardened: Set[RegisterBit] = set(bits)
+        n = max(1, self.result.n_samples)
+        ssf_before = self.result.ssf
+        ssf_after = 0.0
+        covered = 0.0
+        for record in self.result.records:
+            if not record.e:
+                continue
+            contribution = record.contribution / n
+            hit = record.flipped_bits & hardened
+            if not hit:
+                ssf_after += contribution
+                continue
+            # Each hardened flop only flips with probability 1/R.  The
+            # attack survives either with all its flips (prob (1/R)^k) or
+            # by succeeding without the hardened flips at all (oracle).
+            survive_all = self.resilience_factor ** (-len(hit))
+            if record.flipped_bits <= hardened:
+                residual = 0.0
+            elif self.oracle is not None:
+                residual = float(
+                    self.oracle(record, record.flipped_bits - hit)
+                )
+            else:
+                residual = 1.0  # conservative without an oracle
+            p_success = survive_all + (1.0 - survive_all) * residual
+            ssf_after += contribution * p_success
+            if p_success < 1.0:
+                covered += contribution
+        area_before = self.netlist.area()
+        area_after = self.netlist.area(
+            hardened={bit: self.area_factor for bit in hardened}
+        )
+        covered_share = covered / ssf_before if ssf_before > 0 else 0.0
+        return HardeningOutcome(
+            hardened_bits=list(bits),
+            ssf_before=ssf_before,
+            ssf_after=ssf_after,
+            area_before_um2=area_before,
+            area_after_um2=area_after,
+            covered_share=covered_share,
+        )
+
+    def harden_for_coverage(self, coverage: float = 0.95) -> HardeningOutcome:
+        """Harden the smallest bit set covering the given SSF share."""
+        return self.harden(critical_bits(self.shares, coverage))
+
+    def pareto(self, steps: Sequence[float] = (0.5, 0.8, 0.9, 0.95, 0.99)) -> List[HardeningOutcome]:
+        """Hardening outcomes across a sweep of coverage targets."""
+        return [self.harden_for_coverage(c) for c in steps]

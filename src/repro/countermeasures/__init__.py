@@ -1,0 +1,22 @@
+"""Countermeasure evaluation (the paper's third design-guidance goal).
+
+Section 2 of the paper lists "evaluate and compare the effectiveness of
+different countermeasures" among the framework's purposes; Section 6
+evaluates one (selectively hardened flip-flops, analytically).  This
+package evaluates *structural RTL countermeasures* end-to-end: each
+:class:`~repro.soc.mpu.MpuVariant` (configuration parity, dual-rail or TMR
+decision registers) is elaborated, pre-characterized and attacked by the
+full cross-level engine, yielding a measured SSF/area trade-off table.
+"""
+
+from repro.countermeasures.study import (
+    CountermeasureResult,
+    CountermeasureStudy,
+    STANDARD_VARIANTS,
+)
+
+__all__ = [
+    "CountermeasureResult",
+    "CountermeasureStudy",
+    "STANDARD_VARIANTS",
+]

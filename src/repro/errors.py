@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch framework failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a gate-level netlist (bad wiring, cycles, ...)."""
+
+
+class ElaborationError(ReproError):
+    """The word-level HDL description could not be lowered to gates."""
+
+
+class SimulationError(ReproError):
+    """An RTL or gate-level simulation entered an invalid state."""
+
+
+class CheckpointError(SimulationError):
+    """Golden checkpoint could not be created or restored."""
+
+class AssemblyError(ReproError):
+    """The assembler rejected a program."""
+
+
+class AttackModelError(ReproError):
+    """An attack specification or distribution is inconsistent."""
+
+
+class CharacterizationError(ReproError):
+    """System pre-characterization failed or is missing required data."""
+
+
+class SamplingError(ReproError):
+    """A sampling strategy was configured or used incorrectly."""
+
+
+class EvaluationError(ReproError):
+    """The SSF evaluation engine hit an unrecoverable inconsistency."""

@@ -1,0 +1,22 @@
+"""FSM-level vulnerability analysis (the AVFSM-style baseline).
+
+The paper's related work [11] (Nahiyan et al., "AVFSM", DAC 2016) analyzes
+fault-attack vulnerability by extracting a design's finite state machine,
+finding its don't-care states, and checking which single-bit state faults
+skip protection states.  This package implements that class of analysis
+over our platform, as the *comparison baseline* the Monte Carlo framework
+is evaluated against: it is fast and exhaustive over state encodings, but
+blind to everything the cross-level flow models (combinational transients,
+timing windows, multi-register interactions, attack-parameter
+uncertainty).
+"""
+
+from repro.fsmcheck.extract import FsmExtraction, extract_fsm
+from repro.fsmcheck.analyze import FsmVulnerabilityReport, analyze_fsm
+
+__all__ = [
+    "FsmExtraction",
+    "extract_fsm",
+    "FsmVulnerabilityReport",
+    "analyze_fsm",
+]

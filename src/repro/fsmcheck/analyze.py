@@ -1,0 +1,174 @@
+"""AVFSM-style vulnerability analysis over an extracted FSM.
+
+Given the observed FSM and a predicate marking *protection states* (e.g.
+"the violation is flagged"), the analysis asks, for every reachable state
+and every single-bit state-register fault:
+
+* does the faulty encoding land in a reachable state that **skips** a
+  protection state the fault-free machine was headed for?  (a *bypass
+  fault*), or
+* does it land in a **don't-care** encoding, whose behaviour is undefined
+  at this abstraction level?  (flagged for designer review, as AVFSM does)
+
+The output is a per-state fault census plus the two headline metrics the
+AVFSM paper reports: the fraction of state faults that can defeat the
+protection, and the set of dangerous don't-care encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.fsmcheck.extract import FsmExtraction, State
+
+
+@dataclass(frozen=True)
+class StateFault:
+    """One single-bit state-register fault."""
+
+    from_state: State
+    bit: int
+    to_state: State
+    kind: str  # "bypass" | "dont_care" | "benign"
+
+
+@dataclass
+class FsmVulnerabilityReport:
+    """Results of the state-level fault census."""
+
+    registers: Tuple[str, ...]
+    n_reachable: int
+    n_encodings: int
+    protection_states: Set[State]
+    faults: List[StateFault] = field(default_factory=list)
+    dont_care: List[State] = field(default_factory=list)
+
+    @property
+    def bypass_faults(self) -> List[StateFault]:
+        return [f for f in self.faults if f.kind == "bypass"]
+
+    @property
+    def dont_care_faults(self) -> List[StateFault]:
+        return [f for f in self.faults if f.kind == "dont_care"]
+
+    @property
+    def vulnerability_fraction(self) -> float:
+        """Share of single-bit state faults that defeat the protection."""
+        if not self.faults:
+            return 0.0
+        return len(self.bypass_faults) / len(self.faults)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "registers": list(self.registers),
+            "reachable_states": self.n_reachable,
+            "total_encodings": self.n_encodings,
+            "dont_care_states": len(self.dont_care),
+            "faults_total": len(self.faults),
+            "bypass_faults": len(self.bypass_faults),
+            "dont_care_faults": len(self.dont_care_faults),
+            "vulnerability_fraction": round(self.vulnerability_fraction, 4),
+        }
+
+
+def _reaches_protection(
+    extraction: FsmExtraction,
+    start: State,
+    protection: Set[State],
+    horizon: int,
+) -> bool:
+    """Can the observed transition relation reach a protection state?"""
+    frontier = {start}
+    seen: Set[State] = set()
+    for _ in range(horizon):
+        if frontier & protection:
+            return True
+        seen |= frontier
+        frontier = {
+            nxt
+            for state in frontier
+            for nxt in extraction.transitions.get(state, ())
+        } - seen
+        if not frontier:
+            return False
+    return bool(frontier & protection)
+
+
+def analyze_fsm(
+    extraction: FsmExtraction,
+    is_protection_state: Callable[[State], bool],
+    horizon: int = 16,
+) -> FsmVulnerabilityReport:
+    """Single-bit state-fault census against a protection predicate.
+
+    A fault in state ``s`` is a **bypass** when the fault-free machine
+    would have reached a protection state within ``horizon`` observed
+    transitions, but from the faulty state it no longer can.
+    """
+    protection = {s for s in extraction.states if is_protection_state(s)}
+    if not protection:
+        raise EvaluationError(
+            "no protection states observed; check the predicate or extend "
+            "the extraction workloads"
+        )
+    dont_care = extraction.dont_care_states()
+    dont_care_set = set(dont_care)
+
+    faults: List[StateFault] = []
+    for state in sorted(extraction.states):
+        heading_to_protection = _reaches_protection(
+            extraction, state, protection, horizon
+        )
+        for bit, faulty in enumerate(extraction.single_bit_neighbours(state)):
+            if faulty == state:
+                continue
+            if faulty in dont_care_set:
+                kind = "dont_care"
+            elif heading_to_protection and not _reaches_protection(
+                extraction, faulty, protection, horizon
+            ):
+                kind = "bypass"
+            else:
+                kind = "benign"
+            faults.append(
+                StateFault(from_state=state, bit=bit, to_state=faulty, kind=kind)
+            )
+
+    return FsmVulnerabilityReport(
+        registers=extraction.registers,
+        n_reachable=len(extraction.states),
+        n_encodings=extraction.n_encodings,
+        protection_states=protection,
+        faults=faults,
+        dont_care=dont_care,
+    )
+
+
+def probe_dont_care_recovery(
+    device,
+    extraction: FsmExtraction,
+    warmup_cycles: int,
+    settle_cycles: int = 8,
+) -> Dict[State, State]:
+    """Where does the *real* design go from each don't-care encoding?
+
+    AVFSM flags don't-care states as undefined; with a simulatable device
+    we can answer the question: force each unobserved encoding mid-run and
+    observe the state ``settle_cycles`` later.  Complements the static
+    census with ground truth.
+    """
+    recovery: Dict[State, State] = {}
+    for state in extraction.dont_care_states():
+        device.reset()
+        for _ in range(warmup_cycles):
+            device.step()
+        device.set_registers(
+            {name: value for name, value in zip(extraction.registers, state)}
+        )
+        for _ in range(settle_cycles):
+            device.step()
+        values = device.get_registers()
+        recovery[state] = tuple(values[name] for name in extraction.registers)
+    return recovery

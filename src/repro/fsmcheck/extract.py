@@ -1,0 +1,139 @@
+"""FSM extraction from RTL runs.
+
+An FSM here is a chosen set of registers (e.g. the core's ``core_state``,
+or the MPU's decision pair) observed while representative workloads run.
+The extraction records the *reachable* composite states and the observed
+transition relation; every unobserved encoding is a **don't-care state** —
+the object AVFSM's analysis revolves around.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+
+State = Tuple[int, ...]  # one value per FSM register, in declared order
+
+
+@dataclass
+class FsmExtraction:
+    """Observed behaviour of one register-set FSM."""
+
+    registers: Tuple[str, ...]
+    widths: Tuple[int, ...]
+    states: Set[State] = field(default_factory=set)
+    transitions: Dict[State, Set[State]] = field(default_factory=dict)
+    visit_counts: Dict[State, int] = field(default_factory=dict)
+
+    @property
+    def n_encodings(self) -> int:
+        total = 1
+        for width in self.widths:
+            total <<= width
+        return total
+
+    def dont_care_states(self) -> List[State]:
+        """Encodings never observed in any workload."""
+        all_states = itertools.product(
+            *[range(1 << width) for width in self.widths]
+        )
+        return [s for s in all_states if s not in self.states]
+
+    def state_bits(self) -> int:
+        return sum(self.widths)
+
+    def pack(self, state: State) -> int:
+        """Concatenate the registers into one integer (LSB = register 0)."""
+        value = 0
+        shift = 0
+        for component, width in zip(state, self.widths):
+            value |= (component & ((1 << width) - 1)) << shift
+            shift += width
+        return value
+
+    def unpack(self, value: int) -> State:
+        parts = []
+        shift = 0
+        for width in self.widths:
+            parts.append((value >> shift) & ((1 << width) - 1))
+            shift += width
+        return tuple(parts)
+
+    def single_bit_neighbours(self, state: State) -> List[State]:
+        """All states at Hamming distance 1 in the packed encoding."""
+        packed = self.pack(state)
+        return [
+            self.unpack(packed ^ (1 << bit)) for bit in range(self.state_bits())
+        ]
+
+    def merge(self, other: "FsmExtraction") -> "FsmExtraction":
+        if other.registers != self.registers:
+            raise EvaluationError("cannot merge FSMs over different registers")
+        self.states |= other.states
+        for state, nexts in other.transitions.items():
+            self.transitions.setdefault(state, set()).update(nexts)
+        for state, count in other.visit_counts.items():
+            self.visit_counts[state] = self.visit_counts.get(state, 0) + count
+        return self
+
+
+def extract_fsm(
+    device,
+    registers: Sequence[str],
+    n_cycles: int,
+    reset: bool = True,
+) -> FsmExtraction:
+    """Observe an FSM over one run of an already-loaded device."""
+    specs = device.register_specs()
+    missing = [name for name in registers if name not in specs]
+    if missing:
+        raise EvaluationError(f"unknown FSM registers: {missing}")
+    if n_cycles <= 0:
+        raise EvaluationError("n_cycles must be positive")
+
+    extraction = FsmExtraction(
+        registers=tuple(registers),
+        widths=tuple(specs[name].width for name in registers),
+    )
+    if reset:
+        device.reset()
+
+    def observe() -> State:
+        values = device.get_registers()
+        return tuple(values[name] for name in registers)
+
+    current = observe()
+    extraction.states.add(current)
+    extraction.visit_counts[current] = 1
+    for _ in range(n_cycles):
+        device.step()
+        nxt = observe()
+        extraction.states.add(nxt)
+        extraction.visit_counts[nxt] = extraction.visit_counts.get(nxt, 0) + 1
+        extraction.transitions.setdefault(current, set()).add(nxt)
+        current = nxt
+    return extraction
+
+
+def extract_fsm_from_workloads(
+    device_factory,
+    programs: Iterable,
+    registers: Sequence[str],
+    max_cycles: int = 20000,
+) -> FsmExtraction:
+    """Union extraction over several workloads (fresh device each)."""
+    merged: FsmExtraction = None
+    for program in programs:
+        device = device_factory()
+        device.load_program(program.program.words)
+        device.reset()
+        n = device.run_until_halt(max_cycles)
+        device.reset()
+        extraction = extract_fsm(device, registers, n, reset=False)
+        merged = extraction if merged is None else merged.merge(extraction)
+    if merged is None:
+        raise EvaluationError("no workloads provided")
+    return merged

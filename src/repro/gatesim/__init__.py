@@ -1,0 +1,36 @@
+"""Gate-level simulation.
+
+Three cooperating pieces:
+
+* :mod:`repro.gatesim.logic` — zero-delay two-valued evaluation of the
+  combinational network, both scalar (one cycle) and bit-parallel (64 cycles
+  per machine word, used for switching-signature extraction).
+* :mod:`repro.gatesim.timing` — the timing model: clock period, per-gate
+  delays, DFF setup/hold window, and electrical pulse attenuation.
+* :mod:`repro.gatesim.transient` — voltage-transient injection and
+  propagation for the fault-injection cycle (Section 5.3 of the paper):
+  transients are generated at radiated gates, propagate through sensitized
+  paths with electrical masking, and are latched by flip-flops whose
+  setup/hold window they overlap.
+"""
+
+from repro.gatesim.logic import LogicEvaluator, NodeValues, group_ports
+from repro.gatesim.timing import TimingModel, for_netlist
+from repro.gatesim.transient import (
+    Pulse,
+    TransientInjection,
+    TransientResult,
+    TransientSimulator,
+)
+
+__all__ = [
+    "LogicEvaluator",
+    "NodeValues",
+    "group_ports",
+    "TimingModel",
+    "for_netlist",
+    "Pulse",
+    "TransientInjection",
+    "TransientResult",
+    "TransientSimulator",
+]

@@ -1,0 +1,230 @@
+"""Voltage-transient injection, propagation, and latching.
+
+Implements the gate-level half of the cross-level flow (Section 5.3):
+
+1. the attack model hands over a set of impacted gates with initial pulse
+   widths (and, for direct hits on flip-flops, state flips);
+2. pulses propagate through the combinational network in topological order,
+   subject to **logical masking** (a pulse only passes a gate whose side
+   inputs sensitize the struck pin) and **electrical masking** (width
+   attenuation per stage);
+3. every pulse arriving at a DFF data pin that overlaps the setup/hold
+   window is latched, flipping that register bit's next state.
+
+The result is the set of faulty register bits at the end of the fault
+injection cycle, which the engine writes back into the RTL simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.gatesim.logic import LogicEvaluator, NodeValues
+from repro.gatesim.timing import TimingModel
+from repro.netlist.cells import GateKind, gate_sensitized
+from repro.netlist.graph import Netlist
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """One voltage transient at a node output: [start, start + width)."""
+
+    start_ps: float
+    width_ps: float
+
+    @property
+    def end_ps(self) -> float:
+        return self.start_ps + self.width_ps
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        return self.start_ps < hi and self.end_ps > lo
+
+
+@dataclass
+class TransientInjection:
+    """What the attack deposits into the circuit in the injection cycle.
+
+    ``gate_pulses`` maps combinational-node ids to initial pulse widths;
+    ``struck_dffs`` lists flip-flop node ids whose stored state the strike
+    flips directly (attack on sequential elements).
+    """
+
+    gate_pulses: Dict[int, float] = field(default_factory=dict)
+    struck_dffs: List[int] = field(default_factory=list)
+    strike_time_ps: float = 0.0
+
+
+@dataclass
+class TransientResult:
+    """Outcome of one injection-cycle gate-level simulation."""
+
+    # (register name, bit index) whose *latched next state* flipped.
+    flipped_bits: Set[Tuple[str, int]]
+    # Faulty next-state words per register (fault-free registers omitted).
+    faulty_next_state: Dict[str, int]
+    # Fault-free next state of every register, for reference.
+    golden_next_state: Dict[str, int]
+    # How many pulses were generated / survived to a D pin.
+    n_pulses_injected: int = 0
+    n_pulses_latched: int = 0
+
+    @property
+    def any_fault(self) -> bool:
+        return bool(self.flipped_bits)
+
+    def flipped_registers(self) -> Set[str]:
+        return {reg for reg, _bit in self.flipped_bits}
+
+
+class TransientSimulator:
+    """Propagates transients through one clock cycle of a netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        timing: Optional[TimingModel] = None,
+        max_pulses_per_node: int = 8,
+    ):
+        self.netlist = netlist
+        self.timing = timing or TimingModel()
+        self.evaluator = LogicEvaluator(netlist)
+        self.max_pulses_per_node = max_pulses_per_node
+        self._arrival = self._compute_arrival_times()
+
+    def _compute_arrival_times(self) -> List[float]:
+        """Static settle time of each node output within a cycle."""
+        arrival = [0.0] * len(self.netlist)
+        for nid in self.netlist.topo_order():
+            node = self.netlist.node(nid)
+            delay = self.timing.gate_delay(node.kind)
+            arrival[nid] = delay + max(self._safe_arrival(arrival, f) for f in node.fanins)
+        return arrival
+
+    @staticmethod
+    def _safe_arrival(arrival: List[float], nid: int) -> float:
+        return arrival[nid]
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def simulate_cycle(
+        self,
+        inputs: Mapping[str, int],
+        state: Mapping[str, int],
+        injection: TransientInjection,
+    ) -> TransientResult:
+        """Run the fault injection cycle.
+
+        ``inputs``/``state`` are the word-level stimulus and register state
+        at the start of the cycle (provided by the RTL simulation).
+        """
+        values = self.evaluator.evaluate(inputs, state)
+        golden_next = self.evaluator.next_state(values)
+
+        pulses = self._seed_pulses(injection)
+        n_injected = sum(len(p) for p in pulses.values())
+        self._propagate(values, pulses)
+        flipped, n_latched = self._latch(values, pulses)
+
+        # Direct strikes on flip-flops flip the bit the flop will hold next
+        # cycle (the strike corrupts the storage node).
+        for dff_id in injection.struck_dffs:
+            node = self.netlist.node(dff_id)
+            if not node.is_dff:
+                raise SimulationError(f"struck node {dff_id} is not a DFF")
+            if node.register is None or node.bit is None:
+                raise SimulationError(f"struck DFF {dff_id} has no register identity")
+            key = (node.register, node.bit)
+            if key in flipped:
+                flipped.discard(key)  # double flip cancels
+            else:
+                flipped.add(key)
+
+        faulty_next: Dict[str, int] = {}
+        for reg, bit in flipped:
+            word = faulty_next.get(reg, golden_next[reg])
+            faulty_next[reg] = word ^ (1 << bit)
+
+        return TransientResult(
+            flipped_bits=flipped,
+            faulty_next_state=faulty_next,
+            golden_next_state=golden_next,
+            n_pulses_injected=n_injected,
+            n_pulses_latched=n_latched,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _seed_pulses(self, injection: TransientInjection) -> Dict[int, List[Pulse]]:
+        pulses: Dict[int, List[Pulse]] = {}
+        for nid, width in injection.gate_pulses.items():
+            node = self.netlist.node(nid)
+            if not node.kind.is_combinational:
+                continue  # strikes on non-gates handled via struck_dffs
+            if width < self.timing.min_pulse_ps:
+                continue
+            # The transient appears at the struck gate's output once the
+            # strike has happened and the gate has settled.
+            start = max(injection.strike_time_ps, self._arrival[nid])
+            pulses.setdefault(nid, []).append(Pulse(start, width))
+        return pulses
+
+    def _propagate(self, values: NodeValues, pulses: Dict[int, List[Pulse]]) -> None:
+        for nid in self.netlist.topo_order():
+            node = self.netlist.node(nid)
+            incoming: List[Pulse] = []
+            for pin, f in enumerate(node.fanins):
+                if f not in pulses:
+                    continue
+                in_vals = [int(values[x]) for x in node.fanins]
+                if not gate_sensitized(node.kind, in_vals, pin):
+                    continue  # logical masking
+                delay = self.timing.gate_delay(node.kind)
+                for pulse in pulses[f]:
+                    width = self.timing.attenuate(pulse.width_ps)
+                    if width <= 0:
+                        continue  # electrical masking
+                    incoming.append(Pulse(pulse.start_ps + delay, width))
+            if incoming:
+                merged = _merge_pulses(incoming)
+                existing = pulses.get(nid, [])
+                pulses[nid] = _merge_pulses(existing + merged)[
+                    : self.max_pulses_per_node
+                ]
+
+    def _latch(
+        self, values: NodeValues, pulses: Dict[int, List[Pulse]]
+    ) -> Tuple[Set[Tuple[str, int]], int]:
+        lo, hi = self.timing.latch_window
+        flipped: Set[Tuple[str, int]] = set()
+        n_latched = 0
+        for node in self.netlist.nodes:
+            if not node.is_dff or not node.fanins:
+                continue
+            d_pin = node.fanins[0]
+            if d_pin not in pulses:
+                continue
+            if any(p.overlaps(lo, hi) for p in pulses[d_pin]):
+                n_latched += 1
+                if node.register is not None and node.bit is not None:
+                    flipped.add((node.register, node.bit))
+        return flipped, n_latched
+
+
+def _merge_pulses(pulses: Sequence[Pulse]) -> List[Pulse]:
+    """Coalesce overlapping pulses at one node into maximal intervals."""
+    if not pulses:
+        return []
+    ordered = sorted(pulses, key=lambda p: p.start_ps)
+    merged: List[Pulse] = [ordered[0]]
+    for pulse in ordered[1:]:
+        last = merged[-1]
+        if pulse.start_ps <= last.end_ps:
+            end = max(last.end_ps, pulse.end_ps)
+            merged[-1] = Pulse(last.start_ps, end - last.start_ps)
+        else:
+            merged.append(pulse)
+    return merged

@@ -1,0 +1,16 @@
+"""Word-level hardware construction DSL.
+
+The paper evaluates a synthesized gate-level netlist of the security-critical
+block (the MPU).  This package plays the role of the synthesis flow: circuits
+are described with word-level signals and operators (:class:`Wire`), and a
+:class:`Module` elaborates them into per-bit gates in a
+:class:`repro.netlist.Netlist` — ripple-carry adders, borrow comparators,
+mux trees — so the downstream fault simulation sees a realistic multi-
+thousand-gate structure whose flip-flops map one-to-one onto RTL register
+bits.
+"""
+
+from repro.hdl.module import Module
+from repro.hdl.wire import Wire
+
+__all__ = ["Module", "Wire"]

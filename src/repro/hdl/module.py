@@ -1,0 +1,153 @@
+"""Module builder: ports, constants, and registers over a netlist.
+
+A :class:`Module` owns one :class:`~repro.netlist.Netlist` and hands out
+:class:`~repro.hdl.wire.Wire` handles.  Registers are declared first (their Q
+pins are usable immediately, enabling feedback) and get their next-state
+connected at the end with :meth:`connect`.  :meth:`finalize` validates the
+result and freezes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ElaborationError
+from repro.hdl.wire import Wire
+from repro.netlist.graph import Netlist
+
+
+class Module:
+    """Builder for one elaborated hardware module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.netlist = Netlist(name)
+        self._registers: Dict[str, Wire] = {}
+        self._connected: Dict[str, bool] = {}
+        self._finalized = False
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise ElaborationError(f"module {self.name} is already finalized")
+
+    # ------------------------------------------------------------------
+    # ports / constants / registers
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int) -> Wire:
+        """Declare a primary input; bit ``i`` becomes port ``name[i]``."""
+        self._check_open()
+        if width <= 0:
+            raise ElaborationError("input width must be positive")
+        bits = [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+        return Wire(self, bits)
+
+    def const(self, value: int, width: int) -> Wire:
+        self._check_open()
+        if width <= 0:
+            raise ElaborationError("constant width must be positive")
+        if value < 0 or value >= (1 << width):
+            raise ElaborationError(f"constant {value} does not fit in {width} bits")
+        bits = [self.netlist.add_const((value >> i) & 1) for i in range(width)]
+        return Wire(self, bits)
+
+    def register(self, name: str, width: int, init: int = 0) -> Wire:
+        """Declare a register; returns the Q-side wire."""
+        self._check_open()
+        if width <= 0:
+            raise ElaborationError("register width must be positive")
+        if name in self._registers:
+            raise ElaborationError(f"duplicate register {name!r}")
+        if init < 0 or init >= (1 << width):
+            raise ElaborationError(f"init {init} does not fit in {width} bits")
+        bits = [
+            self.netlist.add_dff(
+                name=f"{name}[{i}]", register=name, bit=i, init=(init >> i) & 1
+            )
+            for i in range(width)
+        ]
+        wire = Wire(self, bits)
+        self._registers[name] = wire
+        self._connected[name] = False
+        return wire
+
+    def connect(self, reg: Wire, next_state: Wire) -> None:
+        """Wire a register's next-state expression to its D pins."""
+        self._check_open()
+        name = self._register_name(reg)
+        if self._connected[name]:
+            raise ElaborationError(f"register {name!r} connected twice")
+        if next_state.width != reg.width:
+            raise ElaborationError(
+                f"register {name!r} is {reg.width} bits, next state is "
+                f"{next_state.width}"
+            )
+        for dff_bit, d_bit in zip(reg.bits, next_state.bits):
+            self.netlist.connect_dff(dff_bit, d_bit)
+        self._connected[name] = True
+
+    def _register_name(self, reg: Wire) -> str:
+        node = self.netlist.node(reg.bits[0])
+        if node.register is None or self._registers.get(node.register) is None:
+            raise ElaborationError("wire is not a register Q bundle")
+        declared = self._registers[node.register]
+        if declared.bits != reg.bits:
+            raise ElaborationError(
+                f"wire is not the full register {node.register!r}"
+            )
+        return node.register
+
+    def output(self, name: str, wire: Wire) -> None:
+        """Expose a wire as output ports ``name[i]``."""
+        self._check_open()
+        for i, bit in enumerate(wire.bits):
+            self.netlist.mark_output(f"{name}[{i}]", bit)
+
+    # ------------------------------------------------------------------
+    # convenience builders
+    # ------------------------------------------------------------------
+    def one_hot_select(self, selectors: List[Wire], values: List[Wire]) -> Wire:
+        """OR-reduce ``selector_i ? value_i : 0`` terms (priority handled by
+        caller providing disjoint selectors)."""
+        self._check_open()
+        if len(selectors) != len(values) or not selectors:
+            raise ElaborationError("selectors and values must match and be non-empty")
+        width = values[0].width
+        acc = self.const(0, width)
+        for sel, val in zip(selectors, values):
+            if sel.width != 1:
+                raise ElaborationError("selectors must be 1 bit")
+            masked = sel.mux(val, self.const(0, width))
+            acc = acc | masked
+        return acc
+
+    def priority_encode(self, requests: List[Wire]) -> List[Wire]:
+        """Turn request bits into one-hot grants, index 0 wins."""
+        self._check_open()
+        grants: List[Wire] = []
+        blocked = self.const(0, 1)
+        for req in requests:
+            if req.width != 1:
+                raise ElaborationError("requests must be 1 bit")
+            grant = req & ~blocked
+            grants.append(grant)
+            blocked = blocked | req
+        return grants
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> Netlist:
+        """Validate wiring and return the frozen netlist."""
+        self._check_open()
+        unconnected = [n for n, done in self._connected.items() if not done]
+        if unconnected:
+            raise ElaborationError(
+                f"registers never connected: {', '.join(sorted(unconnected))}"
+            )
+        self.netlist.validate()
+        self._finalized = True
+        return self.netlist
+
+    @property
+    def register_names(self) -> List[str]:
+        return list(self._registers)

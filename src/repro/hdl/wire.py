@@ -1,0 +1,225 @@
+"""Word-level signals over a gate-level netlist.
+
+A :class:`Wire` is an ordered tuple of netlist node ids, least-significant
+bit first.  All operators elaborate immediately into gates on the owning
+module's netlist; there is no separate IR.  Widths are strict: binary
+operators require equal widths (use :meth:`zext` to widen), comparisons and
+reductions return 1-bit wires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.errors import ElaborationError
+from repro.netlist.cells import GateKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdl.module import Module
+
+
+class Wire:
+    """An immutable bundle of single-bit nets with word-level operators."""
+
+    __slots__ = ("module", "bits")
+
+    def __init__(self, module: "Module", bits: Sequence[int]):
+        self.module = module
+        self.bits: Tuple[int, ...] = tuple(bits)
+        if not self.bits:
+            raise ElaborationError("zero-width wires are not supported")
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def _check_same(self, other: "Wire") -> None:
+        if self.module is not other.module:
+            raise ElaborationError("wires belong to different modules")
+        if self.width != other.width:
+            raise ElaborationError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def _coerce(self, other: Union["Wire", int]) -> "Wire":
+        if isinstance(other, Wire):
+            return other
+        return self.module.const(other, self.width)
+
+    # ------------------------------------------------------------------
+    # bitwise operators
+    # ------------------------------------------------------------------
+    def _bitwise(self, other: Union["Wire", int], kind: GateKind) -> "Wire":
+        other = self._coerce(other)
+        self._check_same(other)
+        nl = self.module.netlist
+        bits = [nl.add_gate(kind, a, b) for a, b in zip(self.bits, other.bits)]
+        return Wire(self.module, bits)
+
+    def __and__(self, other: Union["Wire", int]) -> "Wire":
+        return self._bitwise(other, GateKind.AND)
+
+    def __or__(self, other: Union["Wire", int]) -> "Wire":
+        return self._bitwise(other, GateKind.OR)
+
+    def __xor__(self, other: Union["Wire", int]) -> "Wire":
+        return self._bitwise(other, GateKind.XOR)
+
+    def __invert__(self) -> "Wire":
+        nl = self.module.netlist
+        return Wire(self.module, [nl.add_gate(GateKind.NOT, b) for b in self.bits])
+
+    # ------------------------------------------------------------------
+    # arithmetic (ripple carry)
+    # ------------------------------------------------------------------
+    def _add_with_carry(self, other: "Wire", carry_in: int) -> Tuple[List[int], int]:
+        nl = self.module.netlist
+        carry = carry_in
+        sums: List[int] = []
+        for a, b in zip(self.bits, other.bits):
+            axb = nl.add_gate(GateKind.XOR, a, b)
+            s = nl.add_gate(GateKind.XOR, axb, carry)
+            c1 = nl.add_gate(GateKind.AND, a, b)
+            c2 = nl.add_gate(GateKind.AND, axb, carry)
+            carry = nl.add_gate(GateKind.OR, c1, c2)
+            sums.append(s)
+        return sums, carry
+
+    def __add__(self, other: Union["Wire", int]) -> "Wire":
+        other = self._coerce(other)
+        self._check_same(other)
+        zero = self.module.netlist.add_const(0)
+        sums, _carry = self._add_with_carry(other, zero)
+        return Wire(self.module, sums)
+
+    def __sub__(self, other: Union["Wire", int]) -> "Wire":
+        other = self._coerce(other)
+        self._check_same(other)
+        one = self.module.netlist.add_const(1)
+        sums, _borrow = self._add_with_carry(~other, one)
+        return Wire(self.module, sums)
+
+    # ------------------------------------------------------------------
+    # comparisons (unsigned); all return 1-bit wires
+    # ------------------------------------------------------------------
+    def eq(self, other: Union["Wire", int]) -> "Wire":
+        other = self._coerce(other)
+        self._check_same(other)
+        nl = self.module.netlist
+        eq_bits = [
+            nl.add_gate(GateKind.XNOR, a, b) for a, b in zip(self.bits, other.bits)
+        ]
+        return Wire(self.module, [_reduce_tree(nl, eq_bits, GateKind.AND)])
+
+    def ne(self, other: Union["Wire", int]) -> "Wire":
+        return ~self.eq(other)
+
+    def ge(self, other: Union["Wire", int]) -> "Wire":
+        """Unsigned ``self >= other`` via the subtractor carry-out."""
+        other = self._coerce(other)
+        self._check_same(other)
+        one = self.module.netlist.add_const(1)
+        _sums, carry = self._add_with_carry(~other, one)
+        return Wire(self.module, [carry])
+
+    def le(self, other: Union["Wire", int]) -> "Wire":
+        return self._coerce(other).ge(self)
+
+    def lt(self, other: Union["Wire", int]) -> "Wire":
+        return ~self.ge(other)
+
+    def gt(self, other: Union["Wire", int]) -> "Wire":
+        return ~self.le(other)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: Union[int, slice]) -> "Wire":
+        if isinstance(index, int):
+            return Wire(self.module, [self.bits[index]])
+        picked = self.bits[index]
+        if not picked:
+            raise ElaborationError(f"slice {index} selects no bits")
+        return Wire(self.module, picked)
+
+    def cat(self, *others: "Wire") -> "Wire":
+        """Concatenate; ``self`` stays least significant."""
+        bits = list(self.bits)
+        for other in others:
+            if other.module is not self.module:
+                raise ElaborationError("wires belong to different modules")
+            bits.extend(other.bits)
+        return Wire(self.module, bits)
+
+    def zext(self, width: int) -> "Wire":
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise ElaborationError(
+                f"cannot zero-extend {self.width} bits down to {width}"
+            )
+        nl = self.module.netlist
+        pad = [nl.add_const(0) for _ in range(width - self.width)]
+        return Wire(self.module, list(self.bits) + pad)
+
+    def trunc(self, width: int) -> "Wire":
+        if width > self.width:
+            raise ElaborationError(f"cannot truncate {self.width} bits up to {width}")
+        return Wire(self.module, self.bits[:width])
+
+    def shl_const(self, amount: int) -> "Wire":
+        """Logical left shift by a constant, same width."""
+        if amount < 0:
+            raise ElaborationError("shift amount must be non-negative")
+        nl = self.module.netlist
+        zeros = [nl.add_const(0) for _ in range(min(amount, self.width))]
+        return Wire(self.module, (zeros + list(self.bits))[: self.width])
+
+    def shr_const(self, amount: int) -> "Wire":
+        """Logical right shift by a constant, same width."""
+        if amount < 0:
+            raise ElaborationError("shift amount must be non-negative")
+        nl = self.module.netlist
+        zeros = [nl.add_const(0) for _ in range(min(amount, self.width))]
+        return Wire(self.module, (list(self.bits[amount:]) + zeros)[: self.width])
+
+    # ------------------------------------------------------------------
+    # reductions & selection
+    # ------------------------------------------------------------------
+    def reduce_or(self) -> "Wire":
+        nl = self.module.netlist
+        return Wire(self.module, [_reduce_tree(nl, list(self.bits), GateKind.OR)])
+
+    def reduce_and(self) -> "Wire":
+        nl = self.module.netlist
+        return Wire(self.module, [_reduce_tree(nl, list(self.bits), GateKind.AND)])
+
+    def mux(self, when_true: "Wire", when_false: "Wire") -> "Wire":
+        """Bitwise select: ``self ? when_true : when_false`` (self is 1 bit)."""
+        if self.width != 1:
+            raise ElaborationError("mux selector must be 1 bit wide")
+        when_true._check_same(when_false)
+        nl = self.module.netlist
+        sel = self.bits[0]
+        bits = [
+            nl.add_gate(GateKind.MUX, sel, f, t)
+            for t, f in zip(when_true.bits, when_false.bits)
+        ]
+        return Wire(self.module, bits)
+
+    def __repr__(self) -> str:
+        return f"Wire(width={self.width})"
+
+
+def _reduce_tree(netlist, bits: List[int], kind: GateKind) -> int:
+    """Balanced reduction tree over a list of 1-bit nets."""
+    if not bits:
+        raise ElaborationError("cannot reduce zero bits")
+    level = list(bits)
+    while len(level) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(netlist.add_gate(kind, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,49 @@
+"""Gate-level netlist substrate.
+
+This package provides the structural view of the hardware under attack:
+
+* :mod:`repro.netlist.cells` — the standard-cell library (gate kinds, logic
+  functions, per-cell delay and area).
+* :mod:`repro.netlist.graph` — the :class:`Netlist` container: gates, DFFs,
+  ports, topological levelization and structural validation.
+* :mod:`repro.netlist.cones` — fanin/fanout cone extraction over the
+  *unrolled* netlist (sequential-depth aware), per Observation 1 of the
+  paper.
+* :mod:`repro.netlist.placement` — a simple grid placer providing the (x, y)
+  coordinates the radiation spatial model needs.
+"""
+
+from repro.netlist.cells import (
+    CellInfo,
+    GateKind,
+    CELL_LIBRARY,
+    eval_gate,
+    eval_gate_words,
+)
+from repro.netlist.graph import Netlist, Node
+from repro.netlist.cones import ConeExtractor, UnrolledCones
+from repro.netlist.placement import GridPlacer, Placement
+from repro.netlist.equiv import EquivalenceResult, check_against_reference, check_equivalence
+from repro.netlist.verilog import VerilogEmitter, write_verilog
+from repro.netlist.scoap import ScoapResult, compute_scoap
+
+__all__ = [
+    "CellInfo",
+    "GateKind",
+    "CELL_LIBRARY",
+    "eval_gate",
+    "eval_gate_words",
+    "Netlist",
+    "Node",
+    "ConeExtractor",
+    "UnrolledCones",
+    "GridPlacer",
+    "Placement",
+    "EquivalenceResult",
+    "check_against_reference",
+    "check_equivalence",
+    "VerilogEmitter",
+    "write_verilog",
+    "ScoapResult",
+    "compute_scoap",
+]

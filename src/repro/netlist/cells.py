@@ -1,0 +1,147 @@
+"""Standard-cell library.
+
+Each gate kind carries a logic function (scalar and word-parallel forms), a
+nominal propagation delay, and an area.  Delays and areas are loosely modeled
+on a generic 45 nm library; only their *relative* magnitudes matter for the
+experiments (transient propagation, latch-window checks, area-overhead
+accounting for the hardening study).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class GateKind(enum.Enum):
+    """Every node kind a :class:`~repro.netlist.graph.Netlist` can hold."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # fanins (sel, a, b): sel ? b : a
+    DFF = "dff"  # fanin (d,); node output is Q
+
+    @property
+    def is_combinational(self) -> bool:
+        return self not in (
+            GateKind.INPUT,
+            GateKind.CONST0,
+            GateKind.CONST1,
+            GateKind.DFF,
+        )
+
+    @property
+    def is_source(self) -> bool:
+        """Nodes whose value is given, not computed, within a cycle."""
+        return self in (
+            GateKind.INPUT,
+            GateKind.CONST0,
+            GateKind.CONST1,
+            GateKind.DFF,
+        )
+
+
+@dataclass(frozen=True)
+class CellInfo:
+    """Physical/timing metadata for one gate kind."""
+
+    kind: GateKind
+    n_inputs: int
+    delay_ps: float
+    area_um2: float
+
+
+# Nominal delays (ps) and areas (um^2); generic-library flavoured.
+CELL_LIBRARY: Dict[GateKind, CellInfo] = {
+    GateKind.INPUT: CellInfo(GateKind.INPUT, 0, 0.0, 0.0),
+    GateKind.CONST0: CellInfo(GateKind.CONST0, 0, 0.0, 0.0),
+    GateKind.CONST1: CellInfo(GateKind.CONST1, 0, 0.0, 0.0),
+    GateKind.BUF: CellInfo(GateKind.BUF, 1, 18.0, 0.8),
+    GateKind.NOT: CellInfo(GateKind.NOT, 1, 12.0, 0.5),
+    GateKind.AND: CellInfo(GateKind.AND, 2, 28.0, 1.1),
+    GateKind.OR: CellInfo(GateKind.OR, 2, 28.0, 1.1),
+    GateKind.NAND: CellInfo(GateKind.NAND, 2, 20.0, 0.8),
+    GateKind.NOR: CellInfo(GateKind.NOR, 2, 22.0, 0.8),
+    GateKind.XOR: CellInfo(GateKind.XOR, 2, 40.0, 1.6),
+    GateKind.XNOR: CellInfo(GateKind.XNOR, 2, 42.0, 1.6),
+    GateKind.MUX: CellInfo(GateKind.MUX, 3, 36.0, 1.9),
+    GateKind.DFF: CellInfo(GateKind.DFF, 1, 0.0, 4.5),
+}
+
+_SCALAR_FUNCS: Dict[GateKind, Callable[..., int]] = {
+    GateKind.BUF: lambda a: a,
+    GateKind.NOT: lambda a: a ^ 1,
+    GateKind.AND: lambda a, b: a & b,
+    GateKind.OR: lambda a, b: a | b,
+    GateKind.NAND: lambda a, b: (a & b) ^ 1,
+    GateKind.NOR: lambda a, b: (a | b) ^ 1,
+    GateKind.XOR: lambda a, b: a ^ b,
+    GateKind.XNOR: lambda a, b: (a ^ b) ^ 1,
+    GateKind.MUX: lambda s, a, b: b if s else a,
+}
+
+
+def eval_gate(kind: GateKind, inputs: Sequence[int]) -> int:
+    """Evaluate one gate on scalar 0/1 inputs."""
+    if kind is GateKind.CONST0:
+        return 0
+    if kind is GateKind.CONST1:
+        return 1
+    func = _SCALAR_FUNCS.get(kind)
+    if func is None:
+        raise ValueError(f"gate kind {kind} is not combinationally evaluable")
+    return func(*inputs) & 1
+
+
+def eval_gate_words(kind: GateKind, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate one gate bit-parallel over uint64 word arrays.
+
+    Each word array packs 64 independent evaluation contexts (cycles); this
+    is the kernel behind the fast switching-signature computation.
+    """
+    if kind is GateKind.BUF:
+        return inputs[0].copy()
+    if kind is GateKind.NOT:
+        return inputs[0] ^ _ALL_ONES
+    if kind is GateKind.AND:
+        return inputs[0] & inputs[1]
+    if kind is GateKind.OR:
+        return inputs[0] | inputs[1]
+    if kind is GateKind.NAND:
+        return (inputs[0] & inputs[1]) ^ _ALL_ONES
+    if kind is GateKind.NOR:
+        return (inputs[0] | inputs[1]) ^ _ALL_ONES
+    if kind is GateKind.XOR:
+        return inputs[0] ^ inputs[1]
+    if kind is GateKind.XNOR:
+        return (inputs[0] ^ inputs[1]) ^ _ALL_ONES
+    if kind is GateKind.MUX:
+        sel, a, b = inputs
+        return (sel & b) | ((sel ^ _ALL_ONES) & a)
+    raise ValueError(f"gate kind {kind} is not combinationally evaluable")
+
+
+def gate_sensitized(kind: GateKind, inputs: Sequence[int], pin: int) -> bool:
+    """Whether flipping input ``pin`` flips the gate output (logical masking).
+
+    Used by the transient propagator: a voltage transient on one input only
+    propagates if the side inputs leave the gate sensitized to that pin.
+    """
+    base = eval_gate(kind, inputs)
+    flipped = list(inputs)
+    flipped[pin] ^= 1
+    return eval_gate(kind, flipped) != base

@@ -1,0 +1,216 @@
+"""Fanin/fanout cone extraction over the unrolled netlist.
+
+Observation 1 of the paper: only the circuitry in the fanin and fanout cones
+of the *responding signals* can affect whether a security violation is
+flagged, so the sample space is restricted to those cones.  The cones are
+computed on the (conceptually) unrolled netlist: a node belongs to the
+``i``-th unrolled frame if a bit flip there needs ``i`` register crossings to
+reach the responding signal (``i >= 0`` fanin side, ``i < 0`` fanout side).
+
+A node may belong to several frames when reconvergent register paths of
+different lengths exist; membership is therefore a set of depths per node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+
+
+@dataclass
+class UnrolledCones:
+    """Cone membership for one responding signal.
+
+    Attributes
+    ----------
+    responding:
+        Node id of the responding signal.
+    fanin:
+        depth (``>= 0``) -> node ids in that unrolled frame, fanin side.
+    fanout:
+        depth (``< 0``) -> node ids, fanout side.
+    """
+
+    responding: int
+    fanin: Dict[int, Set[int]] = field(default_factory=dict)
+    fanout: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def frames(self) -> List[int]:
+        """All frame indices, fanout (negative) first, ascending."""
+        return sorted(self.fanout.keys()) + sorted(self.fanin.keys())
+
+    def nodes_at(self, depth: int) -> Set[int]:
+        if depth >= 0:
+            return self.fanin.get(depth, set())
+        return self.fanout.get(depth, set())
+
+    def all_nodes(self) -> Set[int]:
+        out: Set[int] = set()
+        for nodes in self.fanin.values():
+            out |= nodes
+        for nodes in self.fanout.values():
+            out |= nodes
+        return out
+
+    def depths_of(self, nid: int) -> Set[int]:
+        return {
+            d
+            for mapping in (self.fanin, self.fanout)
+            for d, nodes in mapping.items()
+            if nid in nodes
+        }
+
+    def merge(self, other: "UnrolledCones") -> "UnrolledCones":
+        """Union of two cones (multiple responding signals)."""
+        merged = UnrolledCones(responding=self.responding)
+        for src in (self, other):
+            for d, nodes in src.fanin.items():
+                merged.fanin.setdefault(d, set()).update(nodes)
+            for d, nodes in src.fanout.items():
+                merged.fanout.setdefault(d, set()).update(nodes)
+        return merged
+
+
+class ConeExtractor:
+    """Breadth-first cone traversal with sequential-depth tracking.
+
+    The traversal crosses a flip-flop by stepping from its Q side to its D
+    side (fanin direction) or D side to Q side (fanout direction); each
+    crossing moves one unrolled frame.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._latch_max_cache: Optional[Dict[int, float]] = None
+
+    def extract(
+        self,
+        responding: int,
+        max_fanin_depth: int = 8,
+        max_fanout_depth: int = 4,
+    ) -> UnrolledCones:
+        """Extract fanin and fanout cones around one responding signal."""
+        if not 0 <= responding < len(self.netlist):
+            raise NetlistError(f"responding node {responding} does not exist")
+        cones = UnrolledCones(responding=responding)
+        self._walk_fanin(responding, max_fanin_depth, cones)
+        self._walk_fanout(responding, max_fanout_depth, cones)
+        return cones
+
+    def extract_many(
+        self,
+        responding: Iterable[int],
+        max_fanin_depth: int = 8,
+        max_fanout_depth: int = 4,
+    ) -> UnrolledCones:
+        """Union cone over several responding signals."""
+        result: Optional[UnrolledCones] = None
+        for rs in responding:
+            cone = self.extract(rs, max_fanin_depth, max_fanout_depth)
+            result = cone if result is None else result.merge(cone)
+        if result is None:
+            raise NetlistError("extract_many needs at least one responding signal")
+        return result
+
+    def _walk_fanin(self, start: int, max_depth: int, cones: UnrolledCones) -> None:
+        # Frame semantics: a node is in frame ``i`` iff a fault there needs
+        # to be injected at timing distance ``t = i`` to reach the
+        # responding signal.  A transient at a combinational gate latches
+        # into its downstream register in the same cycle, so the +1 happens
+        # when stepping *into* a register (comb -> DFF boundary), while a
+        # register's D-cone shares the register's own frame.
+        seen: Set[Tuple[int, int]] = set()
+        queue: deque = deque([(start, 0)])
+        seen.add((start, 0))
+        while queue:
+            nid, depth = queue.popleft()
+            cones.fanin.setdefault(depth, set()).add(nid)
+            node = self.netlist.node(nid)
+            for f in node.fanins:
+                next_depth = depth + 1 if self.netlist.node(f).is_dff else depth
+                if next_depth > max_depth:
+                    continue
+                if (f, next_depth) not in seen:
+                    seen.add((f, next_depth))
+                    queue.append((f, next_depth))
+
+    def _walk_fanout(self, start: int, max_depth: int, cones: UnrolledCones) -> None:
+        fanouts = self.netlist.fanouts()
+        seen: Set[Tuple[int, int]] = set()
+        queue: deque = deque([(start, 0)])
+        while queue:
+            nid, depth = queue.popleft()
+            if depth < 0:
+                cones.fanout.setdefault(depth, set()).add(nid)
+            for consumer in fanouts[nid]:
+                cnode = self.netlist.node(consumer)
+                # Mirror of the fanin rule: leaving a register towards its
+                # consumers moves one frame later (more negative).
+                next_depth = depth - 1 if cnode.is_dff else depth
+                if next_depth < -max_depth:
+                    continue
+                if (consumer, next_depth) not in seen:
+                    seen.add((consumer, next_depth))
+                    queue.append((consumer, next_depth))
+
+    # ------------------------------------------------------------------
+    # combinational latching helpers (used for L(g) of comb gates)
+    # ------------------------------------------------------------------
+    def latching_registers(self, nid: int) -> Set[int]:
+        """DFF node ids whose D pin is combinationally reachable from ``nid``.
+
+        These are the registers that can latch a transient generated at the
+        given gate within the same cycle.
+        """
+        fanouts = self.netlist.fanouts()
+        seen: Set[int] = set()
+        found: Set[int] = set()
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            for consumer in fanouts[cur]:
+                cnode = self.netlist.node(consumer)
+                if cnode.is_dff:
+                    found.add(consumer)
+                elif cnode.kind.is_combinational:
+                    stack.append(consumer)
+        return found
+
+    def max_over_latching(self, per_dff: Mapping[int, float]) -> Dict[int, float]:
+        """For every node, max of ``per_dff`` over its latching registers.
+
+        Computes the paper's ``L(g)`` for combinational gates in one reverse
+        topological pass: ``L(g) = max`` error lifetime of the registers in
+        the combinational fanout of ``g``.  Nodes that reach no register get
+        ``0.0``.
+        """
+        result: Dict[int, float] = {n.nid: 0.0 for n in self.netlist.nodes}
+        fanouts = self.netlist.fanouts()
+        order = self.netlist.topo_order()
+        # Seed: a node feeding a DFF D pin sees that DFF's value.
+        seeds: Dict[int, float] = {}
+        for node in self.netlist.nodes:
+            if node.is_dff and node.fanins:
+                value = per_dff.get(node.nid, 0.0)
+                d_pin = node.fanins[0]
+                seeds[d_pin] = max(seeds.get(d_pin, 0.0), value)
+        sources = [n.nid for n in self.netlist.nodes if n.kind.is_source]
+        for nid in list(reversed(order)) + sources:
+            best = seeds.get(nid, 0.0)
+            for consumer in fanouts[nid]:
+                cnode = self.netlist.node(consumer)
+                if cnode.kind.is_combinational:
+                    best = max(best, result[consumer])
+            result[nid] = best
+        # DFF nodes themselves report their own lifetime.
+        for node in self.netlist.nodes:
+            if node.is_dff:
+                result[node.nid] = per_dff.get(node.nid, 0.0)
+        return result

@@ -1,0 +1,177 @@
+"""Simulation-based equivalence checking between netlists.
+
+Used to validate countermeasure rewrites and any hand-modified netlist
+against a golden reference: both designs are driven with the same random
+stimulus (plus corner patterns) cycle by cycle and compared on their
+shared outputs and registers.  This is the light-weight cousin of formal
+equivalence checking — probabilistic, but with the corner patterns and a
+few hundred random vectors it catches every single-gate functional
+difference we have been able to inject (see the mutation tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+from repro.utils.rng import SeedLike, as_generator
+
+# NOTE: repro.gatesim imports repro.netlist, so the LogicEvaluator import
+# must be deferred into the functions to avoid a package-import cycle.
+
+
+@dataclass
+class Mismatch:
+    """First divergence found between the two designs."""
+
+    cycle: int
+    kind: str          # "output" | "register"
+    name: str
+    golden: int
+    candidate: int
+
+    def __str__(self) -> str:
+        return (
+            f"cycle {self.cycle}: {self.kind} {self.name!r} "
+            f"golden={self.golden:#x} candidate={self.candidate:#x}"
+        )
+
+
+@dataclass
+class EquivalenceResult:
+    equivalent: bool
+    vectors_run: int
+    mismatch: Optional[Mismatch] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _corner_words(width: int) -> List[int]:
+    mask = (1 << width) - 1
+    patterns = {0, mask, 1, mask >> 1, 0xAAAAAAAA & mask, 0x55555555 & mask}
+    return sorted(patterns)
+
+
+def check_equivalence(
+    golden: Netlist,
+    candidate: Netlist,
+    n_vectors: int = 300,
+    n_sequences: int = 8,
+    seed: SeedLike = 0,
+) -> EquivalenceResult:
+    """Compare two netlists over shared ports and registers.
+
+    The designs must have identical input ports and register manifests;
+    outputs are compared on the intersection of their output names.
+    Stimulus is applied in ``n_sequences`` independent sequences (both
+    designs reset to their init state at each sequence start) mixing
+    corner patterns with random vectors.
+    """
+    from repro.gatesim.logic import LogicEvaluator
+
+    ev_golden = LogicEvaluator(golden)
+    ev_candidate = LogicEvaluator(candidate)
+
+    if ev_golden.input_ports() != ev_candidate.input_ports():
+        raise NetlistError(
+            "designs have different input ports: "
+            f"{ev_golden.input_ports()} vs {ev_candidate.input_ports()}"
+        )
+    if golden.register_widths() != candidate.register_widths():
+        raise NetlistError("designs have different register manifests")
+    shared_outputs = sorted(
+        set(ev_golden.output_ports()) & set(ev_candidate.output_ports())
+    )
+
+    rng = as_generator(seed)
+    inputs = ev_golden.input_ports()
+    init_state = {
+        reg: _init_word(golden, reg) for reg in golden.register_widths()
+    }
+    vectors_run = 0
+    per_sequence = max(1, n_vectors // n_sequences)
+
+    for _seq in range(n_sequences):
+        state_g = dict(init_state)
+        state_c = dict(init_state)
+        for _ in range(per_sequence):
+            stimulus = {}
+            for name, width in inputs.items():
+                if rng.random() < 0.25:
+                    corners = _corner_words(width)
+                    stimulus[name] = int(corners[rng.integers(0, len(corners))])
+                else:
+                    stimulus[name] = int(rng.integers(0, 1 << min(width, 62)))
+            out_g, next_g = ev_golden.step(stimulus, state_g)
+            out_c, next_c = ev_candidate.step(stimulus, state_c)
+            vectors_run += 1
+            for name in shared_outputs:
+                if out_g[name] != out_c[name]:
+                    return EquivalenceResult(
+                        False,
+                        vectors_run,
+                        Mismatch(vectors_run, "output", name, out_g[name], out_c[name]),
+                    )
+            for reg in next_g:
+                if next_g[reg] != next_c[reg]:
+                    return EquivalenceResult(
+                        False,
+                        vectors_run,
+                        Mismatch(vectors_run, "register", reg, next_g[reg], next_c[reg]),
+                    )
+            state_g, state_c = next_g, next_c
+    return EquivalenceResult(True, vectors_run)
+
+
+def _init_word(netlist: Netlist, register: str) -> int:
+    word = 0
+    for bit, nid in enumerate(netlist.registers[register]):
+        word |= netlist.node(nid).init << bit
+    return word
+
+
+def check_against_reference(
+    netlist: Netlist,
+    reference_step,
+    n_vectors: int = 300,
+    seed: SeedLike = 0,
+) -> EquivalenceResult:
+    """Compare a netlist against a behavioural reference.
+
+    ``reference_step(inputs, state) -> (outputs, next_state)`` with
+    word-level dicts; outputs compared on the reference's returned keys.
+    """
+    from repro.gatesim.logic import LogicEvaluator
+
+    evaluator = LogicEvaluator(netlist)
+    inputs = evaluator.input_ports()
+    rng = as_generator(seed)
+    state = {reg: _init_word(netlist, reg) for reg in netlist.register_widths()}
+    for vector in range(1, n_vectors + 1):
+        stimulus = {
+            name: int(rng.integers(0, 1 << min(width, 62)))
+            for name, width in inputs.items()
+        }
+        out_hw, next_hw = evaluator.step(stimulus, state)
+        out_ref, next_ref = reference_step(stimulus, state)
+        for name, value in out_ref.items():
+            if out_hw.get(name) != value:
+                return EquivalenceResult(
+                    False,
+                    vector,
+                    Mismatch(vector, "output", name, value, out_hw.get(name, -1)),
+                )
+        for reg, value in next_ref.items():
+            if next_hw[reg] != value:
+                return EquivalenceResult(
+                    False,
+                    vector,
+                    Mismatch(vector, "register", reg, value, next_hw[reg]),
+                )
+        state = next_hw
+    return EquivalenceResult(True, n_vectors)

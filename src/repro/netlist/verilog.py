@@ -1,0 +1,172 @@
+"""Structural Verilog emission.
+
+Writes an elaborated netlist as synthesizable gate-level Verilog-2001, so
+the designs evaluated here can round-trip into standard EDA flows (lint,
+equivalence checking, commercial fault simulators).  One module, one
+``always @(posedge clk)`` block for the flops, continuous assigns for the
+gates.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, TextIO, Union
+
+from repro.errors import NetlistError
+from repro.netlist.cells import GateKind
+from repro.netlist.graph import Netlist, group_ports
+
+_BINARY_OPS = {
+    GateKind.AND: "&",
+    GateKind.OR: "|",
+    GateKind.XOR: "^",
+}
+_NEGATED_OPS = {
+    GateKind.NAND: "&",
+    GateKind.NOR: "|",
+    GateKind.XNOR: "^",
+}
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    ident = "".join(out)
+    if not ident or ident[0].isdigit():
+        ident = "n_" + ident
+    return ident
+
+
+class VerilogEmitter:
+    """Emits one netlist as a structural Verilog module."""
+
+    def __init__(self, netlist: Netlist, module_name: str = None):
+        netlist.validate()
+        self.netlist = netlist
+        self.module_name = _sanitize(module_name or netlist.name)
+        self._net: Dict[int, str] = {}
+        self._assign_names()
+
+    # ------------------------------------------------------------------
+    def _assign_names(self) -> None:
+        nl = self.netlist
+        for name, nid in nl.inputs.items():
+            base, _, idx = name.partition("[")
+            if idx:
+                self._net[nid] = f"{_sanitize(base)}[{idx.rstrip(']')}]"
+            else:
+                self._net[nid] = _sanitize(base)
+        for reg, bits in nl.registers.items():
+            for bit, nid in enumerate(bits):
+                self._net[nid] = (
+                    f"{_sanitize(reg)}[{bit}]" if len(bits) > 1 else _sanitize(reg)
+                )
+        for node in nl.nodes:
+            if node.nid in self._net:
+                continue
+            if node.kind is GateKind.CONST0:
+                self._net[node.nid] = "1'b0"
+            elif node.kind is GateKind.CONST1:
+                self._net[node.nid] = "1'b1"
+            else:
+                self._net[node.nid] = f"n{node.nid}"
+
+    def net(self, nid: int) -> str:
+        return self._net[nid]
+
+    # ------------------------------------------------------------------
+    def emit(self) -> str:
+        nl = self.netlist
+        lines: List[str] = []
+        input_groups = group_ports(nl.inputs.keys())
+        output_groups = group_ports(nl.outputs.keys())
+
+        ports = ["clk", "rst_n"]
+        ports += [_sanitize(base) for base in input_groups]
+        ports += [f"{_sanitize(base)}_o" for base in output_groups]
+        lines.append(f"module {self.module_name} (")
+        lines.append("  " + ",\n  ".join(ports))
+        lines.append(");")
+        lines.append("  input clk;")
+        lines.append("  input rst_n;")
+        for base, bits in input_groups.items():
+            width = len(bits)
+            decl = f"  input {'[%d:0] ' % (width - 1) if width > 1 else ''}{_sanitize(base)};"
+            lines.append(decl)
+        for base, bits in output_groups.items():
+            width = len(bits)
+            decl = f"  output {'[%d:0] ' % (width - 1) if width > 1 else ''}{_sanitize(base)}_o;"
+            lines.append(decl)
+        lines.append("")
+
+        for reg, bits in nl.registers.items():
+            width = len(bits)
+            decl = f"  reg {'[%d:0] ' % (width - 1) if width > 1 else ''}{_sanitize(reg)};"
+            lines.append(decl)
+        for node in nl.nodes:
+            if node.kind.is_combinational:
+                lines.append(f"  wire n{node.nid};")
+        lines.append("")
+
+        for node in nl.nodes:
+            if not node.kind.is_combinational:
+                continue
+            expr = self._gate_expr(node)
+            lines.append(f"  assign n{node.nid} = {expr};")
+        lines.append("")
+
+        for base, bits in output_groups.items():
+            refs = [self.net(nl.outputs[full]) for _idx, full in bits]
+            rhs = refs[0] if len(refs) == 1 else "{" + ", ".join(reversed(refs)) + "}"
+            lines.append(f"  assign {_sanitize(base)}_o = {rhs};")
+        lines.append("")
+
+        lines.append("  always @(posedge clk or negedge rst_n) begin")
+        lines.append("    if (!rst_n) begin")
+        for reg, bits in nl.registers.items():
+            init = 0
+            for bit, nid in enumerate(bits):
+                init |= nl.node(nid).init << bit
+            width = len(bits)
+            lines.append(f"      {_sanitize(reg)} <= {width}'d{init};")
+        lines.append("    end else begin")
+        for reg, bits in nl.registers.items():
+            refs = [self.net(nl.node(nid).fanins[0]) for nid in bits]
+            rhs = refs[0] if len(refs) == 1 else "{" + ", ".join(reversed(refs)) + "}"
+            lines.append(f"      {_sanitize(reg)} <= {rhs};")
+        lines.append("    end")
+        lines.append("  end")
+        lines.append("")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+    def _gate_expr(self, node) -> str:
+        ins = [self.net(f) for f in node.fanins]
+        kind = node.kind
+        if kind in _BINARY_OPS:
+            return f"{ins[0]} {_BINARY_OPS[kind]} {ins[1]}"
+        if kind in _NEGATED_OPS:
+            return f"~({ins[0]} {_NEGATED_OPS[kind]} {ins[1]})"
+        if kind is GateKind.NOT:
+            return f"~{ins[0]}"
+        if kind is GateKind.BUF:
+            return ins[0]
+        if kind is GateKind.MUX:
+            sel, a, b = ins
+            return f"{sel} ? {b} : {a}"
+        raise NetlistError(f"cannot emit Verilog for {kind}")  # pragma: no cover
+
+
+def write_verilog(
+    netlist: Netlist,
+    target: Union[str, pathlib.Path, TextIO],
+    module_name: str = None,
+) -> str:
+    """Emit a netlist to a ``.v`` file (or stream); returns the text."""
+    text = VerilogEmitter(netlist, module_name).emit()
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        pathlib.Path(target).write_text(text)
+    return text

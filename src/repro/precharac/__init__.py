@@ -1,0 +1,49 @@
+"""System pre-characterization (Section 4 of the paper).
+
+Three steps, run once per (design, responding-signal set):
+
+1. **Cone extraction** (Observation 1): responding signals are identified
+   from the system specification; the fanin/fanout cones on the unrolled
+   netlist bound the sample space.
+2. **Switching signatures + bit-flip correlation** (Observation 2): a fast
+   RTL run of synthetic benchmarks records register values; a bit-parallel
+   gate-level re-simulation derives each node's switching signature, from
+   which ``Corr_i(g, rs)`` is computed.
+3. **Error lifetime + contamination number** (Observation 3): bit flips are
+   injected into each cone register during RTL simulation; how long the
+   state diff survives (lifetime) and how many other registers it touches
+   (contamination) classify registers into *memory-type* and
+   *computation-type*.
+
+The result object, :class:`SystemCharacterization`, feeds the importance
+sampler and the engine's analytical path.
+"""
+
+from repro.precharac.signatures import SignatureAnalysis, compute_signatures
+from repro.precharac.lifetime import (
+    LifetimeCampaign,
+    RegisterCharacter,
+    run_lifetime_campaign,
+)
+from repro.precharac.characterization import (
+    CharacterizationConfig,
+    SystemCharacterization,
+    precharacterize,
+)
+from repro.precharac.persistence import (
+    load_characterization,
+    save_characterization,
+)
+
+__all__ = [
+    "SignatureAnalysis",
+    "compute_signatures",
+    "LifetimeCampaign",
+    "RegisterCharacter",
+    "run_lifetime_campaign",
+    "CharacterizationConfig",
+    "SystemCharacterization",
+    "precharacterize",
+    "load_characterization",
+    "save_characterization",
+]

@@ -1,0 +1,148 @@
+"""Step 3 of the pre-characterization: error lifetime and contamination.
+
+For every register bit in the responding signals' cones, bit errors are
+injected during an RTL run of the synthetic benchmark and the architectural
+state diff against the golden run is tracked forward:
+
+* **error lifetime** — cycles until the diff vanishes entirely (the error
+  was masked / overwritten), capped at a horizon for errors that never die;
+* **error contamination number** — how many *other* registers ever diverge
+  from golden while the error lives.
+
+Memory-type registers (long lifetime, ~0 contamination) get the analytical
+evaluation path; computation-type registers stay on Monte Carlo but with a
+small effective ``T`` range (paper, Observation 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.rtl.simulator import RtlSimulator
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class RegisterCharacter:
+    """Characterization of one register bit."""
+
+    register: str
+    bit: int
+    lifetime: float             # mean over trials, cycles (capped at horizon)
+    contamination: float        # mean number of other registers touched
+    ever_masked: bool           # did the error die in at least one trial
+    trials: int = 0
+
+
+@dataclass
+class LifetimeCampaign:
+    """Results of the full injection campaign."""
+
+    horizon: int
+    results: Dict[Tuple[str, int], RegisterCharacter] = field(default_factory=dict)
+
+    def lifetime_of(self, register: str, bit: int) -> float:
+        char = self.results.get((register, bit))
+        return char.lifetime if char else 0.0
+
+    def register_means(self) -> Dict[str, Tuple[float, float]]:
+        """Per-register (mean lifetime, mean contamination) over its bits."""
+        acc: Dict[str, List[Tuple[float, float]]] = {}
+        for (reg, _bit), char in self.results.items():
+            acc.setdefault(reg, []).append((char.lifetime, char.contamination))
+        return {
+            reg: (
+                float(np.mean([v[0] for v in vals])),
+                float(np.mean([v[1] for v in vals])),
+            )
+            for reg, vals in acc.items()
+        }
+
+    def histogram(self, what: str = "lifetime", bins: Sequence[float] = ()) -> Dict[str, List[float]]:
+        """Raw values for plotting Fig. 4-style distributions."""
+        if what == "lifetime":
+            values = [c.lifetime for c in self.results.values()]
+        elif what == "contamination":
+            values = [c.contamination for c in self.results.values()]
+        else:
+            raise CharacterizationError(f"unknown quantity {what!r}")
+        return {"values": values}
+
+
+def run_lifetime_campaign(
+    device,
+    n_cycles: int,
+    target_bits: Sequence[Tuple[str, int]],
+    horizon: int = 150,
+    n_trials: int = 3,
+    seed: SeedLike = 0,
+    checkpoint_interval: int = 25,
+    injection_window: Optional[Tuple[int, int]] = None,
+) -> LifetimeCampaign:
+    """Inject a flip into each (register, bit) and measure its character.
+
+    ``device`` must already have its program loaded.  ``injection_window``
+    bounds the injection cycles (defaults to the middle half of the run, so
+    boot configuration is done and the horizon fits).
+    """
+    if n_cycles <= horizon + 10:
+        raise CharacterizationError("run too short for the requested horizon")
+    sim = RtlSimulator(device)
+    golden = sim.golden_run(n_cycles, checkpoint_interval, collect_traces=False)
+
+    # Golden register state per cycle, for diff tracking.
+    golden_states: List[Dict[str, int]] = []
+    sim.reset()
+    for _ in range(n_cycles):
+        golden_states.append(device.get_registers())
+        sim.step()
+    golden_states.append(device.get_registers())
+
+    rng = as_generator(seed)
+    lo, hi = injection_window or (n_cycles // 4, max(n_cycles // 4 + 1, n_cycles - horizon - 5))
+    if lo >= hi:
+        raise CharacterizationError("empty injection window")
+
+    campaign = LifetimeCampaign(horizon=horizon)
+    for register, bit in target_bits:
+        lifetimes: List[float] = []
+        contaminations: List[float] = []
+        masked_any = False
+        for _trial in range(n_trials):
+            inject_cycle = int(rng.integers(lo, hi))
+            sim.restart_from(golden, inject_cycle)
+            device.flip_register_bit(register, bit)
+            touched: set = set()
+            lifetime = horizon
+            for offset in range(1, horizon + 1):
+                sim.step()
+                cycle = inject_cycle + offset
+                if cycle > n_cycles:
+                    break
+                current = device.get_registers()
+                reference = golden_states[cycle]
+                diff = [
+                    name
+                    for name, value in current.items()
+                    if value != reference[name]
+                ]
+                touched.update(name for name in diff if name != register)
+                if not diff:
+                    lifetime = offset
+                    masked_any = True
+                    break
+            lifetimes.append(float(lifetime))
+            contaminations.append(float(len(touched)))
+        campaign.results[(register, bit)] = RegisterCharacter(
+            register=register,
+            bit=bit,
+            lifetime=float(np.mean(lifetimes)),
+            contamination=float(np.mean(contaminations)),
+            ever_masked=masked_any,
+            trials=n_trials,
+        )
+    return campaign

@@ -1,0 +1,28 @@
+"""Cycle-accurate RTL simulation kernel.
+
+Plays the role Synopsys VCS plays in the paper: behavioural, cycle-based
+simulation of the device under evaluation with
+
+* a **golden run** that dumps checkpoints (all register values plus memory
+  arrays) at fixed intervals (Section 5.1),
+* restart-from-nearest-checkpoint for every fault-attack run (Section 5.2),
+* register **bit-error write-back**, the RTL side of the cross-level
+  hand-off, and
+* per-cycle probing for traces (used by the pre-characterization).
+"""
+
+from repro.rtl.device import Device, RegisterSpec
+from repro.rtl.checkpoint import Checkpoint, CheckpointStore
+from repro.rtl.simulator import GoldenRun, RtlSimulator
+from repro.rtl.vcd import VcdWriter, dump_run
+
+__all__ = [
+    "Device",
+    "RegisterSpec",
+    "Checkpoint",
+    "CheckpointStore",
+    "GoldenRun",
+    "RtlSimulator",
+    "VcdWriter",
+    "dump_run",
+]

@@ -1,0 +1,158 @@
+"""VCD (Value Change Dump) waveform output.
+
+Lets any :class:`~repro.rtl.device.Device` run be inspected in a standard
+waveform viewer (GTKWave etc.) — the debugging workflow every RTL engineer
+expects.  The writer records register values once per cycle and emits only
+changes, per IEEE 1364 VCD conventions.
+
+Usage::
+
+    with VcdWriter("run.vcd", device.register_specs()) as vcd:
+        for cycle in range(n):
+            vcd.sample(cycle, device.get_registers())
+            device.step()
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import Dict, Mapping, Optional, TextIO, Union
+
+from repro.errors import SimulationError
+from repro.rtl.device import RegisterSpec
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier codes: !, ", #, ... !!, !", ..."""
+    if index < 0:
+        raise ValueError("identifier index must be non-negative")
+    digits = []
+    while True:
+        digits.append(_ID_CHARS[index % len(_ID_CHARS)])
+        index = index // len(_ID_CHARS) - 1
+        if index < 0:
+            break
+    return "".join(reversed(digits))
+
+
+class VcdWriter:
+    """Streams register traces into a VCD file."""
+
+    def __init__(
+        self,
+        target: Union[str, pathlib.Path, TextIO],
+        specs: Mapping[str, RegisterSpec],
+        module: str = "device",
+        timescale: str = "1ns",
+        date: str = "",
+    ):
+        if not specs:
+            raise SimulationError("VCD writer needs at least one register")
+        if hasattr(target, "write"):
+            self._handle: TextIO = target  # caller-owned stream
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w")
+            self._owns_handle = True
+        self.specs = dict(specs)
+        self._ids: Dict[str, str] = {
+            name: _identifier(i) for i, name in enumerate(sorted(self.specs))
+        }
+        self._last: Dict[str, Optional[int]] = {name: None for name in self.specs}
+        self._header_done = False
+        self._closed = False
+        self._module = module
+        self._timescale = timescale
+        self._date = date
+
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        handle = self._handle
+        if self._date:
+            handle.write(f"$date {self._date} $end\n")
+        handle.write(f"$timescale {self._timescale} $end\n")
+        handle.write(f"$scope module {self._module} $end\n")
+        for name in sorted(self.specs):
+            spec = self.specs[name]
+            kind = "wire" if spec.width == 1 else "reg"
+            handle.write(
+                f"$var {kind} {spec.width} {self._ids[name]} {name} "
+                f"{'' if spec.width == 1 else f'[{spec.width - 1}:0] '}$end\n"
+            )
+        handle.write("$upscope $end\n")
+        handle.write("$enddefinitions $end\n")
+        self._header_done = True
+
+    def _emit(self, name: str, value: int) -> None:
+        spec = self.specs[name]
+        code = self._ids[name]
+        if spec.width == 1:
+            self._handle.write(f"{value & 1}{code}\n")
+        else:
+            bits = format(value & spec.mask, f"0{spec.width}b")
+            self._handle.write(f"b{bits} {code}\n")
+
+    # ------------------------------------------------------------------
+    def sample(self, cycle: int, registers: Mapping[str, int]) -> None:
+        """Record one cycle; only changed values are written."""
+        if self._closed:
+            raise SimulationError("VCD writer is closed")
+        if not self._header_done:
+            self._write_header()
+        changes = [
+            (name, int(registers[name]))
+            for name in self.specs
+            if name in registers and self._last[name] != int(registers[name])
+        ]
+        if not changes and self._last[next(iter(self.specs))] is not None:
+            return
+        self._handle.write(f"#{cycle}\n")
+        if all(v is None for v in self._last.values()):
+            self._handle.write("$dumpvars\n")
+            for name in sorted(self.specs):
+                value = int(registers.get(name, 0))
+                self._emit(name, value)
+                self._last[name] = value
+            self._handle.write("$end\n")
+            return
+        for name, value in changes:
+            self._emit(name, value)
+            self._last[name] = value
+
+    def close(self) -> None:
+        if not self._closed:
+            if not self._header_done:
+                self._write_header()
+            if self._owns_handle:
+                self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "VcdWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dump_run(
+    device,
+    n_cycles: int,
+    target: Union[str, pathlib.Path, TextIO],
+    registers: Optional[list] = None,
+) -> None:
+    """Convenience: reset the device and dump a whole run to VCD."""
+    specs = device.register_specs()
+    if registers is not None:
+        missing = set(registers) - set(specs)
+        if missing:
+            raise SimulationError(f"unknown registers: {sorted(missing)}")
+        specs = {name: specs[name] for name in registers}
+    device.reset()
+    with VcdWriter(target, specs) as vcd:
+        for cycle in range(n_cycles):
+            vcd.sample(cycle, device.get_registers())
+            device.step()
+        vcd.sample(n_cycles, device.get_registers())

@@ -1,0 +1,31 @@
+"""Sampler protocol."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.attack.spec import AttackSample, AttackSpec
+
+
+class Sampler(abc.ABC):
+    """Draws attack parameters ``(t, p)`` and reports importance weights.
+
+    Implementations must guarantee unbiasedness: for any event ``A`` inside
+    the *effective* support (where the attack can possibly succeed),
+    ``E_g[w · 1_A] = Pr_f[A]``.  Regions where ``g = 0`` but ``f > 0`` are
+    only allowed if the success indicator is provably zero there — the
+    cone argument of Observation 1.
+    """
+
+    def __init__(self, spec: AttackSpec):
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> AttackSample:
+        """One draw, with ``weight = f(t,p) / g(t,p)``."""

@@ -1,0 +1,230 @@
+"""The paper's two-step importance sampling (Section 4).
+
+The sampling distribution decomposes as ``g_{T,P} = g_T · g_{P|T}`` with
+
+    ``ω_i   = Σ_{g ∈ Ω_i} (1 + α · Corr_i(g, rs) · δ(L(g) >= β·i))``
+    ``g_T(i) = ω_i / Σ_j ω_j``
+    ``g_{P|T}(g | i) ∝ 1 + α · Corr_i(g, rs) · δ(L(g) >= β·i)``
+
+with the spot radius kept uniform.  ``α`` rewards nodes whose switching
+correlates with the responding signals; the lifetime gate ``δ(L(g) >= β·i)``
+suppresses nodes whose errors cannot survive the ``i`` cycles to the target
+cycle.  Both knobs are exposed for the ablation study.
+
+With ``hard_lifetime_gate`` (the default, following the paper's "for the
+rest, we know the attack will fail"), nodes failing the lifetime test are
+removed from the support altogether instead of merely losing the ``α``
+bonus: an error that dies before the target cycle cannot flip the outcome,
+so assigning it zero sampling mass keeps the estimator unbiased while
+concentrating samples dramatically.
+
+When a :class:`~repro.netlist.placement.Placement` is provided, the
+correlation field is additionally *spatially smeared*: a node's effective
+``Corr_i`` is the maximum over its physical neighbourhood within the
+technique's typical spot radius.  A radiation spot centred on a neutral
+cell still flips the critical cell next door, so the sampling mass must
+follow neighbourhoods rather than individual cells; the importance weights
+stay exact either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attack.spec import AttackSample, AttackSpec
+from repro.errors import SamplingError
+from repro.precharac.characterization import SystemCharacterization
+from repro.sampling.base import Sampler
+
+
+def _extend_persistent(
+    correlations: Dict[Tuple[int, int], float],
+    characterization,
+    frames: List[int],
+) -> Dict[Tuple[int, int], float]:
+    """Persistence extension of the correlation field.
+
+    A node whose error lifetime spans the whole horizon holds its fault
+    indefinitely (a memory-type element), so injecting at *any* timing
+    distance ``t >= 1`` is equivalent: correlation evidence observed at one
+    frame applies at every frame the node belongs to.  This is Observation
+    3 applied to the correlation field rather than to the estimator.
+    """
+    threshold = (
+        characterization.config.memory_lifetime_frac
+        * characterization.config.lifetime_horizon
+    )
+    best: Dict[int, float] = {}
+    for (nid, _frame), value in correlations.items():
+        if characterization.L(nid) >= threshold and value > best.get(nid, 0.0):
+            best[nid] = value
+    extended = dict(correlations)
+    for nid, value in best.items():
+        frames_of = characterization.cones.depths_of(nid)
+        for frame in frames:
+            if frame >= 1 and frame in frames_of:
+                key = (nid, frame)
+                if extended.get(key, 0.0) < value:
+                    extended[key] = value
+    return extended
+
+
+def _smear_correlations(
+    correlations: Dict[Tuple[int, int], float],
+    placement,
+    radius_um: float,
+) -> Dict[Tuple[int, int], float]:
+    """Spread each (node, frame) correlation to the node's neighbourhood.
+
+    Result: ``corr'[(g, i)] = max over h within radius of corr[(h, i)]``.
+    Only nodes that carry correlation are expanded, so this is cheap even
+    on large netlists.
+    """
+    smeared: Dict[Tuple[int, int], float] = dict(correlations)
+    neighbour_cache: Dict[int, list] = {}
+    for (nid, frame), value in correlations.items():
+        if value <= 0.0:
+            continue
+        if nid not in neighbour_cache:
+            neighbour_cache[nid] = placement.within_radius(nid, radius_um)
+        for other in neighbour_cache[nid]:
+            key = (other, frame)
+            if smeared.get(key, 0.0) < value:
+                smeared[key] = value
+    return smeared
+
+
+@dataclass(frozen=True)
+class _FrameTable:
+    nodes: np.ndarray       # candidate centre gates in this frame
+    terms: np.ndarray       # unnormalized per-node mass
+    probs: np.ndarray       # terms / omega
+    omega: float
+
+
+class ImportanceSampler(Sampler):
+    """Pre-characterization-driven importance sampling."""
+
+    def __init__(
+        self,
+        spec: AttackSpec,
+        characterization: SystemCharacterization,
+        alpha: float = 50.0,
+        beta: float = 1.0,
+        hard_lifetime_gate: bool = True,
+        placement=None,
+        smear_radius_um: Optional[float] = None,
+        persistence_extension: bool = True,
+        defensive_epsilon: float = 0.15,
+    ):
+        super().__init__(spec)
+        if alpha < 0 or beta < 0:
+            raise SamplingError("alpha and beta must be non-negative")
+        if not 0.0 <= defensive_epsilon < 1.0:
+            raise SamplingError("defensive_epsilon must lie in [0, 1)")
+        self.defensive_epsilon = defensive_epsilon
+        self.characterization = characterization
+        self.alpha = alpha
+        self.beta = beta
+        self.hard_lifetime_gate = hard_lifetime_gate
+        self._corr = characterization.signatures.correlations
+        if persistence_extension:
+            self._corr = _extend_persistent(
+                self._corr,
+                characterization,
+                frames=list(spec.temporal.support()),
+            )
+        if placement is not None:
+            if smear_radius_um is None:
+                # The direct-upset reach of a typical spot, not the full
+                # radius: mass should follow cells the strike can flip.
+                smear_radius_um = 0.5 * float(np.mean(spec.radius.radii_um))
+            self._corr = _smear_correlations(
+                self._corr, placement, smear_radius_um
+            )
+        universe = set(spec.spatial.universe)
+
+        self._frames: List[int] = []
+        self._tables: Dict[int, _FrameTable] = {}
+        omegas: List[float] = []
+        for t in spec.temporal.support():
+            nodes = sorted(characterization.omega_nodes(t) & universe)
+            if hard_lifetime_gate and t > 0:
+                nodes = [
+                    nid
+                    for nid in nodes
+                    if characterization.L(nid) >= self.beta * t
+                ]
+            if not nodes:
+                continue
+            terms = np.array(
+                [self._term(nid, t) for nid in nodes], dtype=float
+            )
+            omega = float(terms.sum())
+            if omega <= 0.0:
+                continue
+            # Defensive mixture: blend the correlation-driven mass with the
+            # uniform-over-cone mass so any success the pre-characterization
+            # failed to spotlight still carries a bounded weight (classic
+            # defensive importance sampling; keeps the estimator's tails in
+            # check without biasing it).
+            eps = self.defensive_epsilon
+            probs = (1.0 - eps) * (terms / omega) + eps / len(nodes)
+            self._frames.append(t)
+            self._tables[t] = _FrameTable(
+                nodes=np.asarray(nodes, dtype=np.int64),
+                terms=terms,
+                probs=probs,
+                omega=omega,
+            )
+            omegas.append(omega)
+        if not self._frames:
+            raise SamplingError("importance sampler has empty support")
+        self._omega_total = float(sum(omegas))
+        eps = self.defensive_epsilon
+        raw = np.array(
+            [self._tables[t].omega / self._omega_total for t in self._frames]
+        )
+        self._frame_probs = (1.0 - eps) * raw + eps / len(self._frames)
+
+    # ------------------------------------------------------------------
+    def _term(self, nid: int, frame: int) -> float:
+        """``1 + α · Corr_i(g) · δ(L(g) >= β·i)``."""
+        lifetime_ok = self.characterization.L(nid) >= self.beta * frame
+        corr = self._corr.get((nid, frame), 0.0)
+        return 1.0 + (self.alpha * corr if lifetime_ok else 0.0)
+
+    def g_T(self, t: int) -> float:  # noqa: N802 - paper notation
+        """The marginal sampling pmf over timing distances (Fig. 8(a))."""
+        if t not in self._tables:
+            return 0.0
+        return float(self._frame_probs[self._frames.index(t)])
+
+    def g_P_given_T(self, centre: int, t: int) -> float:  # noqa: N802
+        table = self._tables.get(t)
+        if table is None:
+            return 0.0
+        hits = np.nonzero(table.nodes == centre)[0]
+        return float(table.probs[hits[0]]) if hits.size else 0.0
+
+    def support_size(self, t: int) -> int:
+        table = self._tables.get(t)
+        return len(table.nodes) if table else 0
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> AttackSample:
+        idx = int(rng.choice(len(self._frames), p=self._frame_probs))
+        t = self._frames[idx]
+        table = self._tables[t]
+        node_idx = int(rng.choice(len(table.nodes), p=table.probs))
+        centre = int(table.nodes[node_idx])
+        radius = self.spec.radius.sample(rng)
+
+        g_density = float(self._frame_probs[idx]) * float(table.probs[node_idx])
+        f_density = self.spec.temporal.pmf(t) * self.spec.spatial.pmf(centre)
+        return AttackSample(
+            t=t, centre=centre, radius_um=radius, weight=f_density / g_density
+        )

@@ -1,0 +1,15 @@
+"""The random-sampling baseline: draw straight from ``f_{T,P}``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.spec import AttackSample, AttackSpec
+from repro.sampling.base import Sampler
+
+
+class RandomSampler(Sampler):
+    """Nominal Monte Carlo: every weight is exactly 1."""
+
+    def sample(self, rng: np.random.Generator) -> AttackSample:
+        return self.spec.sample_nominal(rng)

@@ -1,0 +1,29 @@
+"""Attack-scenario extensions beyond the MPU case study.
+
+The paper's attack model covers two target categories (Section 3.1):
+bypassing a security mechanism (the MPU case study, ``repro.soc``) and
+**causing leakage of important system information** — e.g. cryptographic
+keys, where ``Te`` is the injection time and ``Tt`` the time the faulty
+output is observed. This package implements the second category on a toy
+SPN cipher block: gate-level fault injection during encryption plus the
+classical differential fault analysis (DFA) that turns faulty ciphertexts
+into key material.
+"""
+
+from repro.scenarios.cipher import (
+    SBOX,
+    SpnCipher,
+    build_cipher_netlist,
+    encrypt_reference,
+)
+from repro.scenarios.dfa import DfaCampaign, DfaReport, last_round_candidates
+
+__all__ = [
+    "SBOX",
+    "SpnCipher",
+    "build_cipher_netlist",
+    "encrypt_reference",
+    "DfaCampaign",
+    "DfaReport",
+    "last_round_candidates",
+]

@@ -1,0 +1,193 @@
+"""A toy SPN block cipher, behavioural and gate-level.
+
+16-bit block, four rounds of (round-key XOR, 4-bit S-box layer, bit
+permutation) plus a final whitening key — a miniature of the PRESENT
+family, small enough to elaborate and fault-simulate in milliseconds yet
+structured enough that the classical last-round DFA applies verbatim.
+
+The hardware executes one round per cycle:
+
+* ``start`` pulses with a plaintext on ``pt``; the state register loads;
+* four round cycles follow (round counter in ``round``);
+* ``done`` rises with the ciphertext on ``ct``.
+
+Round keys enter through a load port (``rk_we``/``rk_index``/``rk_data``)
+— like the MPU's configuration, they are memory-type state, and the paper's
+machinery treats them accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.hdl import Module, Wire
+from repro.netlist.graph import Netlist
+
+# PRESENT's S-box — the classic 4-bit permutation.
+SBOX: Tuple[int, ...] = (
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+)
+SBOX_INV: Tuple[int, ...] = tuple(SBOX.index(i) for i in range(16))
+
+# Bit permutation: bit i of the state moves to position PERM[i].
+PERM: Tuple[int, ...] = tuple((4 * i) % 15 if i != 15 else 15 for i in range(16))
+
+N_ROUNDS = 4
+N_KEYS = N_ROUNDS + 1  # four round keys + final whitening key
+
+
+def sbox_layer(state: int) -> int:
+    out = 0
+    for nibble in range(4):
+        out |= SBOX[(state >> (4 * nibble)) & 0xF] << (4 * nibble)
+    return out
+
+
+def inv_sbox_layer(state: int) -> int:
+    out = 0
+    for nibble in range(4):
+        out |= SBOX_INV[(state >> (4 * nibble)) & 0xF] << (4 * nibble)
+    return out
+
+
+def permute(state: int) -> int:
+    out = 0
+    for bit in range(16):
+        out |= ((state >> bit) & 1) << PERM[bit]
+    return out
+
+
+def encrypt_reference(plaintext: int, round_keys: Sequence[int]) -> int:
+    """Pure-software reference encryption."""
+    if len(round_keys) != N_KEYS:
+        raise SimulationError(f"need {N_KEYS} round keys")
+    state = plaintext & 0xFFFF
+    for r in range(N_ROUNDS):
+        state ^= round_keys[r] & 0xFFFF
+        state = sbox_layer(state)
+        if r < N_ROUNDS - 1:
+            state = permute(state)
+    return state ^ (round_keys[N_ROUNDS] & 0xFFFF)
+
+
+class SpnCipher:
+    """Behavioural model of the cipher block (cycle-accurate)."""
+
+    IDLE, RUN, DONE = 0, 1, 2
+
+    def __init__(self):
+        self.regs: Dict[str, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.regs = {"state": 0, "round": 0, "phase": self.IDLE}
+        for i in range(N_KEYS):
+            self.regs[f"rk{i}"] = 0
+
+    def load_keys(self, round_keys: Sequence[int]) -> None:
+        for i, key in enumerate(round_keys):
+            self.regs[f"rk{i}"] = key & 0xFFFF
+
+    def step(self, start: int = 0, pt: int = 0) -> None:
+        regs = self.regs
+        phase = regs["phase"]
+        if start:
+            regs["state"] = pt & 0xFFFF
+            regs["round"] = 0
+            regs["phase"] = self.RUN
+            return
+        if phase == self.RUN:
+            # Mirrors the netlist exactly, including fault-reachable
+            # out-of-range round counters: rounds > last use an all-zero
+            # key (the one-hot select matches nothing) and keep iterating
+            # with the 3-bit counter wrapping until the last-round value
+            # is hit.
+            r = regs["round"] & 0x7
+            rk = regs[f"rk{r}"] if r < N_ROUNDS else 0
+            state = sbox_layer(regs["state"] ^ rk)
+            last = r == N_ROUNDS - 1
+            if last:
+                regs["state"] = state ^ regs[f"rk{N_ROUNDS}"]
+                regs["phase"] = self.DONE
+            else:
+                regs["state"] = permute(state)
+                regs["round"] = (r + 1) & 0x7
+
+    @property
+    def done(self) -> bool:
+        return self.regs["phase"] == self.DONE
+
+    @property
+    def ciphertext(self) -> int:
+        return self.regs["state"]
+
+    def encrypt(self, plaintext: int) -> int:
+        self.step(start=1, pt=plaintext)
+        while not self.done:
+            self.step()
+        return self.ciphertext
+
+
+def _sbox_hw_tree(m: Module, nibble: Wire) -> Wire:
+    """4-bit S-box as a binary mux tree (correct pairing)."""
+    level = [m.const(SBOX[i], 4) for i in range(16)]
+    for bit in range(4):
+        sel = nibble[bit]
+        level = [
+            sel.mux(level[2 * i + 1], level[2 * i])
+            for i in range(len(level) // 2)
+        ]
+    return level[0]
+
+
+def build_cipher_netlist() -> Netlist:
+    """Elaborate the cipher to gates (bit-exact with :class:`SpnCipher`)."""
+    m = Module("spn_cipher")
+    start = m.input("start", 1)
+    pt = m.input("pt", 16)
+    rk_we = m.input("rk_we", 1)
+    rk_index = m.input("rk_index", 3)
+    rk_data = m.input("rk_data", 16)
+
+    state = m.register("state", 16)
+    round_ctr = m.register("round", 3)
+    phase = m.register("phase", 2)
+    rks = [m.register(f"rk{i}", 16) for i in range(N_KEYS)]
+
+    # round function on the current state
+    rk_selectors = [round_ctr.eq(i) for i in range(N_ROUNDS)]
+    current_rk = m.one_hot_select(rk_selectors, [rks[i] for i in range(N_ROUNDS)])
+    keyed = state ^ current_rk
+    nibbles = [_sbox_hw_tree(m, keyed[4 * i : 4 * i + 4]) for i in range(4)]
+    subbed = nibbles[0].cat(nibbles[1], nibbles[2], nibbles[3])
+    permuted_bits = [None] * 16
+    for bit in range(16):
+        permuted_bits[PERM[bit]] = subbed[bit]
+    permuted = permuted_bits[0]
+    permuted = permuted.cat(*permuted_bits[1:])
+    last_round = round_ctr.eq(N_ROUNDS - 1)
+    round_out = last_round.mux(subbed ^ rks[N_ROUNDS], permuted)
+
+    running = phase.eq(SpnCipher.RUN)
+    next_state = start.mux(pt, running.mux(round_out, state))
+    m.connect(state, next_state)
+    next_round = start.mux(
+        m.const(0, 3), (running & ~last_round).mux(round_ctr + 1, round_ctr)
+    )
+    m.connect(round_ctr, next_round)
+    done_now = running & last_round
+    next_phase = start.mux(
+        m.const(SpnCipher.RUN, 2),
+        done_now.mux(m.const(SpnCipher.DONE, 2), phase),
+    )
+    m.connect(phase, next_phase)
+
+    for i in range(N_KEYS):
+        we = rk_we & rk_index.eq(i)
+        m.connect(rks[i], we.mux(rk_data, rks[i]))
+
+    m.output("ct", state)
+    m.output("done", phase.eq(SpnCipher.DONE))
+    return m.finalize()

@@ -1,0 +1,267 @@
+"""Differential fault analysis campaign on the SPN cipher.
+
+Implements the paper's second attack category end-to-end with the same
+cross-level machinery as the MPU study: the encryption runs behaviourally,
+the sampled injection cycle runs at gate level
+(:class:`~repro.gatesim.transient.TransientSimulator`), the latched bit
+errors are written back by register name, and the run completes to the
+observation time ``Tt`` (the ``done`` cycle), yielding a faulty
+ciphertext.
+
+The success indicator follows classical last-round DFA: a (C, C') pair is
+*useful* when some ciphertext nibble's whitening-key candidates — the keys
+``k`` for which ``S^-1(C_i ^ k) ^ S^-1(C'_i ^ k)`` is a plausible fault
+difference — shrink below half the keyspace while still containing the
+true key. ``SSF_dfa = Pr[useful]`` under the holistic attack distribution,
+and the campaign also measures the classical DFA quantity: how many
+injections until the whitening key is fully recovered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.attack.techniques import RadiationTechnique
+from repro.errors import EvaluationError
+from repro.gatesim.timing import TimingModel, for_netlist
+from repro.gatesim.transient import TransientSimulator
+from repro.netlist.placement import GridPlacer
+from repro.scenarios.cipher import (
+    N_KEYS,
+    N_ROUNDS,
+    SBOX_INV,
+    SpnCipher,
+    build_cipher_netlist,
+    encrypt_reference,
+)
+from repro.utils.rng import SeedLike, as_generator
+
+_IDLE = {"start": 0, "pt": 0, "rk_we": 0, "rk_index": 0, "rk_data": 0}
+
+
+def last_round_candidates(
+    ciphertext: int,
+    faulty: int,
+    max_fault_weight: int = 1,
+) -> List[Set[int]]:
+    """Whitening-key candidates per nibble from one (C, C') pair.
+
+    An unaffected nibble constrains nothing (full 16-candidate set); an
+    affected nibble keeps the keys whose implied fault difference has
+    Hamming weight ``<= max_fault_weight``.
+    """
+    candidates: List[Set[int]] = []
+    for i in range(4):
+        c = (ciphertext >> (4 * i)) & 0xF
+        f = (faulty >> (4 * i)) & 0xF
+        if c == f:
+            candidates.append(set(range(16)))
+            continue
+        keep = {
+            k
+            for k in range(16)
+            if bin(SBOX_INV[c ^ k] ^ SBOX_INV[f ^ k]).count("1")
+            <= max_fault_weight
+        }
+        candidates.append(keep)
+    return candidates
+
+
+@dataclass
+class DfaSampleRecord:
+    """One fault injection against one encryption."""
+
+    plaintext: int
+    inject_round: int
+    centre: int
+    radius_um: float
+    masked: bool
+    useful: bool
+    ciphertext: int = 0
+    faulty: int = 0
+
+
+@dataclass
+class DfaReport:
+    """Campaign results (the scenario-2 analogue of a CampaignResult)."""
+
+    records: List[DfaSampleRecord] = field(default_factory=list)
+    key_recovered: bool = False
+    injections_to_recovery: Optional[int] = None
+    recovered_key: Optional[int] = None
+    true_whitening_key: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.records)
+
+    @property
+    def ssf(self) -> float:
+        """Probability one injection yields a DFA-useful pair."""
+        if not self.records:
+            return 0.0
+        return sum(r.useful for r in self.records) / len(self.records)
+
+    @property
+    def masked_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.masked for r in self.records) / len(self.records)
+
+    def usefulness_by_round(self) -> Dict[int, float]:
+        """The classical DFA curve: P[useful | injection round]."""
+        by_round: Dict[int, List[int]] = {}
+        for record in self.records:
+            by_round.setdefault(record.inject_round, []).append(record.useful)
+        return {
+            r: sum(flags) / len(flags) for r, flags in sorted(by_round.items())
+        }
+
+
+class DfaCampaign:
+    """Cross-level fault campaign against the SPN cipher block."""
+
+    def __init__(
+        self,
+        round_keys: Sequence[int],
+        radii_um: Sequence[float] = (2.0, 3.0, 4.0),
+        placement_seed: int = 3,
+        timing: Optional[TimingModel] = None,
+        max_fault_weight: int = 1,
+        candidate_threshold: int = 4,
+    ):
+        if len(round_keys) != N_KEYS:
+            raise EvaluationError(f"need {N_KEYS} round keys")
+        self.round_keys = [k & 0xFFFF for k in round_keys]
+        self.netlist = build_cipher_netlist()
+        self.placement = GridPlacer(
+            pitch_um=2.0, jitter=0.2, seed=placement_seed
+        ).place(self.netlist)
+        self.timing = timing or for_netlist(self.netlist)
+        self.simulator = TransientSimulator(self.netlist, self.timing)
+        self.technique = RadiationTechnique(timing=self.timing)
+        self.radii_um = tuple(radii_um)
+        self.max_fault_weight = max_fault_weight
+        # A nibble is "useful" when its candidate set shrinks to at most
+        # this many keys.  True last-round-input faults give the S-box
+        # differential count (2-4 for PRESENT's S-box); deeply diffused
+        # faults rarely pass, so this doubles as the attacker's
+        # consistency filter.
+        self.candidate_threshold = candidate_threshold
+        # attackable cells: everything physical on the die
+        self.universe = [
+            node.nid
+            for node in self.netlist.nodes
+            if node.kind.value not in ("input", "const0", "const1")
+        ]
+
+    # ------------------------------------------------------------------
+    def _fresh_cipher(self) -> SpnCipher:
+        cipher = SpnCipher()
+        cipher.load_keys(self.round_keys)
+        return cipher
+
+    def run_one(
+        self,
+        plaintext: int,
+        inject_round: int,
+        centre: int,
+        radius_um: float,
+        rng: np.random.Generator,
+    ) -> Tuple[bool, int]:
+        """One faulted encryption; returns (masked, faulty ciphertext)."""
+        if not 0 <= inject_round < N_ROUNDS:
+            raise EvaluationError("inject_round out of range")
+        cipher = self._fresh_cipher()
+        cipher.step(start=1, pt=plaintext)
+        for _ in range(inject_round):
+            cipher.step()
+        # Gate-level simulation of the injection cycle: the behavioural
+        # registers are the netlist registers (same names, same widths).
+        injection = self.technique.build_injection(
+            self.placement, centre, radius_um, rng
+        )
+        result = self.simulator.simulate_cycle(_IDLE, dict(cipher.regs), injection)
+        cipher.step()
+        for register, bit in result.flipped_bits:
+            cipher.regs[register] ^= 1 << bit
+        # Control-state corruption (phase/round flips) can stall the block;
+        # a real attacker then sees no ciphertext at all.  Bounded drain.
+        for _ in range(4 * N_ROUNDS):
+            if cipher.done:
+                break
+            cipher.step()
+        return (not result.flipped_bits, cipher.ciphertext)
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        n_samples: int,
+        seed: SeedLike = 0,
+        inject_round: Optional[int] = None,
+    ) -> DfaReport:
+        """Run a campaign; accumulates DFA candidates toward key recovery."""
+        if n_samples <= 0:
+            raise EvaluationError("n_samples must be positive")
+        rng = as_generator(seed)
+        report = DfaReport(true_whitening_key=self.round_keys[N_ROUNDS])
+        running: List[Set[int]] = [set(range(16)) for _ in range(4)]
+        start = time.perf_counter()
+        for index in range(n_samples):
+            pt = int(rng.integers(0, 1 << 16))
+            r = (
+                inject_round
+                if inject_round is not None
+                else int(rng.integers(0, N_ROUNDS))
+            )
+            centre = int(self.universe[rng.integers(0, len(self.universe))])
+            radius = float(self.radii_um[rng.integers(0, len(self.radii_um))])
+            golden = encrypt_reference(pt, self.round_keys)
+            masked, faulty = self.run_one(pt, r, centre, radius, rng)
+
+            useful = False
+            if not masked and faulty != golden:
+                candidates = last_round_candidates(
+                    golden, faulty, self.max_fault_weight
+                )
+                true_key = self.round_keys[N_ROUNDS]
+                for nibble, cands in enumerate(candidates):
+                    true_nibble = (true_key >> (4 * nibble)) & 0xF
+                    if (
+                        0 < len(cands) <= self.candidate_threshold
+                        and true_nibble in cands
+                    ):
+                        useful = True
+                if useful:
+                    for nibble, cands in enumerate(candidates):
+                        if cands and ((true_key >> (4 * nibble)) & 0xF) in cands:
+                            running[nibble] &= cands
+                    if (
+                        not report.key_recovered
+                        and all(len(c) == 1 for c in running)
+                    ):
+                        report.key_recovered = True
+                        report.injections_to_recovery = index + 1
+                        report.recovered_key = sum(
+                            next(iter(c)) << (4 * i)
+                            for i, c in enumerate(running)
+                        )
+            report.records.append(
+                DfaSampleRecord(
+                    plaintext=pt,
+                    inject_round=r,
+                    centre=centre,
+                    radius_um=radius,
+                    masked=masked,
+                    useful=useful,
+                    ciphertext=golden,
+                    faulty=faulty,
+                )
+            )
+        report.wall_time_s = time.perf_counter() - start
+        return report

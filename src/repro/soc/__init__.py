@@ -1,0 +1,67 @@
+"""The device under evaluation: a small microcontroller with an MPU.
+
+This package is the substitute for the commercial processor the paper
+evaluates (see DESIGN.md, substitution table).  It contains:
+
+* :mod:`repro.soc.isa` / :mod:`repro.soc.assembler` — a 32-bit RISC ISA and
+  a two-pass assembler for the attacker workloads.
+* :mod:`repro.soc.core` — the behavioural processor core (privilege modes,
+  traps, CSRs, 4-cycle bus transactions).
+* :mod:`repro.soc.mpu` — the memory protection unit, in **two bit-exact
+  forms**: a behavioural model for fast RTL simulation and an elaborated
+  gate-level netlist for the fault-injection cycle.  Their shared register
+  manifest is the cross-level contract.
+* :mod:`repro.soc.bus` / :mod:`repro.soc.memory` / :mod:`repro.soc.dma` —
+  the interconnect, RAM (with an MPU-protected window), and a DMA
+  peripheral whose transfers are also MPU-checked.
+* :mod:`repro.soc.soc` — the top-level :class:`Soc`
+  (:class:`repro.rtl.Device` implementation).
+* :mod:`repro.soc.programs` — benchmark programs (illegal memory write /
+  read, DMA exfiltration) and synthetic pre-characterization workloads.
+"""
+
+from repro.soc.isa import Instruction, Opcode, decode, encode
+from repro.soc.assembler import assemble
+from repro.soc.memmap import MemoryMap, DEFAULT_MEMORY_MAP
+from repro.soc.mpu import (
+    BASELINE_VARIANT,
+    MpuBehavioral,
+    MpuConfigView,
+    MpuSemantics,
+    MpuVariant,
+    build_mpu_netlist,
+    mpu_decision,
+)
+from repro.soc.soc import Soc
+from repro.soc.programs import (
+    BenchmarkProgram,
+    illegal_write_benchmark,
+    illegal_read_benchmark,
+    dma_exfiltration_benchmark,
+    reconfig_workload,
+    synthetic_workload,
+)
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "decode",
+    "encode",
+    "assemble",
+    "MemoryMap",
+    "DEFAULT_MEMORY_MAP",
+    "BASELINE_VARIANT",
+    "MpuBehavioral",
+    "MpuConfigView",
+    "MpuSemantics",
+    "MpuVariant",
+    "build_mpu_netlist",
+    "mpu_decision",
+    "Soc",
+    "BenchmarkProgram",
+    "illegal_write_benchmark",
+    "illegal_read_benchmark",
+    "dma_exfiltration_benchmark",
+    "reconfig_workload",
+    "synthetic_workload",
+]

@@ -1,0 +1,206 @@
+"""Two-pass assembler for the SoC's ISA.
+
+Syntax, one statement per line::
+
+    ; comment
+    label:
+        li   r1, 0x1050        ; immediates: decimal, hex, or =label
+        sw   r2, r1, 0         ; sw rs2, rs1, offset
+        lw   r3, r1, 0         ; lw rd, rs1, offset
+        beq  r3, r0, done      ; branch targets: labels or numbers
+        csrw 0x10, r1          ; csrw csr, rs1
+        csrr r4, 0x04          ; csrr rd, csr
+        .org 0x20              ; move the location counter
+        .word 0xdeadbeef       ; literal data word
+    done:
+        halt
+
+Register operands are ``r0``..``r7``.  ``=label`` uses a label's address as
+an immediate (e.g. ``li r1, =buffer``).  The assembler produces a dense word
+image starting at address 0 (gaps filled with zeros).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.soc.isa import Instruction, Opcode, encode, uses_imm
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_REG_RE = re.compile(r"^r([0-7])$")
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling one source file."""
+
+    words: List[int]
+    labels: Dict[str, int]
+    source: str = ""
+
+    def label(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AssemblyError(f"unknown label {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+# operand signature per mnemonic: sequence of 'd' (rd), '1' (rs1),
+# '2' (rs2), 'i' (imm).  The order matches the assembly syntax.
+_SIGNATURES: Dict[str, Tuple[Opcode, str]] = {
+    "nop": (Opcode.NOP, ""),
+    "halt": (Opcode.HALT, ""),
+    "li": (Opcode.LI, "di"),
+    "lui": (Opcode.LUI, "di"),
+    "add": (Opcode.ADD, "d12"),
+    "sub": (Opcode.SUB, "d12"),
+    "and": (Opcode.AND, "d12"),
+    "or": (Opcode.OR, "d12"),
+    "xor": (Opcode.XOR, "d12"),
+    "shl": (Opcode.SHL, "d12"),
+    "shr": (Opcode.SHR, "d12"),
+    "addi": (Opcode.ADDI, "d1i"),
+    "lw": (Opcode.LW, "d1i"),
+    "sw": (Opcode.SW, "21i"),
+    "beq": (Opcode.BEQ, "12i"),
+    "bne": (Opcode.BNE, "12i"),
+    "jmp": (Opcode.JMP, "i"),
+    "jal": (Opcode.JAL, "di"),
+    "csrr": (Opcode.CSRR, "di"),
+    "csrw": (Opcode.CSRW, "i1"),
+    "svc": (Opcode.SVC, ""),
+    "eret": (Opcode.ERET, ""),
+    "mov": (Opcode.ADD, "d1"),  # pseudo: mov rd, rs1  ->  add rd, rs1, r0
+}
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _parse_value(token: str, labels: Optional[Dict[str, int]], lineno: int) -> int:
+    token = token.strip()
+    if token.startswith("="):
+        token = token[1:]
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if labels is None:
+        return 0  # first pass: size only
+    if token in labels:
+        return labels[token]
+    raise AssemblyError(f"line {lineno}: unknown symbol {token!r}")
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match:
+        raise AssemblyError(f"line {lineno}: expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(source: str) -> AssembledProgram:
+    """Assemble a source string into a word image.
+
+    Two passes: the first resolves label addresses (tracking ``.org``), the
+    second emits machine words.
+    """
+    labels: Dict[str, int] = {}
+    _walk(source, labels, emit=None)  # pass 1: label addresses
+    words: Dict[int, int] = {}
+    _walk(source, labels, emit=words)  # pass 2: code
+    if not words:
+        raise AssemblyError("program is empty")
+    size = max(words) + 1
+    image = [0] * size
+    for addr, word in words.items():
+        image[addr] = word
+    return AssembledProgram(words=image, labels=labels, source=source)
+
+
+def _walk(
+    source: str,
+    labels: Dict[str, int],
+    emit: Optional[Dict[int, int]],
+) -> None:
+    resolving = emit is not None
+    pc = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            name = match.group(1)
+            if not resolving:
+                if name in labels:
+                    raise AssemblyError(f"line {lineno}: duplicate label {name!r}")
+                labels[name] = pc
+            line = match.group(2).strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic == ".org":
+            pc = _parse_value(rest, labels if resolving else None, lineno)
+            if pc < 0:
+                raise AssemblyError(f"line {lineno}: negative .org")
+            continue
+        if mnemonic == ".word":
+            for token in _split_operands(rest):
+                if resolving:
+                    value = _parse_value(token, labels, lineno) & 0xFFFFFFFF
+                    if emit is not None and pc in emit:
+                        raise AssemblyError(f"line {lineno}: overlap at {pc:#x}")
+                    if emit is not None:
+                        emit[pc] = value
+                pc += 1
+            continue
+        if mnemonic not in _SIGNATURES:
+            raise AssemblyError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        opcode, signature = _SIGNATURES[mnemonic]
+        operands = _split_operands(rest)
+        if len(operands) != len(signature):
+            raise AssemblyError(
+                f"line {lineno}: {mnemonic} takes {len(signature)} operands, "
+                f"got {len(operands)}"
+            )
+        if resolving:
+            fields = {"rd": 0, "rs1": 0, "rs2": 0, "imm": 0}
+            for spec, token in zip(signature, operands):
+                if spec == "d":
+                    fields["rd"] = _parse_reg(token, lineno)
+                elif spec == "1":
+                    fields["rs1"] = _parse_reg(token, lineno)
+                elif spec == "2":
+                    fields["rs2"] = _parse_reg(token, lineno)
+                elif spec == "i":
+                    fields["imm"] = _parse_value(token, labels, lineno)
+            try:
+                instr = Instruction(opcode=opcode, **fields)
+            except AssemblyError as exc:
+                raise AssemblyError(f"line {lineno}: {exc}") from None
+            if emit is not None:
+                if pc in emit:
+                    raise AssemblyError(f"line {lineno}: overlap at {pc:#x}")
+                emit[pc] = encode(instr)
+        pc += 1

@@ -1,0 +1,175 @@
+"""Instruction set of the evaluation SoC.
+
+A deliberately small 32-bit RISC ISA — the attack surface under study is the
+MPU, not the core, so the ISA only needs enough to express the attacker
+workloads: ALU ops, loads/stores (MPU-checked), branches, CSR access for MPU
+configuration, and privilege transitions (SVC/ERET).
+
+Encoding (32 bits)::
+
+    [31:26] opcode   [25:23] rd   [22:20] rs1   [19:17] rs2   [16:0] imm17
+
+``imm17`` is sign-extended where an immediate is used as an offset or value.
+Registers are r0..r7; r0 is hardwired to zero.  Addresses are 16-bit word
+addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+
+N_REGS = 8
+IMM_BITS = 17
+IMM_MASK = (1 << IMM_BITS) - 1
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+WORD_MASK = 0xFFFFFFFF
+ADDR_MASK = 0xFFFF
+
+
+class Opcode(enum.IntEnum):
+    """All instruction opcodes."""
+
+    NOP = 0
+    HALT = 1
+    LI = 2      # rd <- sext(imm)
+    LUI = 3     # rd <- imm << 16
+    ADD = 4     # rd <- rs1 + rs2
+    SUB = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    SHL = 9     # rd <- rs1 << (rs2 & 31)
+    SHR = 10    # rd <- rs1 >> (rs2 & 31), logical
+    ADDI = 11   # rd <- rs1 + sext(imm)
+    LW = 12     # rd <- mem[rs1 + sext(imm)]  (MPU checked)
+    SW = 13     # mem[rs1 + sext(imm)] <- rs2 (MPU checked)
+    BEQ = 14    # if rs1 == rs2: pc <- imm (absolute)
+    BNE = 15
+    JMP = 16    # pc <- imm
+    JAL = 17    # rd <- pc + 1; pc <- imm
+    CSRR = 18   # rd <- csr[imm]
+    CSRW = 19   # csr[imm] <- rs1   (privileged for protected CSRs)
+    SVC = 20    # trap into privileged mode (cause = SVC)
+    ERET = 21   # pc <- EPC, mode <- user
+
+
+# Opcodes whose imm field is consumed (for assembler validation).
+_USES_IMM = {
+    Opcode.LI,
+    Opcode.LUI,
+    Opcode.ADDI,
+    Opcode.LW,
+    Opcode.SW,
+    Opcode.BEQ,
+    Opcode.BNE,
+    Opcode.JMP,
+    Opcode.JAL,
+    Opcode.CSRR,
+    Opcode.CSRW,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("rd", "rs1", "rs2"):
+            value = getattr(self, field_name)
+            if not 0 <= value < N_REGS:
+                raise AssemblyError(
+                    f"{field_name}={value} out of range for {self.opcode.name}"
+                )
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise AssemblyError(
+                f"immediate {self.imm} does not fit in {IMM_BITS} bits"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.opcode.name} rd=r{self.rd} rs1=r{self.rs1} "
+            f"rs2=r{self.rs2} imm={self.imm}"
+        )
+
+
+def encode(instr: Instruction) -> int:
+    """Pack an instruction into its 32-bit memory representation."""
+    imm = instr.imm & IMM_MASK
+    return (
+        (int(instr.opcode) << 26)
+        | (instr.rd << 23)
+        | (instr.rs1 << 20)
+        | (instr.rs2 << 17)
+        | imm
+    ) & WORD_MASK
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 32-bit word; unknown opcodes decode as NOP (a real core
+    would fault, but decoding garbage as NOP keeps fault simulation robust
+    when errors corrupt instruction words)."""
+    op_bits = (word >> 26) & 0x3F
+    try:
+        opcode = Opcode(op_bits)
+    except ValueError:
+        return Instruction(Opcode.NOP)
+    imm = word & IMM_MASK
+    if imm >= (1 << (IMM_BITS - 1)):
+        imm -= 1 << IMM_BITS
+    return Instruction(
+        opcode=opcode,
+        rd=(word >> 23) & 0x7,
+        rs1=(word >> 20) & 0x7,
+        rs2=(word >> 17) & 0x7,
+        imm=imm,
+    )
+
+
+def uses_imm(opcode: Opcode) -> bool:
+    return opcode in _USES_IMM
+
+
+class Csr(enum.IntEnum):
+    """Control/status register indices.
+
+    ``MPU_CFG_BASE + region*4 + field`` addresses the MPU configuration port
+    (field 0 = base, 1 = top, 2 = perm); see :mod:`repro.soc.mpu`.
+    """
+
+    TRAPVEC = 0x01
+    EPC = 0x02
+    CAUSE = 0x03
+    VIOLFLAG = 0x04  # read: sticky violation flag; write: clear
+    VIOLADDR = 0x05
+    MPU_CFG_BASE = 0x10  # 0x10 .. 0x10 + 4*n_regions - 1
+
+
+class TrapCause(enum.IntEnum):
+    NONE = 0
+    MPU_VIOLATION = 1
+    ILLEGAL_CSR = 2
+    SVC = 3
+
+
+# CSRs writable only in privileged mode.
+PRIVILEGED_CSRS = {Csr.TRAPVEC, Csr.EPC, Csr.CAUSE, Csr.VIOLFLAG}
+
+
+def csr_is_privileged(index: int, n_regions: int) -> bool:
+    """Whether writing CSR ``index`` requires privileged mode."""
+    if Csr.MPU_CFG_BASE <= index < Csr.MPU_CFG_BASE + 4 * n_regions:
+        return True
+    try:
+        return Csr(index) in PRIVILEGED_CSRS
+    except ValueError:
+        return False

@@ -1,0 +1,106 @@
+"""Memory map and platform constants of the evaluation SoC.
+
+Addresses are 16-bit **word** addresses (the data width is 32 bits).  The
+default map::
+
+    0x0000 .. 0x0FFF   general RAM: code + attacker data (user accessible)
+    0x1000 .. 0x10FF   protected RAM window (privileged-only via MPU)
+    0x1100 .. 0x17FF   more general RAM
+    0x1800 .. 0x1803   DMA controller registers (MMIO, privileged-only)
+
+The protected window is ordinary RAM — only the MPU makes it privileged.
+That is the point of the paper's threat model: defeat the MPU and the
+"protection" evaporates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MpuRegionInit:
+    """Boot-time MPU region programming (what the firmware configures)."""
+
+    base: int
+    top: int
+    read: bool = True
+    write: bool = True
+    privileged_only: bool = False
+    enabled: bool = True
+
+    def perm_bits(self) -> int:
+        """Pack into the 4-bit perm field: [3]=EN [2]=PRIV [1]=W [0]=R."""
+        return (
+            (1 if self.read else 0)
+            | ((1 if self.write else 0) << 1)
+            | ((1 if self.privileged_only else 0) << 2)
+            | ((1 if self.enabled else 0) << 3)
+        )
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """All platform constants in one place."""
+
+    ram_words: int = 0x1800
+    protected_base: int = 0x1000
+    protected_top: int = 0x10FF
+    dma_mmio_base: int = 0x1800
+    dma_mmio_top: int = 0x1803
+    n_mpu_regions: int = 8
+    addr_bits: int = 16
+    data_bits: int = 32
+
+    def default_regions(self) -> List[MpuRegionInit]:
+        """The boot firmware's MPU programming.
+
+        Region 0: user RAM below the protected window, any mode, RW.
+        Region 1: the protected window, privileged-only RW.
+        Region 2: user RAM above the protected window, any mode, RW.
+        Region 3: DMA MMIO registers, privileged-only RW.
+        Remaining regions disabled.
+        """
+        regions = [
+            MpuRegionInit(base=0x0000, top=self.protected_base - 1),
+            MpuRegionInit(
+                base=self.protected_base,
+                top=self.protected_top,
+                privileged_only=True,
+            ),
+            MpuRegionInit(base=self.protected_top + 1, top=self.ram_words - 1),
+            MpuRegionInit(
+                base=self.dma_mmio_base,
+                top=self.dma_mmio_top,
+                privileged_only=True,
+            ),
+        ]
+        while len(regions) < self.n_mpu_regions:
+            regions.append(
+                MpuRegionInit(base=0, top=0, read=False, write=False, enabled=False)
+            )
+        return regions
+
+    def is_protected(self, addr: int) -> bool:
+        return self.protected_base <= addr <= self.protected_top
+
+    def is_dma_mmio(self, addr: int) -> bool:
+        return self.dma_mmio_base <= addr <= self.dma_mmio_top
+
+    @property
+    def addr_mask(self) -> int:
+        return (1 << self.addr_bits) - 1
+
+    @property
+    def data_mask(self) -> int:
+        return (1 << self.data_bits) - 1
+
+
+DEFAULT_MEMORY_MAP = MemoryMap()
+
+# DMA register offsets within its MMIO window.
+DMA_REG_SRC = 0
+DMA_REG_DST = 1
+DMA_REG_LEN = 2
+DMA_REG_CTRL = 3  # bit0 = start/active, bit1 = error (read-only)

@@ -1,0 +1,61 @@
+"""Main memory of the SoC.
+
+A flat word-addressed RAM.  The protected window (see
+:class:`repro.soc.memmap.MemoryMap`) is physically ordinary RAM — only the
+MPU makes it privileged, which is exactly the paper's attack premise.
+Instruction fetches read the array directly (the evaluated security policy
+covers data accesses); data accesses go through the bus and MPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.errors import SimulationError
+from repro.soc.memmap import MemoryMap, DEFAULT_MEMORY_MAP
+
+
+class Memory:
+    """Word-addressed RAM with snapshot/restore for checkpoints."""
+
+    def __init__(self, memmap: MemoryMap = DEFAULT_MEMORY_MAP):
+        self.memmap = memmap
+        self.data: List[int] = [0] * memmap.ram_words
+
+    def reset(self) -> None:
+        self.data = [0] * self.memmap.ram_words
+
+    def load_image(self, words: List[int], base: int = 0) -> None:
+        """Load a program image (and keep it across reset via reload)."""
+        if base + len(words) > self.memmap.ram_words:
+            raise SimulationError(
+                f"image of {len(words)} words at {base:#x} exceeds RAM"
+            )
+        for i, word in enumerate(words):
+            self.data[base + i] = word & self.memmap.data_mask
+
+    def in_range(self, addr: int) -> bool:
+        return 0 <= addr < self.memmap.ram_words
+
+    def read(self, addr: int) -> int:
+        if not self.in_range(addr):
+            return 0  # unmapped reads return zero (bus-quiet default)
+        return self.data[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        if not self.in_range(addr):
+            return  # unmapped writes are dropped
+        self.data[addr] = value & self.memmap.data_mask
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch (not MPU-checked)."""
+        return self.read(addr)
+
+    # checkpoint support -------------------------------------------------
+    def snapshot(self) -> List[int]:
+        return list(self.data)
+
+    def restore(self, words: List[int]) -> None:
+        if len(words) != self.memmap.ram_words:
+            raise SimulationError("RAM snapshot has wrong size")
+        self.data = list(words)

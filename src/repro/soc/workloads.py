@@ -1,0 +1,180 @@
+"""Parameterized attacker-workload generation.
+
+The paper notes its results "depend on the systems, benchmarks and
+uncertainty of attack process"; this module makes the benchmark axis
+explorable.  :func:`generate_workload` builds illegal-write/read programs
+with controllable structure:
+
+* **benign intensity** — how much legitimate memory traffic surrounds the
+  attack (affects switching activity, masking, and the pipeline's
+  occupancy);
+* **attack position** — early or late in the program (affects how much
+  history the checkpoints must carry);
+* **repetition** — the attacker may retry the illegal access several
+  times (each retry is another target opportunity);
+* **DMA background** — a long *legal* DMA copy can run concurrently, so
+  bus arbitration perturbs the attack timing like a busy real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import AssemblyError
+from repro.soc.assembler import assemble
+from repro.soc.memmap import (
+    DMA_REG_CTRL,
+    DMA_REG_DST,
+    DMA_REG_LEN,
+    DMA_REG_SRC,
+    MemoryMap,
+    DEFAULT_MEMORY_MAP,
+)
+from repro.soc.programs import (
+    ATTACK_VALUE,
+    COUNTER_ADDR,
+    LEAK_ADDR,
+    PROTECTED_TARGET,
+    SECRET_ADDR,
+    SECRET_VALUE,
+    USER_BUFFER,
+    BenchmarkProgram,
+    IllegalAccess,
+    _TRAP_HANDLER,
+    _boot_asm,
+)
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of a generated attacker workload."""
+
+    kind: str = "write"              # "write" | "read"
+    benign_intensity: int = 6        # iterations of benign traffic loops
+    n_attacks: int = 1               # repeated illegal accesses
+    attack_spacing: int = 3          # benign ops between repeated attacks
+    prologue_blocks: int = 1         # benign blocks before the first attack
+    epilogue_blocks: int = 1         # benign blocks after the last attack
+    dma_background: bool = False     # legal DMA copy running concurrently
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise AssemblyError(f"unknown workload kind {self.kind!r}")
+        if self.benign_intensity < 0 or self.n_attacks < 1:
+            raise AssemblyError("bad workload parameters")
+
+
+def _benign_block(rng, label: str, iterations: int) -> str:
+    if iterations == 0:
+        return "    nop"
+    addr = int(rng.integers(0x0080, 0x0F00))
+    stride = int(rng.integers(1, 4))
+    return f"""
+    li   r3, {addr}
+    li   r4, {iterations}
+{label}:
+    sw   r4, r3, 0
+    lw   r5, r3, 0
+    add  r6, r6, r5
+    addi r3, r3, {stride}
+    addi r4, r4, -1
+    bne  r4, r0, {label}
+"""
+
+
+def _attack_block(kind: str, index: int) -> str:
+    if kind == "write":
+        return f"""
+    li   r2, {ATTACK_VALUE}
+    li   r1, {PROTECTED_TARGET}
+    sw   r2, r1, 0          ; illegal write #{index}
+"""
+    return f"""
+    li   r1, {SECRET_ADDR}
+    lw   r2, r1, 0          ; illegal read #{index}
+    li   r3, {LEAK_ADDR}
+    sw   r2, r3, 0
+"""
+
+
+def _dma_kickoff(memmap: MemoryMap) -> str:
+    """Start a long, fully legal DMA copy before dropping privilege."""
+    mmio = memmap.dma_mmio_base
+    return f"""
+    li   r1, 0x0400
+    li   r2, {mmio + DMA_REG_SRC}
+    sw   r1, r2, 0
+    li   r1, 0x0600
+    li   r2, {mmio + DMA_REG_DST}
+    sw   r1, r2, 0
+    li   r1, 48
+    li   r2, {mmio + DMA_REG_LEN}
+    sw   r1, r2, 0
+    li   r1, 1
+    li   r2, {mmio + DMA_REG_CTRL}
+    sw   r1, r2, 0
+"""
+
+
+def generate_workload(
+    params: WorkloadParams = WorkloadParams(),
+    memmap: MemoryMap = DEFAULT_MEMORY_MAP,
+) -> BenchmarkProgram:
+    """Assemble one parameterized attacker workload."""
+    rng = as_generator(params.seed)
+    blocks: List[str] = []
+    label_counter = 0
+
+    def benign() -> str:
+        nonlocal label_counter
+        label_counter += 1
+        return _benign_block(
+            rng, f"wl_loop_{label_counter}", params.benign_intensity
+        )
+
+    for _ in range(params.prologue_blocks):
+        blocks.append(benign())
+    for attack_index in range(params.n_attacks):
+        blocks.append(_attack_block(params.kind, attack_index))
+        if attack_index < params.n_attacks - 1:
+            for _ in range(params.attack_spacing):
+                blocks.append(benign())
+    for _ in range(params.epilogue_blocks):
+        blocks.append(benign())
+
+    source = f"""
+    jmp boot
+{_TRAP_HANDLER}
+{_boot_asm(memmap.default_regions(), plant_secret=True)}
+    .org 0x100
+user_main:
+{"".join(blocks)}
+    halt
+"""
+    if params.dma_background:
+        # The DMA kickoff must run privileged: splice it into the boot
+        # sequence just before the jump target is armed (a unique line).
+        marker = "    li   r1, =user_main"
+        if marker not in source:  # pragma: no cover - template invariant
+            raise AssemblyError("boot template changed; cannot splice DMA kickoff")
+        source = source.replace(marker, _dma_kickoff(memmap) + marker, 1)
+
+    illegal = (
+        IllegalAccess(PROTECTED_TARGET, write=True)
+        if params.kind == "write"
+        else IllegalAccess(SECRET_ADDR, write=False)
+    )
+    name = (
+        f"gen_{params.kind}_b{params.benign_intensity}"
+        f"_a{params.n_attacks}{'_dma' if params.dma_background else ''}"
+    )
+    return BenchmarkProgram(
+        name=name,
+        kind=params.kind,
+        program=assemble(source),
+        illegal_accesses=[illegal],
+        cycle_slack=120 + 40 * params.n_attacks,
+    )

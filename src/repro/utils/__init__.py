@@ -1,0 +1,27 @@
+"""Low-level utilities shared across the framework.
+
+The heavy lifters are :mod:`repro.utils.bitvec` (packed bit sequences used for
+switching signatures and bit-parallel logic simulation) and
+:mod:`repro.utils.rng` (seed plumbing so every stochastic component is
+reproducible).
+"""
+
+from repro.utils.bitvec import (
+    BitSequence,
+    hamming_weight,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.stats import RunningStats, wilson_interval
+
+__all__ = [
+    "BitSequence",
+    "hamming_weight",
+    "pack_bits",
+    "unpack_bits",
+    "RngFactory",
+    "as_generator",
+    "RunningStats",
+    "wilson_interval",
+]

@@ -1,0 +1,108 @@
+"""Streaming statistics used by the Monte Carlo estimators.
+
+The convergence analysis in Section 3.3 of the paper bounds the empirical
+risk via the weak law of large numbers in terms of the sample variance, so
+the engine needs numerically stable running mean/variance (Welford) over
+possibly millions of samples, plus a binomial confidence interval for the
+raw success probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class RunningStats:
+    """Welford running mean and variance.
+
+    ``push`` accepts weighted observations — importance sampling pushes
+    ``w_i * e_i`` values, random sampling pushes plain indicators.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    _history: List[float] = field(default_factory=list)
+    record_history: bool = False
+
+    def push(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.record_history:
+            self._history.append(self.mean)
+
+    def extend(self, values) -> None:
+        for v in values:
+            self.push(v)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the running mean."""
+        if self.count < 2:
+            return float("inf")
+        return math.sqrt(self.variance / self.count)
+
+    @property
+    def history(self) -> List[float]:
+        """Running-mean trajectory (only if ``record_history`` is set)."""
+        return list(self._history)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two independent accumulators (parallel chunks)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        return self
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because SSF is typically tiny
+    (successful attacks are rare events).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = p + z * z / (2 * trials)
+    spread = z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    lo = max(0.0, (centre - spread) / denom)
+    hi = min(1.0, (centre + spread) / denom)
+    return (lo, hi)
+
+
+def samples_for_risk(variance: float, epsilon: float, delta: float) -> int:
+    """Chebyshev bound from the paper: N >= sigma^2 / (delta * eps^2).
+
+    Returns the number of Monte Carlo samples guaranteeing
+    ``Pr[|SSF_hat - SSF| >= eps] <= delta`` given a sample variance.
+    """
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise ValueError("epsilon must be > 0 and delta in (0, 1)")
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    return max(1, math.ceil(variance / (delta * epsilon * epsilon)))

@@ -1,0 +1,76 @@
+"""Tests for bit-error pattern classification (Fig. 7 taxonomy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.patterns import (
+    classify_pattern,
+    fills_whole_byte,
+    pattern_overlap,
+    pattern_statistics,
+)
+
+
+class TestClassification:
+    def test_single_bit(self):
+        assert classify_pattern([("r", 3)]) == "single_bit"
+
+    def test_single_byte(self):
+        assert classify_pattern([("r", 0), ("r", 7)]) == "single_byte"
+
+    def test_multi_byte_same_register(self):
+        assert classify_pattern([("r", 7), ("r", 8)]) == "multi_byte"
+
+    def test_multi_byte_across_registers(self):
+        assert classify_pattern([("a", 0), ("b", 0)]) == "multi_byte"
+
+    def test_empty(self):
+        assert classify_pattern([]) == "empty"
+
+    @given(st.sets(st.tuples(st.sampled_from(["a", "b"]), st.integers(0, 31)),
+                   min_size=1, max_size=6))
+    def test_classification_total(self, bits):
+        assert classify_pattern(bits) in ("single_bit", "single_byte", "multi_byte")
+
+
+class TestWholeByte:
+    def test_full_byte_detected(self):
+        pattern = [("r", i) for i in range(8)]
+        assert fills_whole_byte(pattern, {"r": 16})
+
+    def test_partial_byte_not_full(self):
+        pattern = [("r", i) for i in range(7)]
+        assert not fills_whole_byte(pattern, {"r": 16})
+
+    def test_narrow_register_byte(self):
+        # a 4-bit register's only byte is 4 bits wide
+        assert fills_whole_byte([("p", 0), ("p", 1), ("p", 2), ("p", 3)], {"p": 4})
+
+
+class TestStatistics:
+    def test_fraction_accounting(self):
+        patterns = [
+            {("r", 0)},
+            {("r", 1)},
+            {("r", 0), ("r", 1)},
+            {("r", 0), ("r", 9)},
+            set(),  # masked: skipped
+        ]
+        stats = pattern_statistics(patterns, {"r": 16})
+        assert stats.n_faulty == 4
+        fr = stats.fractions()
+        assert fr["single_bit"] == pytest.approx(0.5)
+        assert fr["single_byte"] == pytest.approx(0.25)
+        assert fr["multi_byte"] == pytest.approx(0.25)
+
+    def test_distinct_patterns_deduplicated(self):
+        patterns = [{("r", 0)}, {("r", 0)}, {("r", 1)}]
+        stats = pattern_statistics(patterns)
+        assert stats.n_distinct == 2
+
+    def test_overlap_venn(self):
+        a = [frozenset({("r", 0)}), frozenset({("r", 1)})]
+        b = [frozenset({("r", 1)}), frozenset({("r", 2)}), frozenset({("r", 3)})]
+        venn = pattern_overlap(a, b)
+        assert venn == {"only_a": 1, "only_b": 2, "common": 1}

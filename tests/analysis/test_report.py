@@ -1,0 +1,60 @@
+"""Tests for the vulnerability-report generator."""
+
+import pytest
+
+from repro import (
+    CrossLevelEngine,
+    ImportanceSampler,
+    RandomSampler,
+    default_attack_spec,
+)
+from repro.analysis.report import vulnerability_report
+
+
+@pytest.fixture(scope="module")
+def campaign(small_context):
+    spec = default_attack_spec(small_context, window=10)
+    engine = CrossLevelEngine(small_context, spec)
+    sampler = ImportanceSampler(
+        spec, small_context.characterization,
+        placement=small_context.placement,
+    )
+    result = engine.evaluate(sampler, n_samples=400, seed=3)
+    return engine, result
+
+
+class TestVulnerabilityReport:
+    def test_sections_present(self, small_context, campaign):
+        engine, result = campaign
+        report = vulnerability_report(
+            small_context, result, oracle=engine.outcome_oracle()
+        )
+        for heading in (
+            "# Fault-attack vulnerability report",
+            "## System under evaluation",
+            "## System Security Factor",
+            "## Fault outcome mix",
+            "## Critical register bits",
+            "## Recommended hardening",
+        ):
+            assert heading in report
+
+    def test_key_numbers_rendered(self, small_context, campaign):
+        engine, result = campaign
+        report = vulnerability_report(small_context, result)
+        assert f"{result.ssf:.5f}" in report
+        assert str(result.n_samples) in report
+
+    def test_without_oracle(self, small_context, campaign):
+        _engine, result = campaign
+        report = vulnerability_report(small_context, result, oracle=None)
+        assert "Critical register bits" in report
+
+    def test_empty_campaign_message(self, small_context):
+        spec = default_attack_spec(small_context, window=10)
+        engine = CrossLevelEngine(small_context, spec)
+        # two samples: almost surely no successes
+        result = engine.evaluate(RandomSampler(spec), n_samples=2, seed=1)
+        if result.n_success == 0:
+            report = vulnerability_report(small_context, result)
+            assert "No successful attacks" in report

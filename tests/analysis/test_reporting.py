@@ -1,0 +1,36 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_table, normalize_series
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 0.000001]],
+            title="Title",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "alpha" in table
+        assert "1.000e-06" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestNormalizeSeries:
+    def test_normalizes_to_first(self):
+        assert normalize_series([2.0, 4.0, 1.0]) == [1.0, 2.0, 0.5]
+
+    def test_custom_reference(self):
+        assert normalize_series([2.0, 4.0], reference=4.0) == [0.5, 1.0]
+
+    def test_zero_reference(self):
+        assert normalize_series([0.0, 5.0]) == [0.0, 0.0]
+
+    def test_empty(self):
+        assert normalize_series([]) == []

@@ -1,0 +1,108 @@
+"""Tests for bootstrap campaign statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    VarianceComparison,
+    bootstrap_ci,
+    campaign_values,
+    compare_variances,
+    required_samples_estimate,
+    ssf_confidence_interval,
+)
+from repro.attack.spec import AttackSample
+from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
+from repro.errors import EvaluationError
+from repro.sampling.estimator import SsfEstimator
+
+
+def synthetic_campaign(weights_and_es, name="test"):
+    estimator = SsfEstimator()
+    records = []
+    for weight, e in weights_and_es:
+        sample = AttackSample(t=0, centre=0, radius_um=3.0, weight=weight)
+        records.append(
+            SampleRecord(
+                sample=sample,
+                e=e,
+                category=OutcomeCategory.MASKED,
+                flipped_bits=frozenset(),
+                injection_cycle=0,
+            )
+        )
+        estimator.push(sample, e)
+    return CampaignResult(name, records, estimator)
+
+
+def bernoulli_campaign(p, n, weight=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return synthetic_campaign(
+        [(weight, int(rng.random() < p)) for _ in range(n)]
+    )
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(5.0, 1.0, size=500)
+        lo, hi = bootstrap_ci(values, seed=2)
+        assert lo < 5.0 < hi
+        assert hi - lo < 0.5
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([1.0, 2.0], alpha=0.0)
+
+    def test_deterministic_given_seed(self):
+        values = list(range(50))
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+
+class TestSsfCi:
+    def test_brackets_estimate(self):
+        campaign = bernoulli_campaign(0.1, 800, seed=3)
+        lo, hi = ssf_confidence_interval(campaign, seed=4)
+        assert lo <= campaign.ssf <= hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_campaign_values_weighted(self):
+        campaign = synthetic_campaign([(0.5, 1), (1.0, 0)])
+        assert list(campaign_values(campaign)) == [0.5, 0.0]
+
+
+class TestCompareVariances:
+    def test_detects_clear_difference(self):
+        noisy = bernoulli_campaign(0.1, 1500, weight=1.0, seed=5)
+        tight = bernoulli_campaign(0.5, 1500, weight=0.02, seed=6)
+        comparison = compare_variances(noisy, tight, seed=7)
+        assert comparison.ratio > 10
+        assert comparison.significant
+        assert "significant" in str(comparison)
+
+    def test_no_false_positive_on_identical(self):
+        a = bernoulli_campaign(0.2, 1000, seed=8)
+        b = bernoulli_campaign(0.2, 1000, seed=9)
+        comparison = compare_variances(a, b, seed=10)
+        assert not comparison.significant
+
+    def test_degenerate_campaign_rejected(self):
+        a = bernoulli_campaign(0.2, 100, seed=11)
+        dead = synthetic_campaign([(1.0, 0)] * 100)
+        with pytest.raises(EvaluationError):
+            compare_variances(a, dead, seed=12)
+
+
+class TestPlanning:
+    def test_required_samples_scales_inverse_square(self):
+        campaign = bernoulli_campaign(0.1, 2000, seed=13)
+        n10 = required_samples_estimate(campaign, rel_precision=0.10)
+        n05 = required_samples_estimate(campaign, rel_precision=0.05)
+        assert n05 == pytest.approx(4 * n10, rel=0.02)
+
+    def test_zero_ssf_rejected(self):
+        dead = synthetic_campaign([(1.0, 0)] * 10)
+        with pytest.raises(EvaluationError):
+            required_samples_estimate(dead)

@@ -1,0 +1,95 @@
+"""Tests for the holistic attack-parameter distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.distributions import (
+    RadiusDistribution,
+    SpatialDistribution,
+    TemporalDistribution,
+)
+from repro.errors import AttackModelError
+
+
+class TestTemporal:
+    def test_uniform_pmf(self):
+        d = TemporalDistribution(50)
+        assert d.pmf(0) == d.pmf(49) == 1 / 50
+        assert d.pmf(50) == 0.0
+        assert d.pmf(-1) == 0.0
+
+    @given(st.integers(1, 200))
+    def test_pmf_sums_to_one(self, window):
+        d = TemporalDistribution(window)
+        assert sum(d.pmf(t) for t in d.support()) == pytest.approx(1.0)
+
+    def test_samples_in_support(self):
+        d = TemporalDistribution(7)
+        rng = np.random.default_rng(0)
+        draws = [d.sample(rng) for _ in range(200)]
+        assert set(draws) <= set(range(7))
+        assert len(set(draws)) == 7  # all values reachable
+
+    def test_validation(self):
+        with pytest.raises(AttackModelError):
+            TemporalDistribution(0)
+
+
+class TestSpatial:
+    UNIVERSE = list(range(10, 40))
+    TARGETS = [12, 20]
+
+    def test_uniform_mode(self):
+        d = SpatialDistribution(self.UNIVERSE)
+        assert d.pmf(10) == pytest.approx(1 / 30)
+        assert d.pmf(99) == 0.0
+        assert sum(d.pmf(n) for n in self.UNIVERSE) == pytest.approx(1.0)
+
+    def test_delta_mode(self):
+        d = SpatialDistribution(self.UNIVERSE, self.TARGETS, concentration=1.0)
+        assert d.pmf(12) == pytest.approx(0.5)
+        assert d.pmf(15) == 0.0
+        rng = np.random.default_rng(1)
+        assert {d.sample(rng) for _ in range(100)} == set(self.TARGETS)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=20)
+    def test_mixture_normalized(self, c):
+        d = SpatialDistribution(self.UNIVERSE, self.TARGETS, concentration=c)
+        assert sum(d.pmf(n) for n in self.UNIVERSE) == pytest.approx(1.0)
+
+    def test_concentration_monotone_on_targets(self):
+        low = SpatialDistribution(self.UNIVERSE, self.TARGETS, 0.2)
+        high = SpatialDistribution(self.UNIVERSE, self.TARGETS, 0.8)
+        assert high.pmf(12) > low.pmf(12)
+        assert high.pmf(30) < low.pmf(30)
+
+    def test_validation(self):
+        with pytest.raises(AttackModelError):
+            SpatialDistribution([])
+        with pytest.raises(AttackModelError):
+            SpatialDistribution(self.UNIVERSE, concentration=0.5)
+        with pytest.raises(AttackModelError):
+            SpatialDistribution(self.UNIVERSE, [999], concentration=0.5)
+        with pytest.raises(AttackModelError):
+            SpatialDistribution(self.UNIVERSE, self.TARGETS, concentration=1.5)
+
+
+class TestRadius:
+    def test_pmf(self):
+        d = RadiusDistribution((2.0, 4.0))
+        assert d.pmf(2.0) == 0.5
+        assert d.pmf(3.0) == 0.0
+
+    def test_sampling(self):
+        d = RadiusDistribution((2.0, 4.0, 8.0))
+        rng = np.random.default_rng(0)
+        assert {d.sample(rng) for _ in range(100)} == {2.0, 4.0, 8.0}
+
+    def test_validation(self):
+        with pytest.raises(AttackModelError):
+            RadiusDistribution(())
+        with pytest.raises(AttackModelError):
+            RadiusDistribution((0.0,))

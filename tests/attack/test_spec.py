@@ -1,0 +1,92 @@
+"""Tests for the attack specification bundle."""
+
+import numpy as np
+import pytest
+
+from repro.attack.distributions import (
+    RadiusDistribution,
+    SpatialDistribution,
+    TemporalDistribution,
+)
+from repro.attack.spec import AttackSpec, select_subblock
+from repro.attack.techniques import RadiationTechnique
+from repro.errors import AttackModelError
+from repro.gatesim.timing import TimingModel
+
+
+def make_spec(universe):
+    return AttackSpec(
+        technique=RadiationTechnique(timing=TimingModel()),
+        temporal=TemporalDistribution(10),
+        spatial=SpatialDistribution(universe),
+        radius=RadiusDistribution((3.0, 5.0)),
+    )
+
+
+class TestDensity:
+    def test_factorized_density(self, mpu_placement):
+        universe = list(range(100, 140))
+        spec = make_spec(universe)
+        assert spec.density(3, 105, 3.0) == pytest.approx(
+            (1 / 10) * (1 / 40) * (1 / 2)
+        )
+        assert spec.density(11, 105, 3.0) == 0.0
+        assert spec.density(3, 99, 3.0) == 0.0
+        assert spec.density(3, 105, 4.0) == 0.0
+
+    def test_nominal_sampling_weight_is_one(self):
+        spec = make_spec(list(range(100, 140)))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s = spec.sample_nominal(rng)
+            assert s.weight == 1.0
+            assert spec.density(s.t, s.centre, s.radius_um) > 0
+
+    def test_density_sums_to_one(self):
+        universe = list(range(100, 120))
+        spec = make_spec(universe)
+        total = sum(
+            spec.density(t, g, r)
+            for t in range(10)
+            for g in universe
+            for r in (3.0, 5.0)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestSubblockSelection:
+    def test_fraction_respected(self, mpu_placement):
+        nl = mpu_placement.netlist
+        seeds = [nl.register_dff("viol_q", 0).nid]
+        block = select_subblock(mpu_placement, seeds, fraction=0.125)
+        physical = sum(
+            1
+            for n in nl.nodes
+            if n.kind.value not in ("input", "const0", "const1")
+        )
+        assert len(block) == pytest.approx(0.125 * physical, abs=2)
+
+    def test_block_is_contiguous_around_seed(self, mpu_placement):
+        nl = mpu_placement.netlist
+        seed = nl.register_dff("viol_q", 0).nid
+        block = select_subblock(mpu_placement, [seed], fraction=0.05)
+        # every member is nearer the seed centroid than almost every
+        # non-member: check max member distance < 90th pct of non-members
+        sx, sy = mpu_placement.position(seed)
+        members = [
+            np.hypot(*(np.array(mpu_placement.position(n)) - (sx, sy)))
+            for n in block
+        ]
+        others = [
+            np.hypot(*(np.array(mpu_placement.position(n.nid)) - (sx, sy)))
+            for n in nl.nodes
+            if n.nid not in set(block)
+            and n.kind.value not in ("input", "const0", "const1")
+        ]
+        assert max(members) <= np.quantile(others, 0.2)
+
+    def test_validation(self, mpu_placement):
+        with pytest.raises(AttackModelError):
+            select_subblock(mpu_placement, [], fraction=0.1)
+        with pytest.raises(AttackModelError):
+            select_subblock(mpu_placement, [0], fraction=0.0)

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+The expensive artifacts (elaborated MPU netlist, evaluation context with a
+reduced pre-characterization) are session-scoped: they are deterministic,
+read-only for most tests, and building them once keeps the suite fast.
+Tests that mutate SoC state build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import build_context
+from repro.gatesim.logic import LogicEvaluator
+from repro.netlist.placement import GridPlacer
+from repro.precharac.characterization import CharacterizationConfig
+from repro.soc.memmap import DEFAULT_MEMORY_MAP
+from repro.soc.mpu import build_mpu_netlist
+from repro.soc.programs import illegal_write_benchmark
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="session")
+def mpu_netlist():
+    return build_mpu_netlist(DEFAULT_MEMORY_MAP)
+
+
+@pytest.fixture(scope="session")
+def mpu_evaluator(mpu_netlist):
+    return LogicEvaluator(mpu_netlist)
+
+
+@pytest.fixture(scope="session")
+def mpu_placement(mpu_netlist):
+    return GridPlacer(pitch_um=2.0, jitter=0.25, seed=7).place(mpu_netlist)
+
+
+@pytest.fixture()
+def soc_write_bench():
+    """A fresh SoC loaded with the illegal-write benchmark."""
+    bench = illegal_write_benchmark()
+    soc = Soc()
+    soc.load_program(bench.program.words)
+    soc.reset()
+    return soc, bench
+
+
+SMALL_CHARAC = CharacterizationConfig(
+    max_frame=12,
+    lifetime_horizon=60,
+    lifetime_trials=1,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """Full evaluation context with a reduced (fast) characterization."""
+    return build_context(
+        illegal_write_benchmark(),
+        charac_config=SMALL_CHARAC,
+    )

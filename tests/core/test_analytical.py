@@ -1,0 +1,106 @@
+"""The analytical evaluator must agree with RTL ground truth.
+
+For every fault confined to memory-type registers, the paper replaces RTL
+re-simulation with an analytical outcome.  These tests enumerate single-
+and multi-bit memory-type faults and assert the analytical answer equals
+the result of actually flipping the bits in RTL and running to completion.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import AnalyticalEvaluator
+from repro.core.engine import CrossLevelEngine, EngineConfig
+from repro import default_attack_spec
+
+
+@pytest.fixture(scope="module")
+def engine(small_context):
+    spec = default_attack_spec(small_context, window=10)
+    return CrossLevelEngine(small_context, spec)
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_context):
+    return AnalyticalEvaluator(
+        small_context.benchmark,
+        small_context.mpu_trace,
+        small_context.memmap.n_mpu_regions,
+    )
+
+
+def interesting_single_bits(small_context):
+    """A deliberate mix of granting, detected, and harmless config flips."""
+    return [
+        ("cfg_top0", 12),   # grants the illegal write
+        ("cfg_top0", 13),   # also grants
+        ("cfg_perm1", 2),   # clears priv-only: grants
+        ("cfg_perm1", 3),   # disables region 1: still violates (background)
+        ("cfg_perm0", 1),   # breaks benign writes: detected
+        ("cfg_base1", 3),   # shifts the protected window
+        ("cfg_base5", 3),   # disabled region: harmless
+        ("cfg_top7", 9),    # disabled region: harmless
+        ("viol_addr", 4),   # diagnostic only
+        ("sticky_flag", 0),
+    ]
+
+
+class TestAgainstRtlGroundTruth:
+    def test_single_bit_memory_faults(self, small_context, engine, evaluator):
+        injection_cycle = small_context.target_cycle - 6
+        for reg, bit in interesting_single_bits(small_context):
+            flips = frozenset({(reg, bit)})
+            analytical = evaluator.evaluate(flips, injection_cycle)
+            rtl = engine.probe_register_flips(flips, injection_cycle)
+            assert analytical == rtl, (reg, bit)
+
+    def test_double_bit_memory_faults(self, small_context, engine, evaluator):
+        rng = np.random.default_rng(9)
+        bits = interesting_single_bits(small_context)
+        injection_cycle = small_context.target_cycle - 4
+        pairs = [tuple(rng.choice(len(bits), 2, replace=False)) for _ in range(12)]
+        for i, j in pairs:
+            flips = frozenset({bits[i], bits[j]})
+            analytical = evaluator.evaluate(flips, injection_cycle)
+            rtl = engine.probe_register_flips(flips, injection_cycle)
+            assert analytical == rtl, flips
+
+    def test_timing_independence_for_config_faults(
+        self, small_context, engine, evaluator
+    ):
+        """Observation 3: for persistent (memory-type) faults the outcome
+        does not depend on the timing distance, as long as the fault lands
+        before the check."""
+        flips = frozenset({("cfg_top0", 12)})
+        outcomes = {
+            evaluator.evaluate(flips, small_context.target_cycle - t)
+            for t in (2, 4, 7, 9)
+        }
+        assert outcomes == {1}
+
+    def test_fault_after_target_fails(self, small_context, evaluator, engine):
+        flips = frozenset({("cfg_top0", 12)})
+        late = small_context.target_cycle + 3
+        assert evaluator.evaluate(flips, late) == 0
+        assert engine.probe_register_flips(flips, late) == 0
+
+
+class TestAnalyticalShortcuts:
+    def test_sticky_fault_is_detection(self, evaluator, small_context):
+        assert evaluator.evaluate(
+            frozenset({("sticky_flag", 0), ("cfg_top0", 12)}),
+            small_context.target_cycle - 5,
+        ) == 0
+
+    def test_non_config_fault_is_failure(self, evaluator, small_context):
+        assert evaluator.evaluate(
+            frozenset({("viol_addr", 2)}), small_context.target_cycle - 5
+        ) == 0
+
+    def test_empty_trace_rejected(self, small_context):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            AnalyticalEvaluator(small_context.benchmark, [], 8)

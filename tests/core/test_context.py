@@ -1,0 +1,38 @@
+"""Tests for evaluation-context assembly."""
+
+import pytest
+
+from repro.core.context import build_context, find_violation_cycles
+from repro.errors import EvaluationError
+from repro.soc.programs import illegal_write_benchmark
+
+
+class TestContext:
+    def test_target_cycle_is_the_violation_check(self, small_context):
+        cycles = small_context.violation_check_cycles()
+        assert cycles == [small_context.target_cycle]
+
+    def test_golden_final_state_detected(self, small_context):
+        final = small_context.golden.final
+        assert final.registers["sticky_flag"] == 1
+
+    def test_checkpoints_cover_run(self, small_context):
+        cps = small_context.golden.checkpoints.cycles()
+        assert cps[0] == 0
+        assert cps[-1] == small_context.n_cycles
+
+    def test_mpu_trace_cycle_indexed(self, small_context):
+        for i, entry in enumerate(small_context.mpu_trace):
+            assert entry.cycle == i
+
+    def test_characterization_attached(self, small_context):
+        assert small_context.characterization is not None
+        assert small_context.characterization.responding == small_context.responding
+
+    def test_build_without_characterization(self):
+        context = build_context(illegal_write_benchmark(), characterize=False)
+        assert context.characterization is None
+        assert context.target_cycle > 0
+
+    def test_find_violation_cycles_empty_trace(self):
+        assert find_violation_cycles([], 8) == []

@@ -1,0 +1,61 @@
+"""Tests for the countermeasure study (reduced configuration)."""
+
+import pytest
+
+from repro.countermeasures import CountermeasureStudy, STANDARD_VARIANTS
+from repro.soc.mpu import MpuVariant
+from repro.soc.programs import illegal_write_benchmark
+
+from tests.conftest import SMALL_CHARAC
+
+
+@pytest.fixture(scope="module")
+def study_results():
+    study = CountermeasureStudy(
+        illegal_write_benchmark,
+        variants=[MpuVariant(), MpuVariant(cfg_parity=True)],
+        n_samples=400,
+        window=10,
+        charac_config=SMALL_CHARAC,
+        seed=7,
+    )
+    return study.run()
+
+
+class TestCountermeasureStudy:
+    def test_baseline_first_with_zero_overhead(self, study_results):
+        assert study_results[0].variant.name == "none"
+        assert study_results[0].area_overhead == 0.0
+
+    def test_parity_reduces_ssf(self, study_results):
+        baseline, parity = study_results
+        assert baseline.ssf > 0
+        assert parity.ssf < baseline.ssf / 2
+        assert parity.improvement_over(baseline) > 2.0
+
+    def test_parity_costs_area(self, study_results):
+        assert study_results[1].area_overhead > 0.0
+
+    def test_table_rows_shape(self, study_results):
+        rows = CountermeasureStudy.table_rows(study_results)
+        assert len(rows) == 2
+        assert rows[0][0] == "none"
+        assert rows[0][3] == "1.0x"
+
+    def test_campaigns_attached(self, study_results):
+        for result in study_results:
+            assert result.campaign is not None
+            assert result.context.mpu_variant == result.variant
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            CountermeasureStudy(illegal_write_benchmark, sampler="magic")
+
+
+class TestStandardVariants:
+    def test_baseline_included_first(self):
+        assert STANDARD_VARIANTS[0] == MpuVariant()
+
+    def test_all_distinct(self):
+        names = [v.name for v in STANDARD_VARIANTS]
+        assert len(names) == len(set(names))

@@ -1,0 +1,143 @@
+"""Tests for exhaustive single-bit fault enumeration."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttackSpec,
+    CrossLevelEngine,
+    RadiusDistribution,
+    RandomSampler,
+    SpatialDistribution,
+    TemporalDistribution,
+    default_attack_spec,
+)
+from repro.attack.techniques import PinpointUpsetTechnique
+from repro.core.exhaustive import enumerate_single_bit_faults
+from repro.errors import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def engine(small_context):
+    return CrossLevelEngine(
+        small_context, default_attack_spec(small_context, window=8)
+    )
+
+
+class TestEnumeration:
+    def test_known_critical_bit_found(self, engine):
+        result = enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12), ("cfg_base5", 3), ("viol_addr", 2)],
+            timing_distances=[2, 5],
+        )
+        assert result.n_evaluations == 6
+        assert result.outcomes[(("cfg_top0", 12), 2)] == 1
+        assert result.outcomes[(("cfg_base5", 3), 2)] == 0
+        assert result.outcomes[(("viol_addr", 2), 5)] == 0
+        assert result.ssf_exact == pytest.approx(2 / 6)
+
+    def test_analytical_matches_rtl_probe(self, engine):
+        fast = enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12), ("cfg_perm1", 2), ("cfg_base2", 4)],
+            timing_distances=[1, 4],
+            use_analytical=True,
+        )
+        slow = enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12), ("cfg_perm1", 2), ("cfg_base2", 4)],
+            timing_distances=[1, 4],
+            use_analytical=False,
+        )
+        assert fast.outcomes == slow.outcomes
+
+    def test_out_of_range_timing_is_zero(self, engine, small_context):
+        result = enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12)],
+            timing_distances=[small_context.target_cycle + 5],
+        )
+        assert result.ssf_exact == 0.0
+
+    def test_defaults_cover_cone_bits(self, engine, small_context):
+        result = enumerate_single_bit_faults(
+            engine, timing_distances=[3]
+        )
+        expected = len(small_context.characterization.cone_register_bits())
+        assert result.n_evaluations == expected
+
+    def test_progress_callback(self, engine):
+        seen = []
+        enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12)],
+            timing_distances=[1, 2],
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_empty_space_rejected(self, engine):
+        with pytest.raises(EvaluationError):
+            enumerate_single_bit_faults(engine, bits=[], timing_distances=[1])
+
+    def test_per_bit_helpers(self, engine):
+        result = enumerate_single_bit_faults(
+            engine,
+            bits=[("cfg_top0", 12), ("cfg_base5", 3)],
+            timing_distances=[2, 3],
+        )
+        counts = result.per_bit_success_count()
+        assert counts[("cfg_top0", 12)] == 2
+        assert ("cfg_base5", 3) not in counts
+        assert result.ssf_of_bit(("cfg_top0", 12)) == 1.0
+        assert result.successful_faults() == [
+            (("cfg_top0", 12), 2),
+            (("cfg_top0", 12), 3),
+        ]
+
+
+class TestPinpointTechnique:
+    def test_mc_agrees_with_enumeration(self, small_context):
+        """The end-to-end validation in miniature: exact SSF within the
+        Monte Carlo estimate's noise."""
+        ch = small_context.characterization
+        bits = [
+            ("cfg_top0", 12), ("cfg_top0", 13), ("cfg_base5", 3),
+            ("cfg_base2", 4), ("cfg_top3", 2), ("viol_addr", 1),
+        ]
+        cells = [
+            small_context.netlist.register_dff(reg, bit).nid
+            for reg, bit in bits
+        ]
+        spec = AttackSpec(
+            technique=PinpointUpsetTechnique(timing=small_context.timing),
+            temporal=TemporalDistribution(6),
+            spatial=SpatialDistribution(cells),
+            radius=RadiusDistribution((1.0,)),
+        )
+        engine = CrossLevelEngine(small_context, spec)
+        exact = enumerate_single_bit_faults(
+            engine, bits=bits, timing_distances=list(range(6))
+        )
+        mc = engine.evaluate(RandomSampler(spec), 900, seed=8)
+        assert abs(mc.ssf - exact.ssf_exact) < 0.08
+
+    def test_dff_centre_strikes_exact_bit(self, small_context):
+        spec = default_attack_spec(small_context, window=5)
+        tech = PinpointUpsetTechnique(timing=small_context.timing)
+        nid = small_context.netlist.register_dff("cfg_top0", 12).nid
+        injection = tech.build_injection(
+            small_context.placement, nid, 5.0, np.random.default_rng(0)
+        )
+        assert injection.struck_dffs == [nid]
+        assert injection.gate_pulses == {}
+
+    def test_comb_centre_emits_single_pulse(self, small_context):
+        tech = PinpointUpsetTechnique(timing=small_context.timing)
+        gate = small_context.netlist.topo_order()[0]
+        injection = tech.build_injection(
+            small_context.placement, gate, 5.0, np.random.default_rng(0)
+        )
+        assert list(injection.gate_pulses) == [gate]
+        assert injection.struck_dffs == []

@@ -1,0 +1,146 @@
+"""Tests for SSF attribution and the selective-hardening study."""
+
+import pytest
+
+from repro.attack.spec import AttackSample
+from repro.core.hardening import HardeningStudy, attribute_ssf, critical_bits
+from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
+from repro.errors import EvaluationError
+from repro.sampling.estimator import SsfEstimator
+
+
+def make_result(success_specs, n_total=100):
+    """Build a synthetic campaign: success_specs = [(weight, bits), ...]."""
+    records = []
+    estimator = SsfEstimator()
+    for weight, bits in success_specs:
+        sample = AttackSample(t=1, centre=0, radius_um=3.0, weight=weight)
+        records.append(
+            SampleRecord(
+                sample=sample,
+                e=1,
+                category=OutcomeCategory.MEMORY_ONLY,
+                flipped_bits=frozenset(bits),
+                injection_cycle=10,
+            )
+        )
+        estimator.push(sample, 1)
+    while len(records) < n_total:
+        sample = AttackSample(t=1, centre=0, radius_um=3.0, weight=1.0)
+        records.append(
+            SampleRecord(
+                sample=sample,
+                e=0,
+                category=OutcomeCategory.MASKED,
+                flipped_bits=frozenset(),
+                injection_cycle=10,
+            )
+        )
+        estimator.push(sample, 0)
+    return CampaignResult("test", records, estimator)
+
+
+class TestAttribution:
+    def test_shares_sum_to_weighted_ssf_per_bit(self):
+        result = make_result(
+            [(1.0, {("a", 0)}), (1.0, {("a", 0)}), (1.0, {("b", 1)})]
+        )
+        shares = attribute_ssf(result)
+        assert shares[("a", 0)] == pytest.approx(2 / 100)
+        assert shares[("b", 1)] == pytest.approx(1 / 100)
+
+    def test_multibit_success_credits_all_bits(self):
+        result = make_result([(1.0, {("a", 0), ("b", 0)})])
+        shares = attribute_ssf(result)
+        assert shares[("a", 0)] == shares[("b", 0)] == pytest.approx(1 / 100)
+
+    def test_weights_respected(self):
+        result = make_result([(0.25, {("a", 0)})])
+        assert attribute_ssf(result)[("a", 0)] == pytest.approx(0.25 / 100)
+
+
+class TestCriticalBits:
+    def test_smallest_prefix_selected(self):
+        shares = {("a", 0): 0.90, ("b", 0): 0.06, ("c", 0): 0.04}
+        assert critical_bits(shares, coverage=0.90) == [("a", 0)]
+        assert critical_bits(shares, coverage=0.95) == [("a", 0), ("b", 0)]
+        assert len(critical_bits(shares, coverage=1.0)) == 3
+
+    def test_empty_shares(self):
+        assert critical_bits({}, 0.95) == []
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            critical_bits({("a", 0): 1.0}, coverage=0.0)
+
+
+class TestHardeningStudy:
+    def test_paper_arithmetic(self, mpu_netlist):
+        """Hardening bits covering share s with resilience R gives
+        SSF' = SSF (1 - s) + SSF s / R — the paper's 6.5x math."""
+        result = make_result(
+            [(1.0, {("viol_q", 0)})] * 19 + [(1.0, {("grant_q", 0)})]
+        )
+        study = HardeningStudy(mpu_netlist, result, resilience_factor=10.0)
+        outcome = study.harden([("viol_q", 0)])
+        ssf = result.ssf
+        expected = ssf * 0.05 + ssf * 0.95 / 10.0
+        assert outcome.ssf_after == pytest.approx(expected)
+        assert outcome.ssf_improvement == pytest.approx(ssf / expected)
+        assert outcome.covered_share == pytest.approx(0.95)
+
+    def test_mixed_bit_success_not_attenuated_unless_all_hardened(
+        self, mpu_netlist
+    ):
+        result = make_result([(1.0, {("viol_q", 0), ("grant_q", 0)})])
+        study = HardeningStudy(mpu_netlist, result)
+        # without an oracle, a partially-hardened record conservatively
+        # counts as still succeeding
+        partial = study.harden([("viol_q", 0)])
+        assert partial.ssf_after == pytest.approx(result.ssf)
+        # both flops hardened: each flips with 1/R, so the two-bit upset
+        # survives with R^-2
+        full = study.harden([("viol_q", 0), ("grant_q", 0)])
+        assert full.ssf_after == pytest.approx(result.ssf / 100.0)
+
+    def test_oracle_resolves_partial_hardening(self, mpu_netlist):
+        """With an oracle saying the residual flips alone fail, hardening
+        only the necessary bit already attenuates the record."""
+        result = make_result([(1.0, {("viol_q", 0), ("viol_addr", 3)})])
+        oracle = lambda record, flips: int(("viol_q", 0) in flips)
+        study = HardeningStudy(mpu_netlist, result, oracle=oracle)
+        outcome = study.harden([("viol_q", 0)])
+        assert outcome.ssf_after == pytest.approx(result.ssf / 10.0)
+
+    def test_area_overhead_small_for_few_bits(self, mpu_netlist):
+        result = make_result([(1.0, {("viol_q", 0)})])
+        study = HardeningStudy(mpu_netlist, result, area_factor=3.0)
+        outcome = study.harden_for_coverage(0.95)
+        assert 0.0 < outcome.area_overhead < 0.02
+
+    def test_pareto_monotone(self, mpu_netlist):
+        result = make_result(
+            [(1.0, {("viol_q", 0)})] * 10
+            + [(1.0, {("grant_q", 0)})] * 5
+            + [(1.0, {("req_addr", 12)})] * 2
+        )
+        study = HardeningStudy(mpu_netlist, result)
+        outcomes = study.pareto((0.5, 0.9, 1.0))
+        ssfs = [o.ssf_after for o in outcomes]
+        assert ssfs == sorted(ssfs, reverse=True)
+        areas = [o.area_overhead for o in outcomes]
+        assert areas == sorted(areas)
+
+    def test_validation(self, mpu_netlist):
+        result = make_result([(1.0, {("viol_q", 0)})])
+        with pytest.raises(EvaluationError):
+            HardeningStudy(mpu_netlist, result, resilience_factor=1.0)
+        with pytest.raises(EvaluationError):
+            HardeningStudy(mpu_netlist, result, area_factor=0.5)
+
+    def test_summary_fields(self, mpu_netlist):
+        result = make_result([(1.0, {("viol_q", 0)})])
+        outcome = HardeningStudy(mpu_netlist, result).harden_for_coverage()
+        summary = outcome.summary()
+        assert summary["n_hardened_bits"] == 1
+        assert summary["ssf_improvement_x"] > 1

@@ -1,0 +1,77 @@
+"""Tests for parallel campaign evaluation."""
+
+import multiprocessing
+
+import pytest
+
+from repro import RandomSampler, default_attack_spec
+from repro.core.engine import CrossLevelEngine
+from repro.core.parallel import _split_counts, parallel_evaluate
+from repro.errors import EvaluationError
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert _split_counts(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert _split_counts(10, 3) == [4, 3, 3]
+
+    def test_more_workers_than_samples(self):
+        counts = _split_counts(2, 4)
+        assert sum(counts) == 2 and counts == [1, 1, 0, 0]
+
+
+class TestParallelEvaluate:
+    @pytest.fixture(scope="class")
+    def engine(self, small_context):
+        spec = default_attack_spec(small_context, window=10)
+        return CrossLevelEngine(small_context, spec), spec
+
+    def test_single_worker_falls_back(self, engine):
+        eng, spec = engine
+        result = parallel_evaluate(
+            eng, RandomSampler(spec), 40, seed=5, n_workers=1
+        )
+        sequential = eng.evaluate(RandomSampler(spec), 40, seed=5)
+        assert result.ssf == sequential.ssf
+
+    @needs_fork
+    def test_two_workers_complete_and_merge(self, engine):
+        eng, spec = engine
+        result = parallel_evaluate(
+            eng, RandomSampler(spec), 60, seed=5, n_workers=2
+        )
+        assert result.n_samples == 60
+        assert 0.0 <= result.ssf <= 1.0
+        assert "x2 workers" in result.strategy
+
+    @needs_fork
+    def test_deterministic_given_layout(self, engine):
+        eng, spec = engine
+        a = parallel_evaluate(eng, RandomSampler(spec), 50, seed=9, n_workers=2)
+        b = parallel_evaluate(eng, RandomSampler(spec), 50, seed=9, n_workers=2)
+        assert a.ssf == b.ssf
+        assert [r.e for r in a.records] == [r.e for r in b.records]
+
+    @needs_fork
+    def test_estimator_merge_consistent(self, engine):
+        """The merged estimator must equal pushing all records in order."""
+        eng, spec = engine
+        result = parallel_evaluate(
+            eng, RandomSampler(spec), 50, seed=2, n_workers=2
+        )
+        manual = sum(r.sample.weight * r.e for r in result.records) / len(
+            result.records
+        )
+        assert result.ssf == pytest.approx(manual)
+
+    def test_invalid_sample_count(self, engine):
+        eng, spec = engine
+        with pytest.raises(EvaluationError):
+            parallel_evaluate(eng, RandomSampler(spec), 0, n_workers=2)

@@ -1,0 +1,119 @@
+"""Tests for the AVFSM-style FSM analysis baseline."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.fsmcheck.analyze import analyze_fsm, probe_dont_care_recovery
+from repro.fsmcheck.extract import (
+    FsmExtraction,
+    extract_fsm,
+    extract_fsm_from_workloads,
+)
+from repro.soc.programs import (
+    illegal_read_benchmark,
+    illegal_write_benchmark,
+    synthetic_workload,
+)
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def decision_fsm():
+    return extract_fsm_from_workloads(
+        Soc,
+        [
+            illegal_write_benchmark(),
+            illegal_read_benchmark(),
+            synthetic_workload(3),
+        ],
+        registers=["core_state", "viol_q", "grant_q"],
+    )
+
+
+class TestExtraction:
+    def test_reachable_states_subset_of_encodings(self, decision_fsm):
+        assert 0 < len(decision_fsm.states) < decision_fsm.n_encodings
+        assert len(decision_fsm.dont_care_states()) == (
+            decision_fsm.n_encodings - len(decision_fsm.states)
+        )
+
+    def test_transitions_link_observed_states(self, decision_fsm):
+        for state, nexts in decision_fsm.transitions.items():
+            assert state in decision_fsm.states
+            assert nexts <= decision_fsm.states
+
+    def test_expected_states_observed(self, decision_fsm):
+        # grant and violation decisions both occurred in the workloads
+        assert any(s[1] == 1 for s in decision_fsm.states)  # viol_q
+        assert any(s[2] == 1 for s in decision_fsm.states)  # grant_q
+
+    def test_illegal_decision_pair_is_dont_care(self, decision_fsm):
+        """viol_q and grant_q are never both set — by construction."""
+        for state in decision_fsm.states:
+            assert not (state[1] == 1 and state[2] == 1)
+
+    def test_pack_unpack_roundtrip(self, decision_fsm):
+        for state in decision_fsm.states:
+            assert decision_fsm.unpack(decision_fsm.pack(state)) == state
+
+    def test_single_bit_neighbours_count(self, decision_fsm):
+        state = next(iter(decision_fsm.states))
+        neighbours = decision_fsm.single_bit_neighbours(state)
+        assert len(neighbours) == decision_fsm.state_bits()
+        packed = decision_fsm.pack(state)
+        for neighbour in neighbours:
+            diff = packed ^ decision_fsm.pack(neighbour)
+            assert bin(diff).count("1") == 1
+
+    def test_unknown_register_rejected(self):
+        soc = Soc()
+        soc.load_program(illegal_write_benchmark().program.words)
+        with pytest.raises(EvaluationError):
+            extract_fsm(soc, ["nope"], 10)
+
+    def test_merge_requires_same_registers(self, decision_fsm):
+        other = FsmExtraction(registers=("x",), widths=(1,))
+        with pytest.raises(EvaluationError):
+            decision_fsm.merge(other)
+
+
+class TestAnalysis:
+    def test_census_covers_all_observed_faults(self, decision_fsm):
+        report = analyze_fsm(decision_fsm, lambda s: s[1] == 1)
+        expected = len(decision_fsm.states) * decision_fsm.state_bits()
+        assert len(report.faults) == expected
+        kinds = {f.kind for f in report.faults}
+        assert kinds <= {"bypass", "dont_care", "benign"}
+
+    def test_finds_a_bypass_fault(self, decision_fsm):
+        report = analyze_fsm(decision_fsm, lambda s: s[1] == 1)
+        assert report.bypass_faults  # e.g. RUN -> HALT skips the check
+        assert 0 < report.vulnerability_fraction < 0.5
+
+    def test_protection_predicate_must_match(self, decision_fsm):
+        with pytest.raises(EvaluationError):
+            analyze_fsm(decision_fsm, lambda s: False)
+
+    def test_summary_fields(self, decision_fsm):
+        report = analyze_fsm(decision_fsm, lambda s: s[1] == 1)
+        summary = report.summary()
+        assert summary["reachable_states"] == len(decision_fsm.states)
+        assert summary["bypass_faults"] == len(report.bypass_faults)
+
+
+class TestDontCareRecovery:
+    def test_recovery_targets_are_states(self):
+        soc = Soc()
+        soc.load_program(illegal_write_benchmark().program.words)
+        soc.reset()
+        extraction = extract_fsm(
+            soc, ["viol_q", "grant_q"], soc.run_until_halt.__defaults__[0]
+            if False else 150,
+        )
+        soc2 = Soc()
+        soc2.load_program(illegal_write_benchmark().program.words)
+        recovery = probe_dont_care_recovery(soc2, extraction, warmup_cycles=80)
+        # the only unobserved encoding of the pair is (1, 1)
+        assert set(recovery) == set(extraction.dont_care_states())
+        for target in recovery.values():
+            assert len(target) == 2

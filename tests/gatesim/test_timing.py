@@ -1,0 +1,33 @@
+"""Tests for the timing model."""
+
+import pytest
+
+from repro.errors import AttackModelError
+from repro.gatesim.timing import TimingModel
+from repro.netlist.cells import GateKind
+
+
+class TestTimingModel:
+    def test_latch_window_around_edge(self):
+        t = TimingModel(clock_period_ps=1000, setup_ps=40, hold_ps=25)
+        assert t.latch_window == (960, 1025)
+
+    def test_attenuation_monotone(self):
+        t = TimingModel(attenuation_ps=6.0, min_pulse_ps=12.0)
+        assert t.attenuate(100.0) == 94.0
+        assert t.attenuate(17.0) == 0.0  # below min width after one stage
+        assert t.attenuate(5.0) == 0.0
+
+    def test_gate_delay_from_library_and_overrides(self):
+        t = TimingModel()
+        assert t.gate_delay(GateKind.XOR) > t.gate_delay(GateKind.NOT)
+        t2 = TimingModel(delay_overrides={GateKind.NOT: 99.0})
+        assert t2.gate_delay(GateKind.NOT) == 99.0
+
+    def test_validation(self):
+        with pytest.raises(AttackModelError):
+            TimingModel(clock_period_ps=0)
+        with pytest.raises(AttackModelError):
+            TimingModel(setup_ps=-1)
+        with pytest.raises(AttackModelError):
+            TimingModel(min_pulse_ps=0)

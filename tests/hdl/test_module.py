@@ -1,0 +1,118 @@
+"""Tests for the module builder: registers, finalization, helpers."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.gatesim.logic import LogicEvaluator
+from repro.hdl import Module
+
+
+class TestRegisters:
+    def test_register_feedback_counter(self):
+        m = Module("counter")
+        count = m.register("count", 8, init=0)
+        m.connect(count, count + 1)
+        m.output("count", count)
+        nl = m.finalize()
+        ev = LogicEvaluator(nl)
+        state = {"count": 0}
+        for expected in range(1, 10):
+            _outs, state = ev.step({}, state)
+            assert state["count"] == expected
+
+    def test_register_init_recorded(self):
+        m = Module("t")
+        r = m.register("r", 4, init=0b1010)
+        m.connect(r, r)
+        nl = m.finalize()
+        assert nl.register_dff("r", 1).init == 1
+        assert nl.register_dff("r", 0).init == 0
+
+    def test_duplicate_register_rejected(self):
+        m = Module("t")
+        m.register("r", 4)
+        with pytest.raises(ElaborationError):
+            m.register("r", 4)
+
+    def test_unconnected_register_fails_finalize(self):
+        m = Module("t")
+        m.register("r", 4)
+        with pytest.raises(ElaborationError):
+            m.finalize()
+
+    def test_double_connect_rejected(self):
+        m = Module("t")
+        r = m.register("r", 4)
+        m.connect(r, r)
+        with pytest.raises(ElaborationError):
+            m.connect(r, r)
+
+    def test_width_mismatch_on_connect(self):
+        m = Module("t")
+        r = m.register("r", 4)
+        with pytest.raises(ElaborationError):
+            m.connect(r, m.const(0, 5))
+
+    def test_connect_rejects_non_register_wire(self):
+        m = Module("t")
+        a = m.input("a", 4)
+        with pytest.raises(ElaborationError):
+            m.connect(a, m.const(0, 4))
+
+    def test_connect_rejects_partial_register_slice(self):
+        m = Module("t")
+        r = m.register("r", 4)
+        with pytest.raises(ElaborationError):
+            m.connect(r[0:2], m.const(0, 2))
+
+
+class TestFinalization:
+    def test_no_edits_after_finalize(self):
+        m = Module("t")
+        r = m.register("r", 2)
+        m.connect(r, r)
+        m.finalize()
+        with pytest.raises(ElaborationError):
+            m.input("late", 1)
+        with pytest.raises(ElaborationError):
+            m.finalize()
+
+    def test_const_bounds(self):
+        m = Module("t")
+        with pytest.raises(ElaborationError):
+            m.const(16, 4)
+        with pytest.raises(ElaborationError):
+            m.const(-1, 4)
+
+
+class TestHelpers:
+    def test_priority_encode_lowest_wins(self):
+        m = Module("t")
+        reqs = [m.input(f"r{i}", 1) for i in range(3)]
+        grants = m.priority_encode(reqs)
+        for i, g in enumerate(grants):
+            m.output(f"g{i}", g)
+        ev = LogicEvaluator(m.finalize())
+        outs, _ = ev.step({"r0": 0, "r1": 1, "r2": 1}, {})
+        assert (outs["g0"], outs["g1"], outs["g2"]) == (0, 1, 0)
+        outs, _ = ev.step({"r0": 1, "r1": 1, "r2": 1}, {})
+        assert (outs["g0"], outs["g1"], outs["g2"]) == (1, 0, 0)
+        outs, _ = ev.step({"r0": 0, "r1": 0, "r2": 0}, {})
+        assert (outs["g0"], outs["g1"], outs["g2"]) == (0, 0, 0)
+
+    def test_one_hot_select(self):
+        m = Module("t")
+        sels = [m.input(f"s{i}", 1) for i in range(2)]
+        vals = [m.const(0xA, 4), m.const(0x5, 4)]
+        m.output("y", m.one_hot_select(sels, vals))
+        ev = LogicEvaluator(m.finalize())
+        assert ev.step({"s0": 1, "s1": 0}, {})[0]["y"] == 0xA
+        assert ev.step({"s0": 0, "s1": 1}, {})[0]["y"] == 0x5
+        assert ev.step({"s0": 0, "s1": 0}, {})[0]["y"] == 0
+
+    def test_one_hot_select_validation(self):
+        m = Module("t")
+        with pytest.raises(ElaborationError):
+            m.one_hot_select([], [])
+        with pytest.raises(ElaborationError):
+            m.one_hot_select([m.input("s", 2)], [m.const(1, 4)])

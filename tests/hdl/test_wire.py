@@ -1,0 +1,141 @@
+"""Property tests: elaborated word-level operators match Python integers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ElaborationError
+from repro.gatesim.logic import LogicEvaluator
+from repro.hdl import Module
+
+WIDTH = 12
+MASK = (1 << WIDTH) - 1
+words = st.integers(0, MASK)
+
+
+def eval_unary_design(build, a):
+    """Elaborate y = build(wire_a) and evaluate with input a."""
+    m = Module("t")
+    wa = m.input("a", WIDTH)
+    m.output("y", build(wa))
+    nl = m.finalize()
+    outs, _ = LogicEvaluator(nl).step({"a": a}, {})
+    return outs["y"]
+
+
+def eval_binary_design(build, a, b, width=WIDTH):
+    m = Module("t")
+    wa = m.input("a", width)
+    wb = m.input("b", width)
+    m.output("y", build(wa, wb))
+    nl = m.finalize()
+    outs, _ = LogicEvaluator(nl).step({"a": a, "b": b}, {})
+    return outs["y"]
+
+
+class TestBitwise:
+    @given(words, words)
+    @settings(max_examples=25, deadline=None)
+    def test_and_or_xor(self, a, b):
+        assert eval_binary_design(lambda x, y: x & y, a, b) == (a & b)
+        assert eval_binary_design(lambda x, y: x | y, a, b) == (a | b)
+        assert eval_binary_design(lambda x, y: x ^ y, a, b) == (a ^ b)
+
+    @given(words)
+    @settings(max_examples=15, deadline=None)
+    def test_invert(self, a):
+        assert eval_unary_design(lambda x: ~x, a) == (~a) & MASK
+
+    def test_width_mismatch_rejected(self):
+        m = Module("t")
+        a = m.input("a", 4)
+        b = m.input("b", 5)
+        with pytest.raises(ElaborationError):
+            _ = a & b
+
+    def test_int_coercion(self):
+        assert eval_unary_design(lambda x: x & 0x0F0, 0xABC) == 0xABC & 0x0F0
+
+
+class TestArithmetic:
+    @given(words, words)
+    @settings(max_examples=25, deadline=None)
+    def test_add_modular(self, a, b):
+        assert eval_binary_design(lambda x, y: x + y, a, b) == (a + b) & MASK
+
+    @given(words, words)
+    @settings(max_examples=25, deadline=None)
+    def test_sub_modular(self, a, b):
+        assert eval_binary_design(lambda x, y: x - y, a, b) == (a - b) & MASK
+
+
+class TestComparisons:
+    @given(words, words)
+    @settings(max_examples=25, deadline=None)
+    def test_all_relations(self, a, b):
+        assert eval_binary_design(lambda x, y: x.eq(y), a, b) == int(a == b)
+        assert eval_binary_design(lambda x, y: x.ne(y), a, b) == int(a != b)
+        assert eval_binary_design(lambda x, y: x.ge(y), a, b) == int(a >= b)
+        assert eval_binary_design(lambda x, y: x.le(y), a, b) == int(a <= b)
+        assert eval_binary_design(lambda x, y: x.lt(y), a, b) == int(a < b)
+        assert eval_binary_design(lambda x, y: x.gt(y), a, b) == int(a > b)
+
+
+class TestStructure:
+    @given(words)
+    @settings(max_examples=15, deadline=None)
+    def test_slicing(self, a):
+        assert eval_unary_design(lambda x: x[3], a) == (a >> 3) & 1
+        assert eval_unary_design(lambda x: x[2:7], a) == (a >> 2) & 0x1F
+
+    @given(words, st.integers(0, WIDTH + 2))
+    @settings(max_examples=20, deadline=None)
+    def test_const_shifts(self, a, n):
+        assert eval_unary_design(lambda x: x.shl_const(n), a) == (a << n) & MASK
+        assert eval_unary_design(lambda x: x.shr_const(n), a) == (a >> n) & MASK
+
+    @given(words)
+    @settings(max_examples=15, deadline=None)
+    def test_zext_trunc(self, a):
+        assert eval_unary_design(lambda x: x.zext(WIDTH + 4).trunc(WIDTH), a) == a
+
+    def test_cat_order(self):
+        # low word stays least significant
+        m = Module("t")
+        lo = m.input("lo", 4)
+        hi = m.input("hi", 4)
+        m.output("y", lo.cat(hi))
+        outs, _ = LogicEvaluator(m.finalize()).step({"lo": 0xA, "hi": 0x5}, {})
+        assert outs["y"] == 0x5A
+
+    def test_zext_shrink_rejected(self):
+        m = Module("t")
+        a = m.input("a", 8)
+        with pytest.raises(ElaborationError):
+            a.zext(4)
+
+    @given(words)
+    @settings(max_examples=15, deadline=None)
+    def test_reductions(self, a):
+        assert eval_unary_design(lambda x: x.reduce_or(), a) == int(a != 0)
+        assert eval_unary_design(lambda x: x.reduce_and(), a) == int(a == MASK)
+
+    @given(st.integers(0, 1), words, words)
+    @settings(max_examples=20, deadline=None)
+    def test_mux(self, sel, a, b):
+        m = Module("t")
+        ws = m.input("s", 1)
+        wa = m.input("a", WIDTH)
+        wb = m.input("b", WIDTH)
+        m.output("y", ws.mux(wa, wb))
+        outs, _ = LogicEvaluator(m.finalize()).step(
+            {"s": sel, "a": a, "b": b}, {}
+        )
+        assert outs["y"] == (a if sel else b)
+
+    def test_mux_selector_must_be_single_bit(self):
+        m = Module("t")
+        s = m.input("s", 2)
+        a = m.input("a", 4)
+        with pytest.raises(ElaborationError):
+            s.mux(a, a)

@@ -1,0 +1,108 @@
+"""Tests for the cell library: logic functions scalar vs word-parallel."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.cells import (
+    CELL_LIBRARY,
+    GateKind,
+    eval_gate,
+    eval_gate_words,
+    gate_sensitized,
+)
+
+TWO_INPUT = [
+    GateKind.AND,
+    GateKind.OR,
+    GateKind.NAND,
+    GateKind.NOR,
+    GateKind.XOR,
+    GateKind.XNOR,
+]
+
+
+class TestScalarEval:
+    @pytest.mark.parametrize("kind", TWO_INPUT)
+    def test_truth_tables(self, kind):
+        reference = {
+            GateKind.AND: lambda a, b: a & b,
+            GateKind.OR: lambda a, b: a | b,
+            GateKind.NAND: lambda a, b: 1 - (a & b),
+            GateKind.NOR: lambda a, b: 1 - (a | b),
+            GateKind.XOR: lambda a, b: a ^ b,
+            GateKind.XNOR: lambda a, b: 1 - (a ^ b),
+        }[kind]
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert eval_gate(kind, [a, b]) == reference(a, b)
+
+    def test_unary_and_mux(self):
+        assert eval_gate(GateKind.NOT, [0]) == 1
+        assert eval_gate(GateKind.BUF, [1]) == 1
+        for sel, a, b in itertools.product((0, 1), repeat=3):
+            assert eval_gate(GateKind.MUX, [sel, a, b]) == (b if sel else a)
+
+    def test_constants(self):
+        assert eval_gate(GateKind.CONST0, []) == 0
+        assert eval_gate(GateKind.CONST1, []) == 1
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateKind.DFF, [0])
+
+
+class TestWordEval:
+    @pytest.mark.parametrize(
+        "kind", TWO_INPUT + [GateKind.NOT, GateKind.BUF, GateKind.MUX]
+    )
+    @given(data=st.data())
+    def test_word_matches_scalar(self, kind, data):
+        n_inputs = CELL_LIBRARY[kind].n_inputs
+        words = [
+            np.array(
+                [data.draw(st.integers(0, (1 << 64) - 1))], dtype=np.uint64
+            )
+            for _ in range(n_inputs)
+        ]
+        out = eval_gate_words(kind, words)
+        for bit in range(64):
+            scalar_in = [int(w[0] >> bit) & 1 for w in words]
+            assert (int(out[0]) >> bit) & 1 == eval_gate(kind, scalar_in)
+
+
+class TestSensitization:
+    def test_and_gate_masking(self):
+        # side input 0 masks; side input 1 sensitizes
+        assert not gate_sensitized(GateKind.AND, [1, 0], pin=0)
+        assert gate_sensitized(GateKind.AND, [1, 1], pin=0)
+
+    def test_xor_always_sensitized(self):
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert gate_sensitized(GateKind.XOR, [a, b], pin=0)
+            assert gate_sensitized(GateKind.XOR, [a, b], pin=1)
+
+    def test_mux_select_masking(self):
+        # sel=0 selects input a (pin 1): pin 2 is masked
+        assert gate_sensitized(GateKind.MUX, [0, 0, 1], pin=1)
+        assert not gate_sensitized(GateKind.MUX, [0, 0, 1], pin=2)
+
+
+class TestLibraryMetadata:
+    def test_every_kind_has_cell_info(self):
+        for kind in GateKind:
+            assert kind in CELL_LIBRARY
+            info = CELL_LIBRARY[kind]
+            assert info.delay_ps >= 0
+            assert info.area_um2 >= 0
+
+    def test_sources_have_no_delay(self):
+        for kind in GateKind:
+            if kind.is_source and kind is not GateKind.DFF:
+                assert CELL_LIBRARY[kind].area_um2 == 0.0
+
+    def test_comb_source_partition(self):
+        for kind in GateKind:
+            assert kind.is_combinational != kind.is_source

@@ -1,0 +1,142 @@
+"""Tests for unrolled cone extraction and its frame semantics."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import GateKind
+from repro.netlist.cones import ConeExtractor
+from repro.netlist.graph import Netlist
+
+
+def shift_register(n=3):
+    """in -> r0 -> r1 -> ... -> r_{n-1}; returns (netlist, [reg ids])."""
+    nl = Netlist("shift")
+    src = nl.add_input("in")
+    regs = []
+    prev = src
+    for i in range(n):
+        q = nl.add_dff(name=f"r{i}[0]", register=f"r{i}", bit=0)
+        buf = nl.add_gate(GateKind.BUF, prev)
+        nl.connect_dff(q, buf)
+        regs.append(q)
+        prev = q
+    nl.mark_output("out", prev)
+    nl.validate()
+    return nl, regs
+
+
+class TestFaninFrames:
+    def test_shift_register_frames(self):
+        """In r0 -> r1 -> r2, a fault in r_{2-k} needs k cycles to reach r2."""
+        nl, regs = shift_register(3)
+        cones = ConeExtractor(nl).extract(regs[2], max_fanin_depth=5)
+        assert regs[2] in cones.fanin[0]
+        assert regs[1] in cones.fanin[1]
+        assert regs[0] in cones.fanin[2]
+
+    def test_comb_gate_shares_downstream_register_frame(self):
+        """A transient in r2's D-cone latches the same cycle: frame 0."""
+        nl, regs = shift_register(3)
+        cones = ConeExtractor(nl).extract(regs[2], max_fanin_depth=5)
+        d_pin = nl.node(regs[2]).fanins[0]  # the BUF before r2
+        assert d_pin in cones.fanin[0]
+        d_pin_r1 = nl.node(regs[1]).fanins[0]
+        assert d_pin_r1 in cones.fanin[1]
+
+    def test_depth_cap_respected(self):
+        nl, regs = shift_register(4)
+        cones = ConeExtractor(nl).extract(regs[3], max_fanin_depth=2)
+        assert max(cones.fanin.keys()) <= 2
+        assert regs[0] not in cones.all_nodes()
+
+    def test_self_holding_register_in_all_frames(self, mpu_netlist):
+        """MPU config registers hold themselves, so they stay attackable at
+        every timing distance >= 1 — the unrolling must reflect that."""
+        from repro.soc.mpu import default_responding_signals
+
+        responding = default_responding_signals(mpu_netlist)
+        cones = ConeExtractor(mpu_netlist).extract_many(
+            responding, max_fanin_depth=10
+        )
+        cfg_bit = mpu_netlist.register_dff("cfg_top0", 12).nid
+        for frame in range(1, 11):
+            assert cfg_bit in cones.fanin[frame]
+        assert cfg_bit not in cones.fanin[0]
+
+    def test_unknown_node_rejected(self, mpu_netlist):
+        with pytest.raises(NetlistError):
+            ConeExtractor(mpu_netlist).extract(10**6)
+
+    def test_extract_many_requires_nodes(self, mpu_netlist):
+        with pytest.raises(NetlistError):
+            ConeExtractor(mpu_netlist).extract_many([])
+
+
+class TestFanoutFrames:
+    def test_fanout_crosses_registers_negatively(self):
+        nl, regs = shift_register(3)
+        cones = ConeExtractor(nl).extract(regs[0], max_fanout_depth=5)
+        depths_r1 = cones.depths_of(regs[1])
+        depths_r2 = cones.depths_of(regs[2])
+        assert -1 in depths_r1
+        assert -2 in depths_r2
+
+    def test_sticky_flag_in_viol_q_fanout(self, mpu_netlist):
+        from repro.soc.mpu import default_responding_signals
+
+        viol_q = mpu_netlist.register_dff("viol_q", 0).nid
+        cones = ConeExtractor(mpu_netlist).extract(viol_q, max_fanout_depth=3)
+        sticky = mpu_netlist.register_dff("sticky_flag", 0).nid
+        assert -1 in cones.depths_of(sticky)
+
+
+class TestConeAlgebra:
+    def test_merge_unions_frames(self):
+        nl, regs = shift_register(3)
+        ce = ConeExtractor(nl)
+        a = ce.extract(regs[1], max_fanin_depth=4)
+        b = ce.extract(regs[2], max_fanin_depth=4)
+        merged = a.merge(b)
+        assert merged.all_nodes() == a.all_nodes() | b.all_nodes()
+
+    def test_frames_listing(self):
+        nl, regs = shift_register(2)
+        cones = ConeExtractor(nl).extract(regs[1], max_fanin_depth=3, max_fanout_depth=2)
+        frames = cones.frames()
+        assert frames == sorted(frames)
+
+    def test_nodes_at_missing_frame_empty(self):
+        nl, regs = shift_register(2)
+        cones = ConeExtractor(nl).extract(regs[1], max_fanin_depth=1)
+        assert cones.nodes_at(99) == set()
+        assert cones.nodes_at(-99) == set()
+
+
+class TestLatchingHelpers:
+    def test_latching_registers_simple(self):
+        nl, regs = shift_register(3)
+        d_pin = nl.node(regs[1]).fanins[0]
+        assert ConeExtractor(nl).latching_registers(d_pin) == {regs[1]}
+
+    def test_max_over_latching(self):
+        nl, regs = shift_register(3)
+        ce = ConeExtractor(nl)
+        lifetimes = {regs[0]: 5.0, regs[1]: 50.0, regs[2]: 1.0}
+        result = ce.max_over_latching(lifetimes)
+        # The BUF feeding r1 can only latch into r1.
+        d_pin_r1 = nl.node(regs[1]).fanins[0]
+        assert result[d_pin_r1] == 50.0
+        # DFFs report their own lifetime.
+        assert result[regs[0]] == 5.0
+
+    def test_max_over_latching_fans_out(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_gate(GateKind.BUF, a)
+        q1 = nl.add_dff(g, name="q1[0]", register="q1", bit=0)
+        q2 = nl.add_dff(g, name="q2[0]", register="q2", bit=0)
+        nl.mark_output("o", q1)
+        nl.validate()
+        result = ConeExtractor(nl).max_over_latching({q1: 3.0, q2: 9.0})
+        assert result[g] == 9.0
+        assert result[a] == 9.0

@@ -1,0 +1,146 @@
+"""Tests for SCOAP testability metrics."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import GateKind
+from repro.netlist.graph import Netlist
+from repro.netlist.scoap import INF, compute_scoap
+
+
+def chain(*kinds):
+    """in0, in1 -> gate chain; returns (netlist, [gate ids])."""
+    nl = Netlist("chain")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    gates = []
+    prev = (a, b)
+    for kind in kinds:
+        arity = 1 if kind in (GateKind.NOT, GateKind.BUF) else 2
+        g = nl.add_gate(kind, *prev[:arity])
+        gates.append(g)
+        prev = (g, b)
+    nl.mark_output("o", gates[-1])
+    nl.validate()
+    return nl, gates
+
+
+class TestControllability:
+    def test_inputs_are_unit(self):
+        nl, _ = chain(GateKind.AND)
+        result = compute_scoap(nl)
+        assert result.cc0[nl.inputs["a"]] == 1.0
+        assert result.cc1[nl.inputs["a"]] == 1.0
+
+    def test_and_gate_rule(self):
+        nl, gates = chain(GateKind.AND)
+        result = compute_scoap(nl)
+        # CC0 = min(1,1)+1 = 2 ; CC1 = 1+1+1 = 3
+        assert result.cc0[gates[0]] == 2.0
+        assert result.cc1[gates[0]] == 3.0
+
+    def test_not_swaps(self):
+        nl, gates = chain(GateKind.AND, GateKind.NOT)
+        result = compute_scoap(nl)
+        assert result.cc0[gates[1]] == result.cc1[gates[0]] + 1
+        assert result.cc1[gates[1]] == result.cc0[gates[0]] + 1
+
+    def test_xor_rule(self):
+        nl, gates = chain(GateKind.XOR)
+        result = compute_scoap(nl)
+        assert result.cc0[gates[0]] == 3.0  # equal inputs
+        assert result.cc1[gates[0]] == 3.0
+
+    def test_constants(self):
+        nl = Netlist()
+        zero = nl.add_const(0)
+        one = nl.add_const(1)
+        g = nl.add_gate(GateKind.OR, zero, one)
+        nl.mark_output("o", g)
+        result = compute_scoap(nl)
+        assert result.cc0[zero] == 0.0 and result.cc0[one] == INF
+        assert result.cc1[one] == 0.0 and result.cc1[zero] == INF
+
+    def test_depth_increases_controllability_cost(self):
+        nl, gates = chain(GateKind.AND, GateKind.AND, GateKind.AND)
+        result = compute_scoap(nl)
+        costs = [result.cc1[g] for g in gates]
+        assert costs == sorted(costs)
+
+
+class TestObservability:
+    def test_output_is_zero(self):
+        nl, gates = chain(GateKind.AND)
+        result = compute_scoap(nl)
+        assert result.co[gates[0]] == 0.0
+
+    def test_deeper_nets_harder_to_observe(self):
+        nl, gates = chain(GateKind.AND, GateKind.AND, GateKind.AND)
+        result = compute_scoap(nl)
+        assert result.co[gates[0]] > result.co[gates[1]] > result.co[gates[2]]
+
+    def test_custom_observation_points(self, mpu_netlist):
+        from repro.soc.mpu import default_responding_signals
+
+        responding = default_responding_signals(mpu_netlist)
+        result = compute_scoap(mpu_netlist, observe=responding)
+        for rs in responding:
+            assert result.co[rs] == 0.0
+        # nets feeding the decision are more observable than far-away
+        # configuration bits of a disabled region
+        viol_d = mpu_netlist.node(
+            mpu_netlist.register_dff("viol_q", 0).nid
+        ).fanins[0]
+        far = mpu_netlist.register_dff("cfg_base7", 3).nid
+        assert result.co[viol_d] < result.co[far]
+
+    def test_invalid_observation_point(self, mpu_netlist):
+        with pytest.raises(NetlistError):
+            compute_scoap(mpu_netlist, observe=[10**7])
+
+    def test_hardest_to_observe_ranking(self, mpu_netlist):
+        result = compute_scoap(mpu_netlist)
+        ranked = result.hardest_to_observe(5)
+        assert len(ranked) == 5
+        values = [v for _n, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestScoapSampler:
+    def test_baseline_runs_and_is_unbiased_support(self, small_context):
+        import numpy as np
+
+        from repro import default_attack_spec
+        from repro.sampling.scoap_sampler import ScoapConeSampler
+
+        spec = default_attack_spec(small_context, window=10)
+        sampler = ScoapConeSampler(spec, small_context.characterization)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            s = sampler.sample(rng)
+            assert spec.density(s.t, s.centre, s.radius_um) > 0
+            assert s.weight > 0
+
+    def test_prefers_observable_nodes(self, small_context):
+        import numpy as np
+
+        from repro import default_attack_spec
+        from repro.sampling.scoap_sampler import ScoapConeSampler
+        from repro.netlist.scoap import compute_scoap
+
+        spec = default_attack_spec(small_context, window=10)
+        sampler = ScoapConeSampler(
+            spec, small_context.characterization, sharpness=2.0
+        )
+        scoap = compute_scoap(
+            small_context.netlist, observe=small_context.characterization.responding
+        )
+        rng = np.random.default_rng(1)
+        draws = [sampler.sample(rng).centre for _ in range(400)]
+        mean_co = np.mean([min(scoap.co[c], 1e6) for c in draws])
+        uniform_nodes = list(
+            small_context.characterization.omega_nodes(1)
+            & set(spec.spatial.universe)
+        )
+        uniform_co = np.mean([min(scoap.co[c], 1e6) for c in uniform_nodes])
+        assert mean_co < uniform_co

@@ -1,0 +1,76 @@
+"""Tests for the error lifetime / contamination campaign."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.precharac.lifetime import run_lifetime_campaign
+from repro.soc.programs import synthetic_workload
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    bench = synthetic_workload(seed=11)
+    soc = Soc()
+    soc.load_program(bench.program.words)
+    soc.reset()
+    n_cycles = soc.run_until_halt() + 10
+    bits = [
+        ("cfg_top0", 12),     # static config: error lives forever
+        ("cfg_base5", 3),     # disabled-region config: forever, no effect
+        ("req_addr", 4),      # overwritten by the next request
+        ("req_valid", 0),
+        ("viol_q", 0),
+        ("sticky_flag", 0),   # sticky: never cleared in this workload
+    ]
+    return run_lifetime_campaign(
+        soc, n_cycles, bits, horizon=60, n_trials=2, seed=3
+    )
+
+
+class TestLifetimeCampaign:
+    def test_static_config_never_masks(self, campaign):
+        char = campaign.results[("cfg_base5", 3)]
+        assert char.lifetime == campaign.horizon
+        assert not char.ever_masked
+        assert char.contamination == 0.0
+
+    def test_pipeline_registers_mask_quickly(self, campaign):
+        char = campaign.results[("req_addr", 4)]
+        assert char.lifetime < campaign.horizon / 2
+        assert char.ever_masked
+
+    def test_decision_register_shorter_lived_than_config(self, campaign):
+        viol = campaign.results[("viol_q", 0)]
+        cfg = campaign.results[("cfg_base5", 3)]
+        assert viol.lifetime < cfg.lifetime
+        assert viol.ever_masked
+
+    def test_sticky_flag_zero_contamination(self, campaign):
+        # A flipped sticky flag never propagates anywhere (nothing reads
+        # it in this workload); it only converges once the golden run sets
+        # the flag itself.
+        char = campaign.results[("sticky_flag", 0)]
+        assert char.contamination == 0.0
+        assert char.lifetime > campaign.results[("req_addr", 4)].lifetime
+
+    def test_register_means_aggregation(self, campaign):
+        means = campaign.register_means()
+        assert means["cfg_base5"][0] == campaign.horizon
+
+    def test_histogram_values(self, campaign):
+        values = campaign.histogram("lifetime")["values"]
+        assert len(values) == len(campaign.results)
+        with pytest.raises(CharacterizationError):
+            campaign.histogram("bogus")
+
+    def test_lifetime_of_unknown_bit_is_zero(self, campaign):
+        assert campaign.lifetime_of("nope", 0) == 0.0
+
+
+class TestValidation:
+    def test_horizon_too_long_rejected(self):
+        soc = Soc()
+        soc.load_program(synthetic_workload(seed=1).program.words)
+        with pytest.raises(CharacterizationError):
+            run_lifetime_campaign(soc, 50, [("viol_q", 0)], horizon=60)

@@ -1,0 +1,79 @@
+"""Round-trip tests for characterization persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.precharac.persistence import (
+    load_characterization,
+    save_characterization,
+)
+from repro.soc.memmap import MemoryMap
+from repro.soc.mpu import build_mpu_netlist
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything_used(self, small_context, tmp_path):
+        ch = small_context.characterization
+        path = tmp_path / "charac.json"
+        save_characterization(ch, path)
+        loaded = load_characterization(path, small_context.netlist)
+
+        assert loaded.responding == ch.responding
+        assert loaded.memory_type == ch.memory_type
+        assert loaded.computation_type == ch.computation_type
+        assert loaded.signatures.correlations == ch.signatures.correlations
+        assert loaded.lifetime.horizon == ch.lifetime.horizon
+        assert loaded.lifetime.results.keys() == ch.lifetime.results.keys()
+        for frame in range(ch.config.max_frame + 1):
+            assert loaded.omega_nodes(frame) == ch.omega_nodes(frame)
+        for node in small_context.netlist.nodes:
+            assert loaded.L(node.nid) == ch.L(node.nid)
+
+    def test_loaded_characterization_drives_sampler(
+        self, small_context, tmp_path
+    ):
+        from repro import ImportanceSampler, default_attack_spec
+
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        loaded = load_characterization(path, small_context.netlist)
+        spec = default_attack_spec(small_context, window=10)
+        fresh = ImportanceSampler(
+            spec, small_context.characterization,
+            placement=small_context.placement,
+        )
+        restored = ImportanceSampler(
+            spec, loaded, placement=small_context.placement
+        )
+        for t in spec.temporal.support():
+            assert fresh.g_T(t) == pytest.approx(restored.g_T(t))
+
+
+class TestGuards:
+    def test_wrong_netlist_rejected(self, small_context, tmp_path):
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        other = build_mpu_netlist(MemoryMap(n_mpu_regions=4))
+        with pytest.raises(CharacterizationError):
+            load_characterization(path, other)
+
+    def test_bad_version_rejected(self, small_context, tmp_path):
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CharacterizationError):
+            load_characterization(path, small_context.netlist)
+
+    def test_missing_file_rejected(self, small_context, tmp_path):
+        with pytest.raises(CharacterizationError):
+            load_characterization(tmp_path / "nope.json", small_context.netlist)
+
+    def test_corrupt_json_rejected(self, small_context, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CharacterizationError):
+            load_characterization(path, small_context.netlist)

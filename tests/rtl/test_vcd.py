@@ -1,0 +1,95 @@
+"""Tests for the VCD waveform writer."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtl.device import RegisterSpec
+from repro.rtl.vcd import VcdWriter, _identifier, dump_run
+
+from tests.rtl.test_simulator import CounterDevice
+
+
+class TestIdentifiers:
+    def test_first_codes(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+
+    def test_rollover_to_two_chars(self):
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+    def test_unique_over_many(self):
+        codes = {_identifier(i) for i in range(5000)}
+        assert len(codes) == 5000
+
+
+class TestVcdWriter:
+    def specs(self):
+        return {"count": RegisterSpec(8), "flag": RegisterSpec(1)}
+
+    def test_header_and_dumpvars(self):
+        buffer = io.StringIO()
+        with VcdWriter(buffer, self.specs(), module="soc") as vcd:
+            vcd.sample(0, {"count": 3, "flag": 1})
+        text = buffer.getvalue()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module soc $end" in text
+        assert "$var reg 8" in text and "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+        assert "b00000011" in text
+
+    def test_only_changes_emitted(self):
+        buffer = io.StringIO()
+        with VcdWriter(buffer, self.specs()) as vcd:
+            vcd.sample(0, {"count": 1, "flag": 0})
+            vcd.sample(1, {"count": 1, "flag": 0})  # no change: no timestamp
+            vcd.sample(2, {"count": 2, "flag": 0})
+        text = buffer.getvalue()
+        assert "#0" in text and "#2" in text
+        assert "#1" not in text
+
+    def test_closed_writer_rejects_samples(self):
+        buffer = io.StringIO()
+        vcd = VcdWriter(buffer, self.specs())
+        vcd.close()
+        with pytest.raises(SimulationError):
+            vcd.sample(0, {"count": 0, "flag": 0})
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(SimulationError):
+            VcdWriter(io.StringIO(), {})
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        with VcdWriter(path, self.specs()) as vcd:
+            vcd.sample(0, {"count": 9, "flag": 1})
+        assert path.read_text().startswith("$timescale")
+
+
+class TestDumpRun:
+    def test_counter_waveform(self, tmp_path):
+        path = tmp_path / "counter.vcd"
+        dump_run(CounterDevice(), 10, path)
+        text = path.read_text()
+        # the counter changes every cycle: 11 timestamps (0..10)
+        assert text.count("#") >= 10
+        assert "b00001010" in text  # value 10 at the end
+
+    def test_register_filter(self, tmp_path):
+        from repro.soc.programs import illegal_write_benchmark
+        from repro.soc.soc import Soc
+
+        soc = Soc()
+        soc.load_program(illegal_write_benchmark().program.words)
+        path = tmp_path / "mpu.vcd"
+        dump_run(soc, 50, path, registers=["viol_q", "grant_q", "core_pc"])
+        text = path.read_text()
+        assert "viol_q" in text and "core_pc" in text
+        assert "cfg_base0" not in text
+
+    def test_unknown_register_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            dump_run(CounterDevice(), 5, tmp_path / "x.vcd", registers=["nope"])

@@ -1,0 +1,105 @@
+"""Tests for the DFA campaign (the paper's scenario-2 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.scenarios.cipher import N_KEYS, SBOX, encrypt_reference, sbox_layer
+from repro.scenarios.dfa import DfaCampaign, last_round_candidates
+
+
+def random_keys(seed=0):
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 1 << 16)) for _ in range(N_KEYS)]
+
+
+class TestCandidateAnalysis:
+    def test_unaffected_nibbles_unconstrained(self):
+        candidates = last_round_candidates(0x1234, 0x1234)
+        assert all(len(c) == 16 for c in candidates)
+
+    def test_true_key_always_survives_a_real_fault(self):
+        """A genuine 1-bit fault on the last-round input must keep the true
+        whitening key among the candidates of the affected nibble."""
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            x = int(rng.integers(0, 1 << 16))      # last-round input (keyed)
+            k4 = int(rng.integers(0, 1 << 16))     # whitening key
+            bit = int(rng.integers(0, 16))
+            c = sbox_layer(x) ^ k4
+            c_faulty = sbox_layer(x ^ (1 << bit)) ^ k4
+            nibble = bit // 4
+            cands = last_round_candidates(c, c_faulty)[nibble]
+            assert (k4 >> (4 * nibble)) & 0xF in cands
+            assert len(cands) < 16
+
+    def test_real_fault_candidates_are_few(self):
+        rng = np.random.default_rng(2)
+        sizes = []
+        for _ in range(100):
+            x = int(rng.integers(0, 1 << 16))
+            k4 = int(rng.integers(0, 1 << 16))
+            bit = int(rng.integers(0, 16))
+            c = sbox_layer(x) ^ k4
+            c_faulty = sbox_layer(x ^ (1 << bit)) ^ k4
+            cands = last_round_candidates(c, c_faulty)[bit // 4]
+            sizes.append(len(cands))
+        assert np.mean(sizes) < 8
+
+
+class TestDfaCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return DfaCampaign(random_keys(7))
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            DfaCampaign([1, 2, 3])
+        campaign = DfaCampaign(random_keys())
+        with pytest.raises(EvaluationError):
+            campaign.evaluate(0)
+        with pytest.raises(EvaluationError):
+            campaign.run_one(0, 99, 0, 2.0, np.random.default_rng(0))
+
+    def test_masked_injection_leaves_ciphertext_golden(self, campaign):
+        rng = np.random.default_rng(3)
+        keys = campaign.round_keys
+        pt = 0x5A5A
+        golden = encrypt_reference(pt, keys)
+        # a spot far from everything: pick an input node's coordinates are
+        # excluded from the universe, so force masked by zero-radius-ish
+        # injection on a constant-adjacent gate many times
+        masked_seen = False
+        for _ in range(40):
+            centre = int(campaign.universe[rng.integers(0, len(campaign.universe))])
+            masked, ct = campaign.run_one(pt, 1, centre, 2.0, rng)
+            if masked:
+                masked_seen = True
+                assert ct == golden
+        assert masked_seen
+
+    def test_campaign_metrics_consistent(self, campaign):
+        report = campaign.evaluate(300, seed=11)
+        assert report.n_samples == 300
+        assert 0.0 <= report.ssf <= 1.0
+        assert 0.0 <= report.masked_fraction <= 1.0
+        by_round = report.usefulness_by_round()
+        assert set(by_round) <= {0, 1, 2, 3}
+
+    def test_key_recovery_on_aimed_campaign(self):
+        """Aiming at the state register recovers the whitening key."""
+        keys = random_keys(13)
+        campaign = DfaCampaign(keys)
+        campaign.universe = [
+            campaign.netlist.register_dff("state", b).nid for b in range(16)
+        ]
+        report = campaign.evaluate(2500, seed=5)
+        assert report.key_recovered
+        assert report.recovered_key == keys[-1]
+        assert report.injections_to_recovery < 2500
+
+    def test_deterministic_given_seed(self, campaign):
+        a = campaign.evaluate(120, seed=21)
+        b = campaign.evaluate(120, seed=21)
+        assert a.ssf == b.ssf
+        assert [r.faulty for r in a.records] == [r.faulty for r in b.records]

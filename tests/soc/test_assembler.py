@@ -1,0 +1,146 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.soc.assembler import assemble
+from repro.soc.isa import Opcode, decode
+
+
+class TestBasics:
+    def test_simple_program(self):
+        prog = assemble("""
+            li r1, 42
+            addi r2, r1, -1
+            halt
+        """)
+        assert len(prog.words) == 3
+        i0 = decode(prog.words[0])
+        assert i0.opcode == Opcode.LI and i0.rd == 1 and i0.imm == 42
+        i1 = decode(prog.words[1])
+        assert i1.opcode == Opcode.ADDI and i1.imm == -1
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+            ; leading comment
+            nop   # trailing comment
+            nop   // also a comment
+
+            halt
+        """)
+        assert len(prog.words) == 3
+
+    def test_hex_and_decimal_immediates(self):
+        prog = assemble("li r1, 0x1F\nli r2, 31\nhalt")
+        assert decode(prog.words[0]).imm == decode(prog.words[1]).imm == 31
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("; nothing\n")
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        prog = assemble("""
+        start:
+            jmp end
+            nop
+        end:
+            jmp start
+            halt
+        """)
+        assert decode(prog.words[0]).imm == prog.label("end") == 2
+        assert decode(prog.words[2]).imm == 0
+
+    def test_label_as_immediate(self):
+        prog = assemble("""
+            li r1, =target
+            halt
+        target:
+            nop
+        """)
+        assert decode(prog.words[0]).imm == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere\nhalt")
+
+    def test_unknown_label_lookup(self):
+        prog = assemble("halt")
+        with pytest.raises(AssemblyError):
+            prog.label("missing")
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble("loop: jmp loop\nhalt")
+        assert prog.label("loop") == 0
+
+
+class TestDirectives:
+    def test_org_moves_location(self):
+        prog = assemble("""
+            nop
+            .org 0x10
+            halt
+        """)
+        assert len(prog.words) == 0x11
+        assert decode(prog.words[0x10]).opcode == Opcode.HALT
+
+    def test_word_directive(self):
+        prog = assemble("""
+            .word 0xDEADBEEF, 7
+            halt
+        """)
+        assert prog.words[0] == 0xDEADBEEF
+        assert prog.words[1] == 7
+
+    def test_word_with_label_value(self):
+        prog = assemble("""
+            jmp main
+        data:
+            .word =main
+        main:
+            halt
+        """)
+        assert prog.words[1] == prog.label("main")
+
+    def test_overlap_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("nop\n.org 0\nhalt")
+
+
+class TestOperandParsing:
+    def test_register_validation(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r8, r0, r0\nhalt")
+        with pytest.raises(AssemblyError):
+            assemble("add rx, r0, r0\nhalt")
+
+    def test_operand_count_validation(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2\nhalt")
+        with pytest.raises(AssemblyError):
+            assemble("nop r1\nhalt")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1\nhalt")
+
+    def test_sw_operand_order(self):
+        # sw rs2, rs1, imm : store rs2 at [rs1 + imm]
+        prog = assemble("sw r3, r5, 7\nhalt")
+        instr = decode(prog.words[0])
+        assert instr.rs2 == 3 and instr.rs1 == 5 and instr.imm == 7
+
+    def test_mov_pseudo_instruction(self):
+        prog = assemble("mov r2, r6\nhalt")
+        instr = decode(prog.words[0])
+        assert instr.opcode == Opcode.ADD
+        assert instr.rd == 2 and instr.rs1 == 6 and instr.rs2 == 0
+
+    def test_imm_overflow_reported_with_line(self):
+        with pytest.raises(AssemblyError, match="line 1"):
+            assemble("li r1, 9999999\nhalt")

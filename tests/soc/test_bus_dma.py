@@ -1,0 +1,143 @@
+"""Tests for the bus protocol and the DMA engine."""
+
+import pytest
+
+from repro.soc.assembler import assemble
+from repro.soc.bus import Bus, BusRequest, SRC_CORE, SRC_DMA
+from repro.soc.dma import Dma, DmaState
+from repro.soc.memmap import (
+    DMA_REG_CTRL,
+    DMA_REG_DST,
+    DMA_REG_LEN,
+    DMA_REG_SRC,
+    DEFAULT_MEMORY_MAP,
+)
+from repro.soc.programs import dma_exfiltration_benchmark
+from repro.soc.soc import Soc
+
+
+class TestBusPipeline:
+    def test_three_stage_lifecycle(self):
+        bus = Bus()
+        req = BusRequest(addr=0x100, write=True, wdata=5, priv=True, src=SRC_CORE)
+        assert bus.status().free
+        bus.step(req, None)
+        assert not bus.status().free and bus.status().stage == 1
+        bus.step(None, None)
+        assert bus.status().stage == 2
+        bus.step(None, None)
+        assert bus.status().free
+
+    def test_read_data_latched_at_commit(self):
+        bus = Bus()
+        bus.step(BusRequest(addr=0x10, write=False), None)
+        bus.step(None, None)
+        bus.step(None, 0xCAFE)  # commit cycle returns data
+        assert bus.status().rdata_q == 0xCAFE
+
+    def test_request_ignored_while_pending(self):
+        bus = Bus()
+        bus.step(BusRequest(addr=1, write=False), None)
+        bus.step(BusRequest(addr=2, write=False), None)  # should be dropped
+        assert bus.regs["bus_addr"] == 1
+
+
+class TestDmaMmio:
+    def test_register_readback(self):
+        dma = Dma()
+        dma.mmio_write(DMA_REG_SRC, 0x1111)
+        dma.step(Bus().status(), None, False, None)
+        assert dma.mmio_read(DMA_REG_SRC) == 0x1111
+
+    def test_ctrl_start_resets_engine(self):
+        dma = Dma()
+        dma.set_registers({"dma_error": 1, "dma_cnt": 5})
+        dma.mmio_write(DMA_REG_CTRL, 1)
+        dma.step(Bus().status(), None, False, None)
+        assert dma.regs["dma_active"] == 1
+        assert dma.regs["dma_error"] == 0
+        assert dma.regs["dma_cnt"] == 0
+
+    def test_ctrl_read_encodes_active_and_error(self):
+        dma = Dma()
+        dma.set_registers({"dma_active": 1, "dma_error": 1})
+        assert dma.mmio_read(DMA_REG_CTRL) == 0b11
+
+
+def dma_copy_program(src, dst, length):
+    """Privileged program (open MMIO is not needed in privileged mode);
+    configures the default MPU regions first, since DMA transfers are
+    checked against the user-mode rules."""
+    from repro.soc.programs import _region_setup_asm
+
+    mmio = DEFAULT_MEMORY_MAP.dma_mmio_base
+    return f"""
+{_region_setup_asm(DEFAULT_MEMORY_MAP.default_regions())}
+        li r1, {src}
+        li r2, {mmio + DMA_REG_SRC}
+        sw r1, r2, 0
+        li r1, {dst}
+        li r2, {mmio + DMA_REG_DST}
+        sw r1, r2, 0
+        li r1, {length}
+        li r2, {mmio + DMA_REG_LEN}
+        sw r1, r2, 0
+        li r1, 1
+        li r2, {mmio + DMA_REG_CTRL}
+        sw r1, r2, 0
+        li r3, 1
+    poll:
+        lw r5, r2, 0
+        and r5, r5, r3
+        bne r5, r0, poll
+        halt
+    """
+
+
+class TestDmaTransfers:
+    def test_legal_copy_completes(self):
+        soc = Soc()
+        prog = assemble(dma_copy_program(0x0400, 0x0500, 3))
+        soc.load_program(prog.words)
+        soc.reset()
+        for i in range(3):
+            soc.memory.write(0x0400 + i, 100 + i)
+        soc.run_until_halt(20000)
+        assert [soc.memory.read(0x0500 + i) for i in range(3)] == [100, 101, 102]
+        assert soc.dma.regs["dma_error"] == 0
+        assert soc.dma.regs["dma_active"] == 0
+
+    def test_dma_read_of_protected_region_blocked(self):
+        """DMA transfers run unprivileged: the protected source aborts the
+        engine with the error flag, and nothing is copied."""
+        soc = Soc()
+        secret_addr = DEFAULT_MEMORY_MAP.protected_base + 8
+        prog = assemble(dma_copy_program(secret_addr, 0x0500, 1))
+        soc.load_program(prog.words)
+        soc.reset()
+        soc.memory.write(secret_addr, 0x5EC)
+        soc.run_until_halt(20000)
+        assert soc.dma.regs["dma_error"] == 1
+        assert soc.memory.read(0x0500) != 0x5EC
+        assert soc.mpu.regs["sticky_flag"] == 1
+
+    def test_zero_length_transfer_finishes_immediately(self):
+        soc = Soc()
+        prog = assemble(dma_copy_program(0x0400, 0x0500, 0))
+        soc.load_program(prog.words)
+        soc.reset()
+        soc.run_until_halt(20000)
+        assert soc.dma.regs["dma_active"] == 0
+        assert soc.dma.regs["dma_error"] == 0
+
+
+class TestDmaBenchmarkGolden:
+    def test_exfiltration_blocked_and_detected(self):
+        bench = dma_exfiltration_benchmark()
+        soc = Soc()
+        soc.load_program(bench.program.words)
+        soc.reset()
+        soc.run_until_halt(20000)
+        assert not bench.attack_succeeded(soc)
+        assert bench.detected(soc)
+        assert soc.memory.read(bench.leak_addr) != bench.secret_value

@@ -1,0 +1,63 @@
+"""Tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.soc.isa import (
+    IMM_MAX,
+    IMM_MIN,
+    Csr,
+    Instruction,
+    Opcode,
+    csr_is_privileged,
+    decode,
+    encode,
+)
+
+instructions = st.builds(
+    Instruction,
+    opcode=st.sampled_from(list(Opcode)),
+    rd=st.integers(0, 7),
+    rs1=st.integers(0, 7),
+    rs2=st.integers(0, 7),
+    imm=st.integers(IMM_MIN, IMM_MAX),
+)
+
+
+class TestEncoding:
+    @given(instructions)
+    def test_roundtrip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_encoding_is_32_bit(self):
+        word = encode(Instruction(Opcode.SW, rs1=7, rs2=7, imm=-1))
+        assert 0 <= word < (1 << 32)
+
+    def test_unknown_opcode_decodes_as_nop(self):
+        assert decode(0x3F << 26).opcode == Opcode.NOP
+
+    def test_negative_imm_sign_extended(self):
+        instr = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-5)
+        assert decode(encode(instr)).imm == -5
+
+    def test_field_validation(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.ADD, rd=8)
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.LI, imm=IMM_MAX + 1)
+
+
+class TestCsrPrivileges:
+    def test_mpu_config_is_privileged(self):
+        assert csr_is_privileged(Csr.MPU_CFG_BASE, n_regions=8)
+        assert csr_is_privileged(Csr.MPU_CFG_BASE + 4 * 8 - 1, n_regions=8)
+        assert not csr_is_privileged(Csr.MPU_CFG_BASE + 4 * 8, n_regions=8)
+
+    def test_system_csrs_privileged(self):
+        for csr in (Csr.TRAPVEC, Csr.EPC, Csr.CAUSE, Csr.VIOLFLAG):
+            assert csr_is_privileged(csr, n_regions=8)
+
+    def test_unknown_csr_unprivileged(self):
+        assert not csr_is_privileged(0x0F, n_regions=8)

@@ -1,0 +1,90 @@
+"""Tests for the RAM model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc.memmap import MemoryMap
+from repro.soc.memory import Memory
+
+
+class TestMemory:
+    def test_read_write_roundtrip(self):
+        mem = Memory()
+        mem.write(0x100, 0xDEADBEEF)
+        assert mem.read(0x100) == 0xDEADBEEF
+
+    def test_data_masked_to_width(self):
+        mem = Memory()
+        mem.write(0x10, 0x1_0000_0001)
+        assert mem.read(0x10) == 1
+
+    def test_unmapped_access_quiet(self):
+        mem = Memory()
+        mem.write(0xFFFF, 42)  # beyond RAM: dropped
+        assert mem.read(0xFFFF) == 0
+        assert mem.read(-1) == 0
+
+    def test_reset_clears(self):
+        mem = Memory()
+        mem.write(5, 9)
+        mem.reset()
+        assert mem.read(5) == 0
+
+    def test_load_image_and_fetch(self):
+        mem = Memory()
+        mem.load_image([1, 2, 3], base=0x20)
+        assert mem.fetch(0x21) == 2
+
+    def test_image_overflow_rejected(self):
+        memmap = MemoryMap()
+        mem = Memory(memmap)
+        with pytest.raises(SimulationError):
+            mem.load_image([0] * 10, base=memmap.ram_words - 5)
+
+    def test_snapshot_restore(self):
+        mem = Memory()
+        mem.write(3, 7)
+        snap = mem.snapshot()
+        mem.write(3, 8)
+        mem.restore(snap)
+        assert mem.read(3) == 7
+
+    def test_restore_size_checked(self):
+        mem = Memory()
+        with pytest.raises(SimulationError):
+            mem.restore([0, 1, 2])
+
+    def test_snapshot_is_a_copy(self):
+        mem = Memory()
+        snap = mem.snapshot()
+        snap[0] = 999
+        assert mem.read(0) == 0
+
+
+class TestMemoryMap:
+    def test_protected_window(self):
+        memmap = MemoryMap()
+        assert memmap.is_protected(memmap.protected_base)
+        assert memmap.is_protected(memmap.protected_top)
+        assert not memmap.is_protected(memmap.protected_base - 1)
+
+    def test_dma_mmio_window(self):
+        memmap = MemoryMap()
+        assert memmap.is_dma_mmio(memmap.dma_mmio_base)
+        assert not memmap.is_dma_mmio(memmap.dma_mmio_top + 1)
+
+    def test_default_regions_cover_policy(self):
+        memmap = MemoryMap()
+        regions = memmap.default_regions()
+        assert len(regions) == memmap.n_mpu_regions
+        assert regions[1].privileged_only
+        assert regions[1].base == memmap.protected_base
+        disabled = [r for r in regions if not r.enabled]
+        assert len(disabled) == memmap.n_mpu_regions - 4
+
+    def test_perm_bits_packing(self):
+        from repro.soc.memmap import MpuRegionInit
+
+        region = MpuRegionInit(0, 0, read=True, write=False,
+                               privileged_only=True, enabled=True)
+        assert region.perm_bits() == 0b1101

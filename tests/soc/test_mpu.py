@@ -1,0 +1,171 @@
+"""Tests for the MPU: decision semantics and cross-level equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatesim.logic import LogicEvaluator
+from repro.soc.memmap import DEFAULT_MEMORY_MAP, MpuRegionInit
+from repro.soc.mpu import (
+    MpuBehavioral,
+    MpuConfigView,
+    MpuInputs,
+    default_responding_signals,
+    mpu_decision,
+    mpu_register_specs,
+)
+
+
+def default_config() -> MpuConfigView:
+    return MpuConfigView.from_regions(DEFAULT_MEMORY_MAP.default_regions())
+
+
+class TestDecisionFunction:
+    def test_user_ram_allowed(self):
+        cfg = default_config()
+        assert not mpu_decision(cfg, 0x0200, write=True, priv=False)
+        assert not mpu_decision(cfg, 0x0200, write=False, priv=False)
+
+    def test_protected_window_user_blocked(self):
+        cfg = default_config()
+        assert mpu_decision(cfg, 0x1050, write=True, priv=False)
+        assert mpu_decision(cfg, 0x1050, write=False, priv=False)
+
+    def test_protected_window_priv_allowed(self):
+        cfg = default_config()
+        assert not mpu_decision(cfg, 0x1050, write=True, priv=True)
+
+    def test_background_priv_only(self):
+        cfg = default_config()
+        assert mpu_decision(cfg, 0xF000, write=False, priv=False)
+        assert not mpu_decision(cfg, 0xF000, write=False, priv=True)
+
+    def test_lowest_region_wins(self):
+        regions = [
+            MpuRegionInit(base=0x0, top=0xFF, read=True, write=True),
+            MpuRegionInit(base=0x0, top=0xFF, privileged_only=True),
+        ]
+        cfg = MpuConfigView.from_regions(
+            regions
+            + [MpuRegionInit(0, 0, read=False, write=False, enabled=False)] * 6
+        )
+        assert not mpu_decision(cfg, 0x10, write=True, priv=False)
+
+    def test_disabled_region_ignored(self):
+        regions = DEFAULT_MEMORY_MAP.default_regions()
+        regions[1] = MpuRegionInit(
+            base=regions[1].base,
+            top=regions[1].top,
+            privileged_only=True,
+            enabled=False,
+        )
+        cfg = MpuConfigView.from_regions(regions)
+        # region 1 disabled: protected window falls to background (priv-only)
+        assert mpu_decision(cfg, 0x1050, write=True, priv=False)
+
+    def test_read_write_permissions_distinct(self):
+        regions = [MpuRegionInit(base=0, top=0xFF, read=True, write=False)]
+        cfg = MpuConfigView.from_regions(
+            regions
+            + [MpuRegionInit(0, 0, read=False, write=False, enabled=False)] * 7
+        )
+        assert not mpu_decision(cfg, 0x10, write=False, priv=False)
+        assert mpu_decision(cfg, 0x10, write=True, priv=False)
+
+    def test_critical_single_bit_flip_grants(self):
+        """The classic attack: growing region 0's top over the protected
+        window legalizes the illegal write.  Keeps the threat model honest."""
+        cfg = default_config()
+        assert mpu_decision(cfg, 0x1050, write=True, priv=False)
+        bases, tops, perms = list(cfg.bases), list(cfg.tops), list(cfg.perms)
+        tops[0] ^= 1 << 12
+        flipped = MpuConfigView(tuple(bases), tuple(tops), tuple(perms))
+        assert not mpu_decision(flipped, 0x1050, write=True, priv=False)
+
+
+class TestBehavioralModel:
+    def test_request_capture_and_decision_pipeline(self):
+        mpu = MpuBehavioral()
+        for i, region in enumerate(DEFAULT_MEMORY_MAP.default_regions()):
+            mpu.set_registers(
+                {
+                    f"cfg_base{i}": region.base,
+                    f"cfg_top{i}": region.top,
+                    f"cfg_perm{i}": region.perm_bits(),
+                }
+            )
+        mpu.step(MpuInputs(in_addr=0x1050, in_write=1, in_priv=0, in_valid=1))
+        assert mpu.regs["req_addr"] == 0x1050
+        assert mpu.outputs().viol_q == 0  # decision not latched yet
+        mpu.step(MpuInputs())
+        out = mpu.outputs()
+        assert out.viol_q == 1 and out.grant_q == 0
+        mpu.step(MpuInputs())
+        assert mpu.outputs().sticky_flag == 1
+        assert mpu.regs["viol_addr"] == 0x1050
+
+    def test_grant_pipeline(self):
+        mpu = MpuBehavioral()
+        mpu.set_registers({"cfg_base0": 0, "cfg_top0": 0xFF, "cfg_perm0": 0b1011})
+        mpu.step(MpuInputs(in_addr=0x10, in_write=1, in_priv=0, in_valid=1))
+        mpu.step(MpuInputs())
+        out = mpu.outputs()
+        assert out.grant_q == 1 and out.viol_q == 0
+
+    def test_flag_clear(self):
+        mpu = MpuBehavioral()
+        mpu.set_registers({"sticky_flag": 1})
+        mpu.step(MpuInputs(flag_clear=1))
+        assert mpu.outputs().sticky_flag == 0
+
+    def test_cfg_write_port(self):
+        mpu = MpuBehavioral()
+        mpu.step(MpuInputs(cfg_we=1, cfg_index=3, cfg_field=1, cfg_wdata=0xABCD))
+        assert mpu.regs["cfg_top3"] == 0xABCD
+        assert mpu.regs["cfg_base3"] == 0
+
+    def test_register_manifest_total(self):
+        specs = mpu_register_specs()
+        total = sum(s.width for s in specs.values())
+        # 8 regions x (16+16+4) + req(19) + outputs(19)
+        assert total == 8 * 36 + 19 + 19
+
+
+mpu_stimulus = st.builds(
+    MpuInputs,
+    in_addr=st.integers(0, 0xFFFF),
+    in_write=st.integers(0, 1),
+    in_priv=st.integers(0, 1),
+    in_valid=st.integers(0, 1),
+    cfg_we=st.integers(0, 1),
+    cfg_index=st.integers(0, 7),
+    cfg_field=st.integers(0, 2),
+    cfg_wdata=st.integers(0, 0xFFFF),
+    flag_clear=st.integers(0, 1),
+)
+
+
+class TestCrossLevelEquivalence:
+    """The cross-level contract: behavioural MPU == elaborated netlist."""
+
+    @given(stimulus=st.lists(mpu_stimulus, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_exact_next_state(self, stimulus, mpu_netlist, mpu_evaluator):
+        beh = MpuBehavioral()
+        for inp in stimulus:
+            _outs, nxt = mpu_evaluator.step(
+                inp.as_port_dict(), beh.get_registers()
+            )
+            beh.step(inp)
+            assert beh.get_registers() == nxt
+
+    def test_register_manifests_agree(self, mpu_netlist):
+        beh_specs = MpuBehavioral().register_specs()
+        net_widths = mpu_netlist.register_widths()
+        assert {n: s.width for n, s in beh_specs.items()} == net_widths
+
+    def test_responding_signals_are_decision_registers(self, mpu_netlist):
+        responding = default_responding_signals(mpu_netlist)
+        names = {mpu_netlist.node(nid).register for nid in responding}
+        assert names == {"viol_q", "grant_q"}

@@ -1,0 +1,157 @@
+"""Golden behaviour of the attacker workloads, and fault ground truths.
+
+These are the system-level sanity anchors: in a fault-free run every
+malicious operation must be blocked *and* detected; under specific
+hand-placed register faults the documented bypass paths must succeed.
+"""
+
+import pytest
+
+from repro.core.context import find_violation_cycles
+from repro.soc.programs import (
+    dma_exfiltration_benchmark,
+    illegal_read_benchmark,
+    illegal_write_benchmark,
+    reconfig_workload,
+    synthetic_workload,
+)
+from repro.soc.soc import Soc
+
+
+def fresh_soc(bench):
+    soc = Soc()
+    soc.load_program(bench.program.words)
+    soc.reset()
+    return soc
+
+
+ALL_BENCHMARKS = [
+    illegal_write_benchmark,
+    illegal_read_benchmark,
+    dma_exfiltration_benchmark,
+]
+
+
+class TestGoldenRuns:
+    @pytest.mark.parametrize("maker", ALL_BENCHMARKS)
+    def test_attack_blocked_and_detected(self, maker):
+        bench = maker()
+        soc = fresh_soc(bench)
+        soc.run_until_halt(20000)
+        assert not bench.malicious_op_committed(soc)
+        assert bench.detected(soc)
+        assert not bench.attack_succeeded(soc)
+
+    @pytest.mark.parametrize("maker", ALL_BENCHMARKS)
+    def test_exactly_one_violation_check(self, maker):
+        bench = maker()
+        soc = fresh_soc(bench)
+        soc.record_mpu_trace = True
+        soc.run_until_halt(20000)
+        cycles = find_violation_cycles(soc.mpu_trace, 8)
+        assert len(cycles) == 1
+
+    def test_secret_planted_in_protected_memory(self):
+        bench = illegal_read_benchmark()
+        soc = fresh_soc(bench)
+        soc.run_until_halt(20000)
+        assert soc.memory.read(bench.secret_addr) == bench.secret_value
+
+    def test_synthetic_workloads_halt_and_probe(self):
+        for seed in (0, 3, 9):
+            bench = synthetic_workload(seed)
+            soc = fresh_soc(bench)
+            soc.record_mpu_trace = True
+            n = soc.run_until_halt(40000)
+            assert n > 100
+            assert any(e.inputs["in_valid"] for e in soc.mpu_trace)
+
+    def test_reconfig_workload_toggles_critical_bits(self):
+        bench = reconfig_workload(2)
+        soc = fresh_soc(bench)
+        soc.record_mpu_trace = True
+        soc.run_until_halt(40000)
+        top0_values = {e.state["cfg_top0"] for e in soc.mpu_trace}
+        perm1_values = {e.state["cfg_perm1"] for e in soc.mpu_trace}
+        assert len(top0_values & {0x0FFF, 0xFFFF}) == 2
+        assert len(perm1_values & {0b1111, 0b1011}) == 2
+
+    def test_determinism(self):
+        bench = illegal_write_benchmark()
+        a, b = fresh_soc(bench), fresh_soc(bench)
+        a.run_until_halt()
+        b.run_until_halt()
+        assert a.get_registers() == b.get_registers()
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+
+def run_with_flips(bench, flips, at_cycle, total):
+    soc = fresh_soc(bench)
+    for _ in range(at_cycle):
+        soc.step()
+    for reg, bit in flips:
+        soc.flip_register_bit(reg, bit)
+    for _ in range(total - at_cycle):
+        soc.step()
+    return soc
+
+
+class TestKnownBypassPaths:
+    """Ground truths for the documented fault-attack bypass paths."""
+
+    @pytest.fixture(scope="class")
+    def write_setup(self):
+        bench = illegal_write_benchmark()
+        soc = fresh_soc(bench)
+        soc.record_mpu_trace = True
+        n = soc.run_until_halt()
+        target = find_violation_cycles(soc.mpu_trace, 8)[0]
+        return bench, target, n + 40
+
+    def test_cfg_top0_extension_bypasses(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("cfg_top0", 12)], 60, total)
+        assert bench.attack_succeeded(soc)
+
+    def test_perm_priv_bit_clear_bypasses(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("cfg_perm1", 2)], 60, total)
+        assert bench.attack_succeeded(soc)
+
+    def test_req_addr_corruption_bypasses(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("req_addr", 12)], target, total)
+        assert bench.attack_succeeded(soc)
+
+    def test_decision_pair_flip_bypasses(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(
+            bench, [("viol_q", 0), ("grant_q", 0)], target + 1, total
+        )
+        assert bench.attack_succeeded(soc)
+
+    def test_viol_q_alone_blocks_silently(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("viol_q", 0)], target + 1, total)
+        assert not bench.attack_succeeded(soc)
+        assert not bench.detected(soc)  # silent: suppressed but not committed
+        assert not bench.malicious_op_committed(soc)
+
+    def test_grant_q_alone_is_detected(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("grant_q", 0)], target + 1, total)
+        assert bench.malicious_op_committed(soc)
+        assert bench.detected(soc)
+        assert not bench.attack_succeeded(soc)
+
+    def test_flip_after_commit_is_too_late(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("cfg_top0", 12)], target + 3, total)
+        assert not bench.attack_succeeded(soc)
+
+    def test_irrelevant_register_flip_harmless(self, write_setup):
+        bench, target, total = write_setup
+        soc = run_with_flips(bench, [("viol_addr", 5)], 60, total)
+        assert not bench.attack_succeeded(soc)
+        # benchmark still behaves like golden apart from the flipped bit
+        assert bench.detected(soc)

@@ -1,0 +1,127 @@
+"""CLI tests (fast paths only; campaigns use tiny sample counts)."""
+
+import pytest
+
+from repro.cli import BENCHMARKS, _parse_variant, build_parser, main
+from repro.soc.mpu import MpuVariant
+
+
+class TestVariantParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("none", MpuVariant()),
+            ("parity", MpuVariant(cfg_parity=True)),
+            ("dual", MpuVariant(redundancy="dual")),
+            ("dual+parity", MpuVariant(redundancy="dual", cfg_parity=True)),
+            ("TMR+PARITY", MpuVariant(redundancy="tmr", cfg_parity=True)),
+        ],
+    )
+    def test_variants(self, text, expected):
+        assert _parse_variant(text) == expected
+
+    def test_bad_variant(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            _parse_variant("pentuple")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.benchmark == "write"
+        assert args.sampler == "importance"
+        assert args.samples == 1000
+
+    def test_all_benchmarks_registered(self):
+        assert set(BENCHMARKS) == {"write", "read", "dma"}
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "flip-flops" in out
+
+    def test_info_with_variant(self, capsys):
+        assert main(["info", "--variant", "tmr+parity"]) == 0
+        assert "tmr+parity" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_evaluate_small_campaign(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--benchmark",
+                "write",
+                "-n",
+                "30",
+                "--window",
+                "5",
+                "--sampler",
+                "random",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SSF" in out
+
+    def test_export_verilog(self, capsys, tmp_path):
+        out = str(tmp_path / "mpu.v")
+        assert main(["export-verilog", "--out", out, "--module", "top"]) == 0
+        text = (tmp_path / "mpu.v").read_text()
+        assert text.startswith("module top (")
+        assert "endmodule" in text
+
+    def test_export_verilog_variant(self, capsys, tmp_path):
+        out = str(tmp_path / "mpu_parity.v")
+        assert main(["export-verilog", "--variant", "parity", "--out", out]) == 0
+        assert "cfg_base0_par" in (tmp_path / "mpu_parity.v").read_text()
+
+    @pytest.mark.slow
+    def test_characterize_then_cached_evaluate(self, capsys, tmp_path):
+        cache = str(tmp_path / "c.json")
+        assert main(["characterize", "--benchmark", "write", "--out", cache]) == 0
+        assert main(
+            [
+                "evaluate",
+                "--benchmark",
+                "write",
+                "-n",
+                "20",
+                "--window",
+                "5",
+                "--charac-cache",
+                cache,
+            ]
+        ) == 0
+
+    @pytest.mark.slow
+    def test_harden_command(self, capsys):
+        assert main(["harden", "-n", "60", "--window", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Selective hardening" in out
+        assert "area overhead" in out
+
+    @pytest.mark.slow
+    def test_enumerate_command(self, capsys):
+        assert main(["enumerate", "--window", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "exact SSF" in out
+        assert "cfg_top0" in out
+
+    @pytest.mark.slow
+    def test_evaluate_with_variant_and_impact(self, capsys):
+        code = main(
+            [
+                "evaluate", "--variant", "parity", "-n", "25",
+                "--window", "4", "--sampler", "cone", "--impact-cycles", "2",
+            ]
+        )
+        assert code == 0
+        assert "none+parity" in capsys.readouterr().out

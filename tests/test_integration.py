@@ -1,0 +1,108 @@
+"""End-to-end integration: the full pipeline on a reduced configuration.
+
+Covers the complete paper flow in one place — context assembly,
+pre-characterization, all three sampling strategies, the cross-level engine
+with analytical fast path, attribution, and hardening — asserting the
+paper's qualitative findings hold on the reproduced system.
+"""
+
+import pytest
+
+from repro import (
+    CrossLevelEngine,
+    FaninConeSampler,
+    HardeningStudy,
+    ImportanceSampler,
+    OutcomeCategory,
+    RandomSampler,
+    attribute_ssf,
+    default_attack_spec,
+)
+from repro.analysis.patterns import pattern_statistics
+from repro.core.hardening import critical_bits
+
+
+@pytest.fixture(scope="module")
+def campaign(small_context):
+    spec = default_attack_spec(small_context, window=10)
+    engine = CrossLevelEngine(small_context, spec)
+    sampler = ImportanceSampler(
+        spec,
+        small_context.characterization,
+        placement=small_context.placement,
+    )
+    result = engine.evaluate(sampler, n_samples=700, seed=17)
+    return small_context, spec, engine, result
+
+
+class TestEndToEnd:
+    def test_ssf_positive_and_plausible(self, campaign):
+        _ctx, _spec, _engine, result = campaign
+        assert 0.0 < result.ssf < 0.5
+        assert result.n_success > 0
+
+    def test_analytical_path_used(self, campaign):
+        _ctx, _spec, _engine, result = campaign
+        analytical = [r for r in result.records if r.analytical]
+        assert analytical
+        # memory-only faults all went through the analytical evaluator
+        for record in analytical:
+            assert record.category == OutcomeCategory.MEMORY_ONLY
+
+    def test_outcome_mix_matches_paper_shape(self, campaign):
+        """Masked dominates; memory-only exceeds the RTL-resume bucket
+        (Fig. 10(a): 68.3% / 28.6% / 3.1%).  Shape only."""
+        _ctx, _spec, _engine, result = campaign
+        fractions = result.category_fractions()
+        assert fractions[OutcomeCategory.MASKED] > 0.35
+
+    def test_error_patterns_multibit_present(self, campaign):
+        """Fig. 7(a): single-bit errors dominate but multi-byte patterns
+        exist — neither the single-bit nor the single-byte model is
+        faithful."""
+        _ctx, _spec, _engine, result = campaign
+        stats = pattern_statistics(
+            [r.flipped_bits for r in result.records],
+            _ctx.netlist.register_widths(),
+        )
+        fr = stats.fractions()
+        assert fr.get("single_bit", 0) > 0.2
+        assert fr.get("multi_byte", 0) > 0.0
+
+    def test_ssf_concentrated_in_few_bits(self, campaign):
+        """The paper's headline: a few percent of registers carry almost
+        all of the SSF (necessity-based attribution)."""
+        ctx, _spec, engine, result = campaign
+        shares = attribute_ssf(result, engine.outcome_oracle())
+        assert shares
+        critical = critical_bits(shares, coverage=0.95)
+        total_bits = sum(ctx.netlist.register_widths().values())
+        assert len(critical) / total_bits < 0.08
+
+    def test_hardening_improves_ssf_cheaply(self, campaign):
+        ctx, _spec, engine, result = campaign
+        study = HardeningStudy(
+            ctx.netlist, result, oracle=engine.outcome_oracle()
+        )
+        outcome = study.harden_for_coverage(0.95)
+        assert outcome.ssf_improvement > 3.0
+        assert outcome.area_overhead < 0.06
+
+
+class TestStrategyComparison:
+    def test_variance_ordering(self, small_context):
+        """Fig. 9: importance sampling converges faster than fanin-cone
+        sampling, which beats random sampling."""
+        spec = default_attack_spec(small_context, window=10)
+        engine = CrossLevelEngine(small_context, spec)
+        ch = small_context.characterization
+        n = 500
+        random_result = engine.evaluate(RandomSampler(spec), n, seed=29)
+        cone_result = engine.evaluate(FaninConeSampler(spec, ch), n, seed=29)
+        imp_result = engine.evaluate(
+            ImportanceSampler(spec, ch, placement=small_context.placement),
+            n,
+            seed=29,
+        )
+        assert imp_result.variance < random_result.variance
+        assert cone_result.variance <= random_result.variance * 1.2

@@ -1,0 +1,44 @@
+"""Tests for random-stream plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import RngFactory, as_generator
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_deterministic(self):
+        a = as_generator(42).integers(0, 1 << 30, size=8)
+        b = as_generator(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_none_is_allowed(self):
+        assert as_generator(None) is not None
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(7)
+        a = f.stream("sampler").integers(0, 1 << 30, size=8)
+        b = RngFactory(7).stream("sampler").integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_distinct_names_distinct_streams(self):
+        f = RngFactory(7)
+        a = f.stream("sampler").integers(0, 1 << 30, size=8)
+        b = f.stream("precharac").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = RngFactory(1).stream("x").integers(0, 1 << 30, size=8)
+        b = RngFactory(2).stream("x").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_child_factories_independent(self):
+        f = RngFactory(7)
+        a = f.child("engine").stream("x").integers(0, 1 << 30, size=8)
+        b = f.child("charac").stream("x").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,107 @@
+"""Tests for streaming statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStats, samples_for_risk, wilson_interval
+
+floats = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestRunningStats:
+    @given(floats)
+    def test_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-4
+        )
+
+    @given(floats, floats)
+    def test_merge_equals_concatenation(self, a, b):
+        left = RunningStats()
+        left.extend(a)
+        right = RunningStats()
+        right.extend(b)
+        left.merge(right)
+        combined = RunningStats()
+        combined.extend(a + b)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert left.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-4)
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        stats.merge(RunningStats())
+        assert stats.count == 2
+
+    def test_history_recording(self):
+        stats = RunningStats(record_history=True)
+        stats.extend([1.0, 3.0])
+        assert stats.history == [1.0, 2.0]
+
+    def test_variance_of_single_sample(self):
+        stats = RunningStats()
+        stats.push(5.0)
+        assert stats.variance == 0.0
+        assert stats.std_error == float("inf")
+
+    def test_std_error_shrinks(self):
+        stats = RunningStats()
+        rng = np.random.default_rng(0)
+        stats.extend(rng.normal(size=100))
+        early = stats.std_error
+        stats.extend(rng.normal(size=900))
+        assert stats.std_error < early
+
+
+class TestWilson:
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0 and 0 < hi < 0.05
+
+    def test_contains_proportion(self):
+        lo, hi = wilson_interval(27, 1000)
+        assert lo < 0.027 < hi
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+
+    @given(st.integers(0, 500), st.integers(1, 500))
+    def test_interval_ordered_and_bounded(self, k, n):
+        if k > n:
+            return
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestChebyshevBound:
+    def test_paper_bound_shape(self):
+        # N >= sigma^2 / (delta eps^2): quadrupling precision needs 16x N.
+        base = samples_for_risk(0.01, 0.01, 0.05)
+        finer = samples_for_risk(0.01, 0.0025, 0.05)
+        assert finer == pytest.approx(16 * base, rel=0.01)
+
+    def test_zero_variance(self):
+        assert samples_for_risk(0.0, 0.01, 0.05) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            samples_for_risk(0.1, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            samples_for_risk(0.1, 0.1, 1.5)
+        with pytest.raises(ValueError):
+            samples_for_risk(-1.0, 0.1, 0.5)
