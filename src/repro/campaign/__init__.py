@@ -1,0 +1,72 @@
+"""Campaign orchestration subsystem.
+
+A layer between the Monte Carlo engine and the user that makes SSF
+campaigns *operable* at scale:
+
+* :class:`CampaignSpec` — declarative, JSON-serializable description of a
+  campaign (benchmark, sampler, seed policy, sharding, stopping rule);
+* :class:`RunStore` — durable append-only sample log + checkpoints, so an
+  interrupted run resumes exactly (``campaign resume <run-id>``);
+* adaptive stopping rules (:mod:`repro.campaign.stopping`) driven by the
+  paper's Section 3.3 (ε, δ) convergence bound;
+* :class:`WorkStealingScheduler` — dynamic sharding across worker
+  processes with straggler-free chunking and early cancellation;
+* :class:`CampaignHooks` — progress/telemetry callbacks the CLI renders
+  as live convergence status.
+
+Everything meets in :class:`CampaignRunner`.
+"""
+
+from repro.campaign.hooks import CampaignHooks, ConsoleProgress, HookChain
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.scheduler import (
+    Chunk,
+    ChunkResult,
+    WorkStealingScheduler,
+    chunk_seed_sequence,
+)
+from repro.campaign.spec import CampaignSpec, StoppingConfig, load_spec
+from repro.campaign.stopping import (
+    BoundedRule,
+    CiWidthRule,
+    FixedSampleRule,
+    RiskTargetRule,
+    StopDecision,
+    StoppingRule,
+    build_stopping_rule,
+)
+from repro.campaign.store import (
+    RunStore,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+    record_from_dict,
+    record_to_dict,
+)
+
+__all__ = [
+    "CampaignHooks",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Chunk",
+    "ChunkResult",
+    "ConsoleProgress",
+    "HookChain",
+    "RunStore",
+    "StoppingConfig",
+    "StopDecision",
+    "StoppingRule",
+    "FixedSampleRule",
+    "RiskTargetRule",
+    "CiWidthRule",
+    "BoundedRule",
+    "WorkStealingScheduler",
+    "build_stopping_rule",
+    "chunk_seed_sequence",
+    "load_spec",
+    "record_from_dict",
+    "record_to_dict",
+    "STATUS_COMPLETE",
+    "STATUS_INTERRUPTED",
+    "STATUS_RUNNING",
+]

@@ -1,0 +1,98 @@
+"""Progress / telemetry hooks for campaign runs.
+
+The runner invokes these callbacks at the three interesting moments of a
+campaign's life: a chunk of samples was merged into the estimator, a
+checkpoint hit disk, and the stopping rule fired.  Hooks are observational
+only — exceptions raised by a hook propagate (a broken telemetry sink
+should fail loudly, not silently corrupt monitoring) but hooks cannot
+influence the sample sequence or the stopping decision, which keeps the
+estimate deterministic whatever is watching.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.campaign.stopping import StopDecision
+from repro.sampling.estimator import SsfEstimator
+
+
+class CampaignHooks:
+    """No-op base class; subclass and override what you care about."""
+
+    def on_batch(
+        self,
+        chunk_index: int,
+        n_new: int,
+        estimator: SsfEstimator,
+        decision: Optional[StopDecision] = None,
+    ) -> None:
+        """A chunk was merged into the running estimator.
+
+        ``decision`` is the stopping rule's verdict right after the merge
+        (carries the rule's current sample target when it has one).
+        """
+
+    def on_checkpoint(self, snapshot: dict) -> None:
+        """A checkpoint snapshot was durably written."""
+
+    def on_stop(self, decision: StopDecision, estimator: SsfEstimator) -> None:
+        """The stopping rule (or the chunk plan) ended the campaign."""
+
+
+class HookChain(CampaignHooks):
+    """Fan one event stream out to several hooks, in order."""
+
+    def __init__(self, *hooks: CampaignHooks):
+        self.hooks = [h for h in hooks if h is not None]
+
+    def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
+        for hook in self.hooks:
+            hook.on_batch(chunk_index, n_new, estimator, decision)
+
+    def on_checkpoint(self, snapshot) -> None:
+        for hook in self.hooks:
+            hook.on_checkpoint(snapshot)
+
+    def on_stop(self, decision, estimator) -> None:
+        for hook in self.hooks:
+            hook.on_stop(decision, estimator)
+
+
+class ConsoleProgress(CampaignHooks):
+    """Live convergence status for the CLI (one line per refresh).
+
+    Renders the running SSF estimate, the standard error, and — when the
+    stopping rule publishes one — progress toward its sample target.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, every: int = 1):
+        self.stream = stream or sys.stderr
+        self.every = max(1, every)
+        self._chunks_seen = 0
+
+    def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
+        self._chunks_seen += 1
+        if self._chunks_seen % self.every:
+            return
+        msg = (
+            f"chunk {chunk_index}: n={estimator.n_samples} "
+            f"ssf={estimator.ssf:.5f} "
+            f"se={estimator.std_error:.2e}"
+        )
+        target = decision.target_samples if decision else None
+        if target:
+            pct = 100.0 * min(1.0, estimator.n_samples / target)
+            msg += f" target~{target} ({pct:.0f}%)"
+        print(msg, file=self.stream)
+
+    def on_checkpoint(self, snapshot) -> None:
+        print(
+            f"checkpoint: n={snapshot.get('n_samples')} "
+            f"status={snapshot.get('status')}",
+            file=self.stream,
+        )
+
+    def on_stop(self, decision, estimator) -> None:
+        print(f"stop: {decision.reason}", file=self.stream)

@@ -1,0 +1,217 @@
+"""Campaign orchestration: spec → scheduler → durable store → result.
+
+The runner owns the deterministic part of a campaign.  Chunks may finish
+in any order (work stealing), but they are *consumed* — logged, merged
+into the Welford estimator, and fed to the stopping rule — strictly in
+chunk-index order via a reorder buffer.  Consequences:
+
+* the final estimate is a pure function of (spec, chunk plan), independent
+  of worker count and scheduling order;
+* the durable log is always a contiguous chunk prefix, so resuming after
+  a crash replays the exact same estimator state and continues with the
+  first unconsumed chunk — an interrupted-and-resumed campaign returns
+  bit-identical results to an uninterrupted one;
+* the stopping rule sees the same estimator sequence every time, so the
+  stop point is reproducible too.  Chunks that completed out of order
+  past the stop point are discarded, never logged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.campaign.hooks import CampaignHooks
+from repro.campaign.scheduler import Chunk, ChunkResult, WorkStealingScheduler
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.stopping import StopDecision, build_stopping_rule
+from repro.campaign.store import (
+    RunStore,
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_RUNNING,
+)
+from repro.core.results import CampaignResult, SampleRecord
+from repro.errors import EvaluationError
+from repro.sampling.estimator import SsfEstimator
+
+
+class CampaignRunner:
+    """Drives one campaign end-to-end (fresh or resumed).
+
+    ``engine`` and ``sampler`` are normally built from the spec; tests (or
+    callers that already hold a context) may inject their own.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[RunStore] = None,
+        hooks: Optional[CampaignHooks] = None,
+        engine=None,
+        sampler=None,
+        n_workers: Optional[int] = None,
+        checkpoint_every: int = 5,
+        poll_interval_s: float = 0.5,
+    ):
+        self.spec = spec
+        self.store = store
+        self.hooks = hooks or CampaignHooks()
+        self.n_workers = n_workers
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.poll_interval_s = poll_interval_s
+        self._engine = engine
+        self._sampler = sampler
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignResult:
+        start = time.perf_counter()
+        if self._engine is None or self._sampler is None:
+            self._engine, self._sampler = self.spec.build_runtime()
+
+        rule = build_stopping_rule(self.spec.stopping)
+        chunks = [
+            Chunk(i, n) for i, n in enumerate(self.spec.chunk_sizes())
+        ]
+        estimator = SsfEstimator(record_history=True)
+        records: List[SampleRecord] = []
+
+        next_index = 0
+        if resume:
+            if self.store is None:
+                raise EvaluationError("resume requires a run store")
+            for index, chunk_records in self.store.replay():
+                for record in chunk_records:
+                    estimator.push(record.sample, record.e)
+                    records.append(record)
+                next_index = index + 1
+        decision = rule.check(estimator) if next_index else None
+        if decision is not None and not decision.stop:
+            decision = None
+
+        if decision is None:
+            decision = self._drive(
+                chunks, next_index, rule, estimator, records
+            )
+
+        wall = time.perf_counter() - start
+        snapshot = self._snapshot(
+            STATUS_COMPLETE, estimator, decision, len(records)
+        )
+        if self.store is not None:
+            self.store.write_checkpoint(snapshot)
+        self.hooks.on_checkpoint(snapshot)
+        self.hooks.on_stop(decision, estimator)
+        return CampaignResult(
+            strategy=f"campaign:{self._sampler.name} ({decision.reason})",
+            records=records,
+            estimator=estimator,
+            wall_time_s=wall,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        store: RunStore,
+        hooks: Optional[CampaignHooks] = None,
+        engine=None,
+        sampler=None,
+        n_workers: Optional[int] = None,
+    ) -> CampaignResult:
+        """Continue an interrupted run exactly where its log ends."""
+        runner = cls(
+            store.load_spec(),
+            store=store,
+            hooks=hooks,
+            engine=engine,
+            sampler=sampler,
+            n_workers=n_workers,
+        )
+        return runner.run(resume=True)
+
+    # ------------------------------------------------------------------
+    # scheduling loop
+    # ------------------------------------------------------------------
+    def _drive(self, chunks, next_index, rule, estimator, records) -> StopDecision:
+        scheduler = WorkStealingScheduler(
+            self._engine,
+            self._sampler,
+            seed=self.spec.seed,
+            n_workers=self.n_workers,
+            poll_interval_s=self.poll_interval_s,
+        )
+        pending: Dict[int, ChunkResult] = {}
+        state = {"next": next_index, "decision": None, "since_ckpt": 0}
+
+        def consume(result: ChunkResult) -> bool:
+            pending[result.index] = result
+            while state["next"] in pending:
+                ready = pending.pop(state["next"])
+                if self.store is not None:
+                    self.store.append_chunk(ready.index, ready.records)
+                for record in ready.records:
+                    estimator.push(record.sample, record.e)
+                    records.append(record)
+                state["next"] += 1
+                decision = rule.check(estimator)
+                self.hooks.on_batch(
+                    ready.index, len(ready.records), estimator, decision
+                )
+                state["since_ckpt"] += 1
+                if state["since_ckpt"] >= self.checkpoint_every:
+                    state["since_ckpt"] = 0
+                    self._checkpoint(STATUS_RUNNING, estimator, decision,
+                                     len(records))
+                if decision.stop:
+                    state["decision"] = decision
+                    return False
+            return True
+
+        try:
+            scheduler.run(chunks, consume, start_index=next_index)
+        except BaseException:
+            # Mark the run resumable before propagating (the log already
+            # holds every consumed chunk).
+            self._checkpoint(
+                STATUS_INTERRUPTED, estimator, state["decision"], len(records)
+            )
+            raise
+        self._workers_used = scheduler.n_workers_used
+
+        decision = state["decision"]
+        if decision is None:
+            # The chunk plan ran dry; the bounded rule fires at the cap, so
+            # this only happens when resuming an already-finished run.
+            decision = rule.check(estimator)
+            if not decision.stop:
+                decision = StopDecision(True, "chunk plan exhausted")
+        return decision
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def _snapshot(self, status, estimator, decision, n_records) -> dict:
+        return {
+            "status": status,
+            "n_samples": estimator.n_samples,
+            "n_success": estimator.n_success,
+            "n_records": n_records,
+            "ssf": estimator.ssf,
+            "variance": estimator.variance,
+            "std_error": (
+                estimator.std_error if estimator.n_samples >= 2 else None
+            ),
+            "stop_reason": decision.reason if decision else None,
+            "target_samples": (
+                decision.target_samples if decision else None
+            ),
+        }
+
+    def _checkpoint(self, status, estimator, decision, n_records) -> None:
+        if self.store is None:
+            return
+        snapshot = self._snapshot(status, estimator, decision, n_records)
+        self.store.write_checkpoint(snapshot)
+        self.hooks.on_checkpoint(snapshot)

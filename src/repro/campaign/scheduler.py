@@ -1,0 +1,216 @@
+"""Dynamic shard scheduler: work-stealing chunks over worker processes.
+
+The old ``parallel_evaluate`` split a campaign into one static slice per
+worker, so the slowest worker gated the wall time and nothing could stop
+early.  Here the campaign is cut into small *chunks* that idle workers
+pull from a shared queue:
+
+* stragglers no longer matter — a worker that drew expensive samples just
+  pulls fewer chunks;
+* an adaptive stopping rule can cancel in-flight work the moment the
+  target is met (``on_chunk`` returning ``False`` tears the pool down);
+* each chunk owns an independent seed stream spawned from the campaign
+  root seed (``SeedSequence(seed).spawn``), so results are reproducible
+  for a given (seed, chunk plan) *regardless of worker count or
+  scheduling order*.
+
+The parent polls the result queue with a timeout and watches worker
+liveness, so a worker that dies without reporting (OOM-kill, segfault)
+raises :class:`~repro.errors.EvaluationError` instead of hanging the
+campaign forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import SampleRecord
+from repro.errors import EvaluationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One schedulable unit of work: ``n_samples`` draws at chunk ``index``."""
+
+    index: int
+    n_samples: int
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Completed chunk, in whatever order the pool finished it."""
+
+    index: int
+    records: List[SampleRecord]
+
+
+def chunk_seed_sequence(seed: Optional[int], index: int) -> np.random.SeedSequence:
+    """The ``index``-th spawned child of the campaign root seed.
+
+    Identical to ``np.random.SeedSequence(seed).spawn(index + 1)[index]``
+    (spawned children are ``SeedSequence(entropy, spawn_key=(i,))``), but
+    O(1) in the index.  Distinct (seed, index) pairs never collide — unlike
+    the old ``seed + index`` scheme, where campaign seed 0 / chunk 1 reused
+    campaign seed 1 / chunk 0's stream.
+    """
+    return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+
+
+def _run_chunk(engine, sampler, seed: Optional[int], chunk: Chunk) -> List[SampleRecord]:
+    rng = as_generator(chunk_seed_sequence(seed, chunk.index))
+    result = engine.evaluate(sampler, chunk.n_samples, seed=rng)
+    return list(result.records)
+
+
+def _chunk_worker(engine, sampler, seed, task_queue, result_queue) -> None:
+    """Worker loop: pull chunk descriptors until the ``None`` sentinel."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, n_samples = task
+        try:
+            records = _run_chunk(engine, sampler, seed, Chunk(index, n_samples))
+            result_queue.put((index, records))
+        except Exception as exc:  # pragma: no cover - surfaced to the parent
+            result_queue.put((index, exc))
+
+
+class WorkStealingScheduler:
+    """Streams chunk results to a consumer callback.
+
+    ``on_chunk`` is invoked in *completion* order (callers that need chunk
+    order keep a reorder buffer); returning ``False`` cancels all queued
+    and in-flight work immediately.
+    """
+
+    def __init__(
+        self,
+        engine,
+        sampler,
+        seed: Optional[int] = 0,
+        n_workers: Optional[int] = None,
+        poll_interval_s: float = 0.5,
+        prefetch: int = 2,
+    ):
+        self.engine = engine
+        self.sampler = sampler
+        self.seed = seed
+        if n_workers is None:
+            n_workers = min(4, multiprocessing.cpu_count())
+        self.n_workers = max(1, n_workers)
+        self.poll_interval_s = poll_interval_s
+        self.prefetch = max(1, prefetch)
+        self.n_workers_used = 1
+
+    def run(
+        self,
+        chunks: Sequence[Chunk],
+        on_chunk: Callable[[ChunkResult], bool],
+        start_index: int = 0,
+    ) -> None:
+        """Process ``chunks[start_index:]`` until done or cancelled."""
+        remaining = [c for c in chunks if c.index >= start_index]
+        if not remaining:
+            return
+        n_workers = min(self.n_workers, len(remaining))
+        use_fork = "fork" in multiprocessing.get_all_start_methods()
+        if n_workers <= 1 or not use_fork:
+            self.n_workers_used = 1
+            for chunk in remaining:
+                records = _run_chunk(self.engine, self.sampler, self.seed, chunk)
+                if not on_chunk(ChunkResult(chunk.index, records)):
+                    return
+            return
+        self.n_workers_used = n_workers
+        self._run_pool(remaining, on_chunk, n_workers)
+
+    # ------------------------------------------------------------------
+    # process pool
+    # ------------------------------------------------------------------
+    def _run_pool(self, remaining, on_chunk, n_workers) -> None:
+        ctx = multiprocessing.get_context("fork")
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_chunk_worker,
+                args=(self.engine, self.sampler, self.seed, task_queue, result_queue),
+                daemon=True,
+            )
+            for _ in range(n_workers)
+        ]
+        for process in processes:
+            process.start()
+
+        feed = iter(remaining)
+        outstanding = 0
+        try:
+            # Keep a bounded backlog so cancellation wastes little work.
+            for _ in range(self.prefetch * n_workers):
+                chunk = next(feed, None)
+                if chunk is None:
+                    break
+                task_queue.put((chunk.index, chunk.n_samples))
+                outstanding += 1
+
+            while outstanding:
+                index, payload = self._next_result(result_queue, processes)
+                outstanding -= 1
+                if isinstance(payload, Exception):
+                    raise EvaluationError(
+                        f"worker failed on chunk {index}: {payload}"
+                    ) from payload
+                if not on_chunk(ChunkResult(index, payload)):
+                    return  # cancel: the finally block tears the pool down
+                chunk = next(feed, None)
+                if chunk is not None:
+                    task_queue.put((chunk.index, chunk.n_samples))
+                    outstanding += 1
+            for _ in processes:
+                task_queue.put(None)
+            for process in processes:
+                process.join(timeout=5)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5)
+            # Don't block interpreter exit on unread queue buffers.
+            task_queue.cancel_join_thread()
+            result_queue.cancel_join_thread()
+            task_queue.close()
+            result_queue.close()
+
+    def _next_result(self, result_queue, processes):
+        """Poll for the next result while watching worker liveness.
+
+        A worker that exits without posting (OOM-kill, segfault, ``kill
+        -9``) would previously hang the parent in a bare ``queue.get()``.
+        We give a dead worker one extra poll window for an already-piped
+        result to surface, then fail the campaign.
+        """
+        saw_dead = False
+        while True:
+            try:
+                return result_queue.get(timeout=self.poll_interval_s)
+            except queue_mod.Empty:
+                dead = [p for p in processes if not p.is_alive()]
+                if not dead:
+                    continue
+                if saw_dead:
+                    detail = ", ".join(
+                        f"pid {p.pid} exitcode {p.exitcode}" for p in dead
+                    )
+                    raise EvaluationError(
+                        f"campaign worker died without returning its chunk "
+                        f"({detail})"
+                    )
+                saw_dead = True

@@ -1,0 +1,200 @@
+"""Declarative campaign specification.
+
+A :class:`CampaignSpec` captures *everything* needed to (re)run an SSF
+campaign — benchmark, countermeasure variant, sampling strategy, attack
+window, seed policy, sharding granularity, and stopping rule — as plain
+data, serializable to JSON.  The durable run store persists the spec next
+to the sample log, so ``campaign resume`` can rebuild the exact runtime
+(engine + sampler) of an interrupted run on a fresh process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import EvaluationError
+
+#: Stopping modes understood by :func:`repro.campaign.stopping.build_stopping_rule`.
+STOPPING_MODES = ("fixed", "risk", "ci")
+
+
+@dataclass(frozen=True)
+class StoppingConfig:
+    """Serializable description of a stopping rule.
+
+    ``mode`` selects the rule: ``fixed`` (run exactly ``n_samples``),
+    ``risk`` (Chebyshev (ε, δ) target), or ``ci`` (Wilson CI width target).
+    ``max_samples`` is a hard cap for the adaptive modes.
+    """
+
+    mode: str = "fixed"
+    n_samples: int = 1000            # fixed mode budget
+    epsilon: float = 0.02            # risk mode: absolute error target
+    delta: float = 0.05              # risk mode: failure probability
+    ci_width: float = 0.05           # ci mode: Wilson interval width
+    z: float = 1.96                  # ci mode: normal quantile
+    min_samples: int = 200           # adaptive modes: variance warm-up
+    max_samples: int = 100_000       # adaptive modes: hard cap
+
+    def __post_init__(self) -> None:
+        if self.mode not in STOPPING_MODES:
+            raise EvaluationError(
+                f"stopping mode must be one of {STOPPING_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "fixed" and self.n_samples <= 0:
+            raise EvaluationError("n_samples must be positive")
+        if self.max_samples <= 0:
+            raise EvaluationError("max_samples must be positive")
+
+    @property
+    def sample_cap(self) -> int:
+        """Upper bound on samples any campaign under this config consumes."""
+        return self.n_samples if self.mode == "fixed" else self.max_samples
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoppingConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Full declarative description of one SSF campaign."""
+
+    benchmark: str = "write"          # key into the benchmark registry
+    variant: str = "none"             # MPU countermeasure variant string
+    sampler: str = "importance"       # random | cone | importance
+    window: int = 50                  # temporal attack window (cycles)
+    subblock_fraction: float = 0.125  # spatial range (fraction of the MPU)
+    impact_cycles: int = 1            # consecutive disturbed cycles
+    seed: int = 2024                  # root seed of the per-chunk seed tree
+    chunk_size: int = 50              # samples per work-stealing chunk
+    charac_cache: Optional[str] = None  # pre-characterization JSON to reuse
+    stopping: StoppingConfig = field(default_factory=StoppingConfig)
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise EvaluationError("chunk_size must be positive")
+        if self.sampler not in ("random", "cone", "importance"):
+            raise EvaluationError(f"unknown sampler {self.sampler!r}")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["stopping"] = self.stopping.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        data = dict(data)
+        stopping = data.pop("stopping", {})
+        return cls(stopping=StoppingConfig.from_dict(stopping), **data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # chunk plan (the unit of work stealing and of durable logging)
+    # ------------------------------------------------------------------
+    def chunk_sizes(self) -> Tuple[int, ...]:
+        """Sample count per chunk index, covering the sample cap exactly.
+
+        The plan is a pure function of the spec, so an interrupted run and
+        its resume agree on every chunk's size and seed.
+        """
+        total = self.stopping.sample_cap
+        full, rest = divmod(total, self.chunk_size)
+        sizes = [self.chunk_size] * full
+        if rest:
+            sizes.append(rest)
+        return tuple(sizes)
+
+    # ------------------------------------------------------------------
+    # runtime construction
+    # ------------------------------------------------------------------
+    def build_runtime(self):
+        """Build the (engine, sampler) pair this spec describes.
+
+        Imports are local: the spec itself stays importable (and cheap)
+        for tooling that only inspects run metadata.
+        """
+        from repro import default_attack_spec
+        from repro.core.context import build_context
+        from repro.core.engine import CrossLevelEngine
+        from repro.sampling import (
+            FaninConeSampler,
+            ImportanceSampler,
+            RandomSampler,
+        )
+        from repro.soc.mpu import MpuVariant
+        from repro.soc.programs import (
+            dma_exfiltration_benchmark,
+            illegal_read_benchmark,
+            illegal_write_benchmark,
+        )
+
+        benchmarks = {
+            "write": illegal_write_benchmark,
+            "read": illegal_read_benchmark,
+            "dma": dma_exfiltration_benchmark,
+        }
+        if self.benchmark not in benchmarks:
+            raise EvaluationError(f"unknown benchmark {self.benchmark!r}")
+        variant = MpuVariant.parse(self.variant)
+
+        context = None
+        if self.charac_cache and pathlib.Path(self.charac_cache).exists():
+            from repro.precharac.persistence import load_characterization
+
+            context = build_context(
+                benchmarks[self.benchmark](),
+                characterize=False,
+                mpu_variant=variant,
+            )
+            context.characterization = load_characterization(
+                self.charac_cache, context.netlist
+            )
+        if context is None:
+            context = build_context(
+                benchmarks[self.benchmark](), mpu_variant=variant
+            )
+
+        attack = default_attack_spec(
+            context,
+            window=self.window,
+            subblock_fraction=self.subblock_fraction,
+        )
+        if self.impact_cycles > 1:
+            attack.technique.impact_cycles = self.impact_cycles
+        engine = CrossLevelEngine(context, attack)
+
+        if self.sampler == "random":
+            sampler = RandomSampler(attack)
+        elif self.sampler == "cone":
+            sampler = FaninConeSampler(attack, context.characterization)
+        else:
+            sampler = ImportanceSampler(
+                attack, context.characterization, placement=context.placement
+            )
+        return engine, sampler
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> CampaignSpec:
+    """Read a :class:`CampaignSpec` from a JSON file."""
+    try:
+        return CampaignSpec.from_json(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError, TypeError) as exc:
+        raise EvaluationError(f"cannot load campaign spec: {exc}") from exc

@@ -1,0 +1,174 @@
+"""Adaptive stopping rules for SSF campaigns.
+
+The paper's Section 3.3 convergence analysis gives a Chebyshev bound on the
+number of samples needed to hit an (ε, δ) risk target:
+``N >= σ² / (δ·ε²)`` (:func:`repro.utils.stats.samples_for_risk`).  A fixed
+sample budget either under-shoots the target or wastes work past it; a
+stopping rule re-evaluates the bound with the *running* variance estimate
+and terminates the campaign as soon as the target is met.
+
+Three rules are provided, all bounded by a hard sample cap:
+
+* :class:`FixedSampleRule` — the classic fixed-N campaign (the baseline);
+* :class:`RiskTargetRule` — stop once ``n >= σ̂²/(δ·ε²)``, i.e. the
+  empirical Chebyshev bound for ``Pr[|SSF_hat − SSF| ≥ ε] ≤ δ`` is met;
+* :class:`CiWidthRule` — stop once the Wilson confidence interval on the
+  raw success probability is narrower than a target width.
+
+Rules are pure functions of the estimator state, so the decision sequence
+is deterministic given the sample sequence — a resumed campaign replays the
+same decisions and stops at exactly the same sample as an uninterrupted
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EvaluationError
+from repro.sampling.estimator import SsfEstimator
+from repro.utils.stats import samples_for_risk, wilson_interval
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """Outcome of one stopping-rule check."""
+
+    stop: bool
+    reason: str = ""
+    # Current estimate of the total samples the rule wants (None if the
+    # rule cannot quantify a target yet, e.g. zero variance so far).
+    target_samples: Optional[int] = None
+
+
+class StoppingRule:
+    """Decides after every consumed batch whether the campaign is done."""
+
+    def check(self, estimator: SsfEstimator) -> StopDecision:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSampleRule(StoppingRule):
+    """Stop after exactly ``n_samples`` — the pre-subsystem behaviour."""
+
+    n_samples: int
+
+    def check(self, estimator: SsfEstimator) -> StopDecision:
+        if estimator.n_samples >= self.n_samples:
+            return StopDecision(
+                True, f"fixed budget of {self.n_samples} samples reached",
+                self.n_samples,
+            )
+        return StopDecision(False, target_samples=self.n_samples)
+
+    def describe(self) -> str:
+        return f"fixed N={self.n_samples}"
+
+
+@dataclass(frozen=True)
+class RiskTargetRule(StoppingRule):
+    """Stop when the empirical Chebyshev (ε, δ) bound is satisfied.
+
+    ``min_samples`` guards the early phase where the variance estimate is
+    unreliable (an all-zero prefix has σ̂² = 0 and would stop immediately).
+    """
+
+    epsilon: float
+    delta: float = 0.05
+    min_samples: int = 200
+
+    def check(self, estimator: SsfEstimator) -> StopDecision:
+        if estimator.n_samples < self.min_samples:
+            return StopDecision(False)
+        needed = samples_for_risk(estimator.variance, self.epsilon, self.delta)
+        needed = max(needed, self.min_samples)
+        if estimator.n_samples >= needed:
+            return StopDecision(
+                True,
+                f"(eps={self.epsilon}, delta={self.delta}) risk target met "
+                f"at n={estimator.n_samples} (bound {needed})",
+                needed,
+            )
+        return StopDecision(False, target_samples=needed)
+
+    def describe(self) -> str:
+        return f"risk eps={self.epsilon} delta={self.delta}"
+
+
+@dataclass(frozen=True)
+class CiWidthRule(StoppingRule):
+    """Stop when the Wilson CI on the raw success rate is narrow enough."""
+
+    width: float
+    z: float = 1.96
+    min_samples: int = 100
+
+    def check(self, estimator: SsfEstimator) -> StopDecision:
+        if estimator.n_samples < self.min_samples:
+            return StopDecision(False)
+        lo, hi = wilson_interval(
+            estimator.n_success, estimator.n_samples, self.z
+        )
+        if hi - lo <= self.width:
+            return StopDecision(
+                True,
+                f"CI width {hi - lo:.4g} <= {self.width} "
+                f"at n={estimator.n_samples}",
+            )
+        return StopDecision(False)
+
+    def describe(self) -> str:
+        return f"ci width<={self.width} z={self.z}"
+
+
+@dataclass(frozen=True)
+class BoundedRule(StoppingRule):
+    """Wrap a rule with a hard sample cap so campaigns always terminate."""
+
+    inner: StoppingRule
+    max_samples: int
+
+    def check(self, estimator: SsfEstimator) -> StopDecision:
+        decision = self.inner.check(estimator)
+        if decision.stop:
+            return decision
+        if estimator.n_samples >= self.max_samples:
+            return StopDecision(
+                True,
+                f"sample cap of {self.max_samples} reached before "
+                f"{self.inner.describe()} converged",
+                decision.target_samples,
+            )
+        return decision
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} (cap {self.max_samples})"
+
+
+def build_stopping_rule(config) -> StoppingRule:
+    """Construct the rule a :class:`~repro.campaign.spec.StoppingConfig`
+    describes (always wrapped in the hard cap)."""
+    mode = config.mode
+    if mode == "fixed":
+        inner: StoppingRule = FixedSampleRule(config.n_samples)
+        return BoundedRule(inner, config.n_samples)
+    if mode == "risk":
+        inner = RiskTargetRule(
+            epsilon=config.epsilon,
+            delta=config.delta,
+            min_samples=config.min_samples,
+        )
+    elif mode == "ci":
+        inner = CiWidthRule(
+            width=config.ci_width,
+            z=config.z,
+            min_samples=config.min_samples,
+        )
+    else:
+        raise EvaluationError(f"unknown stopping mode {mode!r}")
+    return BoundedRule(inner, config.max_samples)

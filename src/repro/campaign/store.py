@@ -1,0 +1,208 @@
+"""Durable run store: append-only sample log + periodic checkpoints.
+
+Layout of one run directory (``<root>/<run_id>/``)::
+
+    spec.json        the CampaignSpec (written once at creation)
+    log.jsonl        one JSON line per *consumed* chunk, in chunk order
+    checkpoint.json  latest estimator snapshot + run status
+
+The log is the source of truth: ``campaign resume`` replays it into a
+fresh Welford estimator and continues with the first chunk index not in
+the log.  Because chunks are only logged once they have been merged into
+the estimator (strictly in chunk-index order), the log is always a
+contiguous prefix of the campaign's chunk plan — a crash can at worst
+truncate the final line, which the replay detects and discards.
+
+Checkpoints are advisory (they feed ``campaign status``); correctness
+never depends on them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import uuid
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.attack.spec import AttackSample
+from repro.campaign.spec import CampaignSpec
+from repro.core.results import OutcomeCategory, SampleRecord
+from repro.errors import EvaluationError
+
+SPEC_FILE = "spec.json"
+LOG_FILE = "log.jsonl"
+CHECKPOINT_FILE = "checkpoint.json"
+
+STATUS_RUNNING = "running"
+STATUS_COMPLETE = "complete"
+STATUS_INTERRUPTED = "interrupted"
+
+
+# ----------------------------------------------------------------------
+# record (de)serialization
+# ----------------------------------------------------------------------
+def record_to_dict(record: SampleRecord) -> dict:
+    return {
+        "t": record.sample.t,
+        "centre": record.sample.centre,
+        "radius_um": record.sample.radius_um,
+        "weight": record.sample.weight,
+        "e": record.e,
+        "category": record.category.value,
+        "flipped_bits": sorted([reg, bit] for reg, bit in record.flipped_bits),
+        "injection_cycle": record.injection_cycle,
+        "n_pulses_injected": record.n_pulses_injected,
+        "n_pulses_latched": record.n_pulses_latched,
+        "analytical": record.analytical,
+    }
+
+
+def record_from_dict(data: dict) -> SampleRecord:
+    return SampleRecord(
+        sample=AttackSample(
+            t=int(data["t"]),
+            centre=int(data["centre"]),
+            radius_um=float(data["radius_um"]),
+            weight=float(data["weight"]),
+        ),
+        e=int(data["e"]),
+        category=OutcomeCategory(data["category"]),
+        flipped_bits=frozenset(
+            (reg, int(bit)) for reg, bit in data["flipped_bits"]
+        ),
+        injection_cycle=int(data["injection_cycle"]),
+        n_pulses_injected=int(data["n_pulses_injected"]),
+        n_pulses_latched=int(data["n_pulses_latched"]),
+        analytical=bool(data["analytical"]),
+    )
+
+
+class RunStore:
+    """Filesystem persistence for one campaign run."""
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self.path = pathlib.Path(path)
+
+    @property
+    def run_id(self) -> str:
+        return self.path.name
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: Union[str, pathlib.Path],
+        spec: CampaignSpec,
+        run_id: Optional[str] = None,
+    ) -> "RunStore":
+        """Create a fresh run directory and persist the spec."""
+        run_id = run_id or uuid.uuid4().hex[:12]
+        path = pathlib.Path(root) / run_id
+        if path.exists():
+            raise EvaluationError(f"run {run_id!r} already exists at {path}")
+        path.mkdir(parents=True)
+        store = cls(path)
+        (path / SPEC_FILE).write_text(spec.to_json())
+        store.write_checkpoint({"status": STATUS_RUNNING, "n_samples": 0})
+        return store
+
+    @classmethod
+    def open(
+        cls, root: Union[str, pathlib.Path], run_id: str
+    ) -> "RunStore":
+        path = pathlib.Path(root) / run_id
+        if not (path / SPEC_FILE).exists():
+            raise EvaluationError(f"no campaign run {run_id!r} under {root}")
+        return cls(path)
+
+    @classmethod
+    def list_runs(cls, root: Union[str, pathlib.Path]) -> List[str]:
+        root = pathlib.Path(root)
+        if not root.exists():
+            return []
+        return sorted(
+            p.name for p in root.iterdir() if (p / SPEC_FILE).exists()
+        )
+
+    def load_spec(self) -> CampaignSpec:
+        from repro.campaign.spec import load_spec
+
+        return load_spec(self.path / SPEC_FILE)
+
+    # ------------------------------------------------------------------
+    # append-only sample log
+    # ------------------------------------------------------------------
+    def append_chunk(self, chunk_index: int, records: List[SampleRecord]) -> None:
+        """Durably append one consumed chunk (fsynced before returning)."""
+        line = json.dumps(
+            {
+                "chunk": chunk_index,
+                "records": [record_to_dict(r) for r in records],
+            }
+        )
+        with open(self.path / LOG_FILE, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replay(self) -> Iterator[Tuple[int, List[SampleRecord]]]:
+        """Yield ``(chunk_index, records)`` in log order.
+
+        A truncated trailing line (crash mid-append) is discarded; any
+        other malformed content raises, because it means the log is not
+        the contiguous prefix the resume logic depends on.
+        """
+        log = self.path / LOG_FILE
+        if not log.exists():
+            return
+        with open(log) as fh:
+            lines = fh.read().split("\n")
+        # A complete log ends with "\n", so the final element is "".
+        if lines and lines[-1] == "":
+            lines.pop()
+            trailing_complete = True
+        else:
+            trailing_complete = False
+        expected = 0
+        for i, line in enumerate(lines):
+            last = i == len(lines) - 1
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if last and not trailing_complete:
+                    return  # torn final append: drop it
+                raise EvaluationError(
+                    f"corrupt campaign log {log} at line {i + 1}"
+                )
+            if payload["chunk"] != expected:
+                raise EvaluationError(
+                    f"campaign log {log} is not a contiguous chunk prefix "
+                    f"(expected chunk {expected}, found {payload['chunk']})"
+                )
+            expected += 1
+            yield payload["chunk"], [
+                record_from_dict(r) for r in payload["records"]
+            ]
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def write_checkpoint(self, snapshot: dict) -> None:
+        """Atomically replace the checkpoint file."""
+        target = self.path / CHECKPOINT_FILE
+        tmp = self.path / (CHECKPOINT_FILE + ".tmp")
+        tmp.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        tmp.replace(target)
+
+    def read_checkpoint(self) -> dict:
+        target = self.path / CHECKPOINT_FILE
+        if not target.exists():
+            return {"status": STATUS_INTERRUPTED, "n_samples": 0}
+        try:
+            return json.loads(target.read_text())
+        except json.JSONDecodeError:
+            # A torn checkpoint is recoverable: the log has the truth.
+            return {"status": STATUS_INTERRUPTED, "n_samples": 0}

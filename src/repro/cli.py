@@ -8,6 +8,9 @@ Exposes the main workflows without writing Python::
     python -m repro evaluate --benchmark write --charac-cache charac.json
     python -m repro harden --benchmark write -n 1500 --coverage 0.95
     python -m repro countermeasures --benchmark write -n 600
+    python -m repro campaign run --benchmark write --stop risk --epsilon 0.02
+    python -m repro campaign resume <run-id>
+    python -m repro campaign status
 
 All commands print the same tables the library APIs produce.
 """
@@ -36,12 +39,7 @@ BENCHMARKS: Dict[str, Callable[[], BenchmarkProgram]] = {
 
 def _parse_variant(text: str) -> MpuVariant:
     """'none', 'parity', 'dual', 'dual+parity', 'tmr', 'tmr+parity'."""
-    parts = set(text.lower().split("+"))
-    parity = "parity" in parts
-    parts.discard("parity")
-    parts.discard("none")
-    redundancy = parts.pop() if parts else "none"
-    return MpuVariant(redundancy=redundancy, cfg_parity=parity)
+    return MpuVariant.parse(text)
 
 
 def _build_context(args):
@@ -259,6 +257,148 @@ def cmd_countermeasures(args) -> int:
     return 0
 
 
+def _campaign_result_rows(spec, store, result) -> list:
+    rows = [
+        ["run id", store.run_id],
+        ["benchmark", spec.benchmark],
+        ["MPU variant", spec.variant],
+        ["sampler", spec.sampler],
+        ["stopping", spec.stopping.mode],
+        ["SSF", f"{result.ssf:.5f}"],
+        ["sample variance", f"{result.variance:.3e}"],
+        ["std error", f"{result.estimator.std_error:.2e}"],
+        ["successes", f"{result.n_success}/{result.n_samples}"],
+        ["samples consumed", result.n_samples],
+        ["wall time", f"{result.wall_time_s:.1f} s"],
+    ]
+    checkpoint = store.read_checkpoint()
+    if checkpoint.get("stop_reason"):
+        rows.append(["stop reason", checkpoint["stop_reason"]])
+    return rows
+
+
+def _campaign_spec_from_args(args):
+    from repro.campaign import CampaignSpec, StoppingConfig
+
+    stopping = StoppingConfig(
+        mode=args.stop,
+        n_samples=args.samples,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        ci_width=args.ci_width,
+        min_samples=args.min_samples,
+        max_samples=args.max_samples,
+    )
+    return CampaignSpec(
+        benchmark=args.benchmark,
+        variant=_parse_variant(args.variant).name,
+        sampler=args.sampler,
+        window=args.window,
+        subblock_fraction=args.subblock,
+        impact_cycles=args.impact_cycles,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        charac_cache=args.charac_cache,
+        stopping=stopping,
+    )
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import CampaignRunner, ConsoleProgress, RunStore
+
+    spec = _campaign_spec_from_args(args)
+    store = RunStore.create(args.runs_dir, spec, run_id=args.run_id)
+    print(f"campaign run {store.run_id} -> {store.path}", file=sys.stderr)
+    runner = CampaignRunner(
+        spec,
+        store=store,
+        hooks=ConsoleProgress(every=args.progress_every),
+        n_workers=args.workers,
+    )
+    result = runner.run()
+    print(
+        format_table(
+            ["quantity", "value"],
+            _campaign_result_rows(spec, store, result),
+            title="Campaign",
+        )
+    )
+    return 0
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.campaign import CampaignRunner, ConsoleProgress, RunStore
+
+    store = RunStore.open(args.runs_dir, args.run_id)
+    spec = store.load_spec()
+    print(f"resuming campaign {store.run_id}", file=sys.stderr)
+    result = CampaignRunner.resume(
+        store,
+        hooks=ConsoleProgress(every=args.progress_every),
+        n_workers=args.workers,
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            _campaign_result_rows(spec, store, result),
+            title="Campaign (resumed)",
+        )
+    )
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import RunStore
+
+    if not args.run_id:
+        runs = RunStore.list_runs(args.runs_dir)
+        if not runs:
+            print(f"no campaign runs under {args.runs_dir}")
+            return 0
+        rows = []
+        for run_id in runs:
+            store = RunStore.open(args.runs_dir, run_id)
+            checkpoint = store.read_checkpoint()
+            rows.append(
+                [
+                    run_id,
+                    checkpoint.get("status", "?"),
+                    checkpoint.get("n_samples", 0),
+                    (
+                        f"{checkpoint['ssf']:.5f}"
+                        if checkpoint.get("ssf") is not None
+                        else "-"
+                    ),
+                ]
+            )
+        print(format_table(["run", "status", "samples", "SSF"], rows,
+                           title="Campaign runs"))
+        return 0
+
+    store = RunStore.open(args.runs_dir, args.run_id)
+    spec = store.load_spec()
+    checkpoint = store.read_checkpoint()
+    rows = [
+        ["run id", store.run_id],
+        ["status", checkpoint.get("status", "?")],
+        ["benchmark", spec.benchmark],
+        ["sampler", spec.sampler],
+        ["stopping", spec.stopping.mode],
+        ["samples", checkpoint.get("n_samples", 0)],
+        ["successes", checkpoint.get("n_success", 0)],
+    ]
+    if checkpoint.get("ssf") is not None:
+        rows.append(["SSF", f"{checkpoint['ssf']:.5f}"])
+    if checkpoint.get("std_error") is not None:
+        rows.append(["std error", f"{checkpoint['std_error']:.2e}"])
+    if checkpoint.get("target_samples"):
+        rows.append(["sample target", checkpoint["target_samples"]])
+    if checkpoint.get("stop_reason"):
+        rows.append(["stop reason", checkpoint["stop_reason"]])
+    print(format_table(["quantity", "value"], rows, title="Campaign status"))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argument plumbing
 # ----------------------------------------------------------------------
@@ -325,6 +465,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p, with_sampler=False)
     p.add_argument("--coverage", type=float, default=0.95)
     p.set_defaults(func=cmd_harden)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable, resumable campaigns with adaptive stopping",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = campaign_sub.add_parser("run", help="start a durable campaign")
+    _add_common(pr)
+    pr.add_argument("--subblock", type=float, default=0.125,
+                    help="fraction of the MPU the attacker can aim at")
+    pr.add_argument("--impact-cycles", type=int, default=1,
+                    help="consecutive cycles disturbed per injection")
+    pr.add_argument("--workers", type=int, default=1,
+                    help="parallel worker processes (fork platforms)")
+    pr.add_argument("--stop", choices=("fixed", "risk", "ci"),
+                    default="fixed",
+                    help="stopping rule: fixed N, (eps, delta) risk "
+                    "target, or Wilson CI width")
+    pr.add_argument("--epsilon", type=float, default=0.02,
+                    help="risk mode: absolute SSF error target")
+    pr.add_argument("--delta", type=float, default=0.05,
+                    help="risk mode: failure probability")
+    pr.add_argument("--ci-width", type=float, default=0.05,
+                    help="ci mode: Wilson interval width target")
+    pr.add_argument("--min-samples", type=int, default=200,
+                    help="adaptive modes: samples before first stop check")
+    pr.add_argument("--max-samples", type=int, default=100_000,
+                    help="adaptive modes: hard sample cap")
+    pr.add_argument("--chunk-size", type=int, default=50,
+                    help="samples per work-stealing chunk")
+    pr.add_argument("--runs-dir", default="runs",
+                    help="directory holding durable run state")
+    pr.add_argument("--run-id", default=None,
+                    help="explicit run id (default: random)")
+    pr.add_argument("--progress-every", type=int, default=1,
+                    help="print progress every N chunks")
+    pr.set_defaults(func=cmd_campaign_run)
+
+    pr = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign exactly"
+    )
+    pr.add_argument("run_id", help="run id to resume")
+    pr.add_argument("--runs-dir", default="runs")
+    pr.add_argument("--workers", type=int, default=1)
+    pr.add_argument("--progress-every", type=int, default=1)
+    pr.set_defaults(func=cmd_campaign_resume)
+
+    pr = campaign_sub.add_parser(
+        "status", help="inspect one run (or list all runs)"
+    )
+    pr.add_argument("run_id", nargs="?", default=None)
+    pr.add_argument("--runs-dir", default="runs")
+    pr.set_defaults(func=cmd_campaign_status)
 
     p = sub.add_parser("countermeasures", help="compare MPU variants")
     _add_common(p, with_sampler=False)

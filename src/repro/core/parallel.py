@@ -1,41 +1,57 @@
-"""Parallel Monte Carlo campaigns.
+"""Parallel Monte Carlo campaigns (compatibility wrapper).
 
 SSF samples are independent, so a campaign splits perfectly across
-processes.  ``parallel_evaluate`` forks workers (each inherits the
-evaluation context copy-on-write, so no re-setup cost), runs a chunk per
-worker with an independent seed stream, and merges the per-worker
-estimators exactly (Welford merge, see
-:meth:`repro.utils.stats.RunningStats.merge`).
+processes.  ``parallel_evaluate`` keeps its historical signature but now
+delegates to the campaign subsystem's work-stealing scheduler
+(:mod:`repro.campaign.scheduler`): the campaign is cut into small chunks
+that idle workers pull from a shared queue, so stragglers no longer gate
+the wall time, and per-chunk seed streams are spawned from the root seed
+via ``numpy.random.SeedSequence`` — the old ``seed + worker_index``
+scheme collided across campaigns (campaign seed 0 / worker 1 reused
+campaign seed 1 / worker 0's stream).
+
+The parent polls workers instead of blocking on the result queue, so a
+worker that dies without reporting (e.g. OOM-kill) raises
+:class:`~repro.errors.EvaluationError` instead of hanging forever.
 
 Only available on platforms with the ``fork`` start method (Linux); on
 anything else — or with ``n_workers=1`` — it falls back to the sequential
 engine, so callers need no platform logic.
+
+New code that wants durability, adaptive stopping, or telemetry should
+use :class:`repro.campaign.CampaignRunner` directly.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.engine import CrossLevelEngine
-from repro.core.results import CampaignResult
+from repro.core.results import CampaignResult, SampleRecord
 from repro.errors import EvaluationError
 from repro.sampling.base import Sampler
 from repro.sampling.estimator import SsfEstimator
 
 
 def _split_counts(total: int, n_workers: int) -> List[int]:
+    """Legacy static split (kept for callers that want a fixed layout)."""
     base, extra = divmod(total, n_workers)
     return [base + (1 if i < extra else 0) for i in range(n_workers)]
 
 
-def _worker(engine, sampler, n_samples, seed, index, queue) -> None:
-    try:
-        result = engine.evaluate(sampler, n_samples, seed=seed)
-        queue.put((index, result.records))
-    except Exception as exc:  # pragma: no cover - surfaced to the parent
-        queue.put((index, exc))
+def _chunk_plan(n_samples: int, n_workers: int, chunk_size: Optional[int]):
+    from repro.campaign.scheduler import Chunk
+
+    if chunk_size is None:
+        # ~4 chunks per worker: fine enough to absorb stragglers, coarse
+        # enough that per-chunk overhead stays negligible.
+        chunk_size = max(1, math.ceil(n_samples / (4 * n_workers)))
+    full, rest = divmod(n_samples, chunk_size)
+    sizes = [chunk_size] * full + ([rest] if rest else [])
+    return [Chunk(i, n) for i, n in enumerate(sizes)]
 
 
 def parallel_evaluate(
@@ -44,12 +60,17 @@ def parallel_evaluate(
     n_samples: int,
     seed: int = 0,
     n_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    poll_interval_s: float = 0.5,
 ) -> CampaignResult:
     """Run a campaign across worker processes and merge the results.
 
-    Seeds are ``seed + worker_index``, so the result is deterministic for a
-    given (seed, n_workers) — but differs from the sequential run with the
-    same seed (different stream layout).
+    Chunk ``i`` draws from the ``i``-th ``SeedSequence`` child spawned
+    from ``seed``, and chunks are merged in index order — so the result
+    is deterministic for a given (seed, n_samples, chunk_size) no matter
+    how many workers ran it or in what order chunks finished.  It still
+    differs from the sequential run with the same seed (different stream
+    layout).
     """
     if n_samples <= 0:
         raise EvaluationError("n_samples must be positive")
@@ -59,40 +80,33 @@ def parallel_evaluate(
     if n_workers <= 1 or "fork" not in methods:
         return engine.evaluate(sampler, n_samples, seed=seed)
 
-    ctx = multiprocessing.get_context("fork")
-    queue: multiprocessing.Queue = ctx.Queue()
-    counts = _split_counts(n_samples, n_workers)
-    start = time.perf_counter()
-    processes = []
-    for index, count in enumerate(counts):
-        if count == 0:
-            continue
-        process = ctx.Process(
-            target=_worker,
-            args=(engine, sampler, count, seed + index, index, queue),
-        )
-        process.start()
-        processes.append(process)
+    from repro.campaign.scheduler import ChunkResult, WorkStealingScheduler
 
-    chunks: dict = {}
-    for _ in processes:
-        index, payload = queue.get()
-        if isinstance(payload, Exception):
-            for process in processes:
-                process.terminate()
-            raise EvaluationError(f"worker {index} failed: {payload}") from payload
-        chunks[index] = payload
-    for process in processes:
-        process.join()
+    chunks = _chunk_plan(n_samples, n_workers, chunk_size)
+    scheduler = WorkStealingScheduler(
+        engine,
+        sampler,
+        seed=seed,
+        n_workers=n_workers,
+        poll_interval_s=poll_interval_s,
+    )
+    start = time.perf_counter()
+    completed: Dict[int, List[SampleRecord]] = {}
+
+    def collect(result: ChunkResult) -> bool:
+        completed[result.index] = result.records
+        return True
+
+    scheduler.run(chunks, collect)
 
     estimator = SsfEstimator(record_history=True)
-    records = []
-    for index in sorted(chunks):
-        for record in chunks[index]:
+    records: List[SampleRecord] = []
+    for index in sorted(completed):
+        for record in completed[index]:
             estimator.push(record.sample, record.e)
             records.append(record)
     return CampaignResult(
-        strategy=f"{sampler.name} (x{len(processes)} workers)",
+        strategy=f"{sampler.name} (x{scheduler.n_workers_used} workers)",
         records=records,
         estimator=estimator,
         wall_time_s=time.perf_counter() - start,

@@ -88,6 +88,16 @@ class MpuVariant:
             parts.append("parity")
         return "+".join(parts)
 
+    @classmethod
+    def parse(cls, text: str) -> "MpuVariant":
+        """Parse 'none', 'parity', 'dual', 'dual+parity', 'tmr', 'tmr+parity'."""
+        parts = set(text.lower().split("+"))
+        parity = "parity" in parts
+        parts.discard("parity")
+        parts.discard("none")
+        redundancy = parts.pop() if parts else "none"
+        return cls(redundancy=redundancy, cfg_parity=parity)
+
 
 BASELINE_VARIANT = MpuVariant()
 

@@ -14,14 +14,29 @@ from typing import Optional, Union
 
 import numpy as np
 
-SeedLike = Union[int, np.random.Generator, None]
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def as_generator(seed: SeedLike) -> np.random.Generator:
-    """Coerce an int seed / generator / None into a ``numpy`` Generator."""
+    """Coerce a seed-like (int / ``SeedSequence`` / generator / None) into a
+    ``numpy`` Generator.
+
+    ``SeedSequence`` support lets parallel campaigns thread spawned child
+    sequences straight into components that accept a ``SeedLike``."""
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_seed_sequences(seed: Optional[int], n: int) -> list:
+    """Derive ``n`` statistically independent child ``SeedSequence`` objects.
+
+    Replaces ad-hoc ``seed + index`` schemes, which collide across campaigns
+    (campaign seed 0 / stream 1 reuses campaign seed 1 / stream 0): spawned
+    children differ in their spawn key, so no (seed, index) pair ever shares
+    a stream with another (seed', index') pair.
+    """
+    return list(np.random.SeedSequence(seed).spawn(n))
 
 
 class RngFactory:

@@ -1,0 +1,159 @@
+"""Tests for the work-stealing shard scheduler and its seed policy."""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import Chunk, WorkStealingScheduler, chunk_seed_sequence
+from repro.errors import EvaluationError
+from repro.utils.rng import as_generator, spawn_seed_sequences
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+class TestSeedPolicy:
+    def test_matches_seed_sequence_spawn(self):
+        """chunk_seed_sequence(s, i) is SeedSequence(s).spawn(i+1)[i]."""
+        children = np.random.SeedSequence(7).spawn(5)
+        for index, child in enumerate(children):
+            direct = chunk_seed_sequence(7, index)
+            assert (
+                direct.generate_state(4).tolist()
+                == child.generate_state(4).tolist()
+            )
+
+    def test_no_cross_campaign_collision(self):
+        """The old ``seed + index`` scheme made (seed=0, chunk=1) reuse
+        (seed=1, chunk=0)'s stream.  Spawned sequences must not."""
+        a = as_generator(chunk_seed_sequence(0, 1)).random(8)
+        b = as_generator(chunk_seed_sequence(1, 0)).random(8)
+        assert not np.allclose(a, b)
+
+    def test_spawn_seed_sequences_helper(self):
+        streams = spawn_seed_sequences(3, 4)
+        assert len(streams) == 4
+        draws = [as_generator(s).random() for s in streams]
+        assert len(set(draws)) == 4
+
+
+class TestSequentialPath:
+    def test_runs_all_chunks_in_order(self):
+        scheduler = WorkStealingScheduler(
+            BernoulliEngine(), StubSampler(), seed=1, n_workers=1
+        )
+        seen = []
+        scheduler.run(
+            [Chunk(0, 5), Chunk(1, 5), Chunk(2, 3)],
+            lambda result: seen.append(result.index) or True,
+        )
+        assert seen == [0, 1, 2]
+        assert scheduler.n_workers_used == 1
+
+    def test_cancellation_stops_immediately(self):
+        scheduler = WorkStealingScheduler(
+            BernoulliEngine(), StubSampler(), seed=1, n_workers=1
+        )
+        seen = []
+
+        def consume(result):
+            seen.append(result.index)
+            return result.index < 1
+
+        scheduler.run([Chunk(i, 2) for i in range(10)], consume)
+        assert seen == [0, 1]
+
+    def test_start_index_skips_prefix(self):
+        scheduler = WorkStealingScheduler(
+            BernoulliEngine(), StubSampler(), seed=1, n_workers=1
+        )
+        seen = []
+        scheduler.run(
+            [Chunk(i, 2) for i in range(4)],
+            lambda result: seen.append(result.index) or True,
+            start_index=2,
+        )
+        assert seen == [2, 3]
+
+
+@needs_fork
+class TestPoolPath:
+    def test_all_chunks_complete(self):
+        scheduler = WorkStealingScheduler(
+            BernoulliEngine(), StubSampler(), seed=5, n_workers=2,
+            poll_interval_s=0.1,
+        )
+        results = {}
+        scheduler.run(
+            [Chunk(i, 4) for i in range(6)],
+            lambda r: results.update({r.index: r.records}) or True,
+        )
+        assert sorted(results) == list(range(6))
+        assert all(len(records) == 4 for records in results.values())
+        assert scheduler.n_workers_used == 2
+
+    def test_results_identical_to_sequential(self):
+        """Work stealing must not change the sample streams."""
+        chunks = [Chunk(i, 5) for i in range(5)]
+
+        def collect(n_workers):
+            scheduler = WorkStealingScheduler(
+                BernoulliEngine(), StubSampler(), seed=11,
+                n_workers=n_workers, poll_interval_s=0.1,
+            )
+            out = {}
+            scheduler.run(
+                chunks, lambda r: out.update({r.index: r.records}) or True
+            )
+            return {
+                i: [rec.e for rec in records] for i, records in out.items()
+            }
+
+        assert collect(1) == collect(3)
+
+    def test_worker_death_raises_instead_of_hanging(self):
+        class DyingEngine:
+            def evaluate(self, sampler, n_samples, seed=None, progress=None):
+                os._exit(3)
+
+        scheduler = WorkStealingScheduler(
+            DyingEngine(), StubSampler(), seed=1, n_workers=2,
+            poll_interval_s=0.1,
+        )
+        with pytest.raises(EvaluationError, match="died"):
+            scheduler.run(
+                [Chunk(i, 2) for i in range(4)], lambda r: True
+            )
+
+    def test_worker_exception_surfaced(self):
+        class FailingEngine:
+            def evaluate(self, sampler, n_samples, seed=None, progress=None):
+                raise ValueError("boom")
+
+        scheduler = WorkStealingScheduler(
+            FailingEngine(), StubSampler(), seed=1, n_workers=2,
+            poll_interval_s=0.1,
+        )
+        with pytest.raises(EvaluationError, match="boom"):
+            scheduler.run(
+                [Chunk(i, 2) for i in range(4)], lambda r: True
+            )
+
+    def test_cancellation_tears_pool_down(self):
+        scheduler = WorkStealingScheduler(
+            BernoulliEngine(delay_s=0.05), StubSampler(), seed=1,
+            n_workers=2, poll_interval_s=0.1,
+        )
+        seen = []
+        scheduler.run(
+            [Chunk(i, 2) for i in range(50)],
+            lambda r: seen.append(r.index) or len(seen) < 3,
+        )
+        # Far fewer than 50 chunks consumed: the pool stopped early.
+        assert len(seen) <= 10

@@ -1,0 +1,116 @@
+"""The acceptance scenario: SIGKILL a campaign process mid-run, then
+``campaign resume`` continues it to the exact same final estimate.
+
+The child process runs a real :class:`CampaignRunner` against a durable
+:class:`RunStore`; the parent waits for the append-only log to accumulate
+a few chunks and delivers ``SIGKILL`` (no cleanup handlers run, exactly
+like an OOM-kill).  The resumed run must be bit-identical to an
+uninterrupted one.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, RunStore, StoppingConfig
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX SIGKILL"
+)
+
+SPEC = CampaignSpec(
+    seed=21,
+    chunk_size=40,
+    stopping=StoppingConfig(
+        mode="risk", epsilon=0.05, delta=0.2, min_samples=80, max_samples=4000
+    ),
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from repro.campaign import CampaignRunner, RunStore
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+store = RunStore.open({runs_dir!r}, {run_id!r})
+runner = CampaignRunner(
+    store.load_spec(),
+    store=store,
+    engine=BernoulliEngine(p=0.3, delay_s=0.3),
+    sampler=StubSampler(),
+    n_workers=1,
+)
+runner.run()
+"""
+
+
+def wait_for_chunks(store: RunStore, n: int, timeout_s: float = 30.0) -> int:
+    log = store.path / "log.jsonl"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if log.exists():
+            lines = [l for l in log.read_text().splitlines() if l]
+            if len(lines) >= n:
+                return len(lines)
+        time.sleep(0.05)
+    raise AssertionError(f"campaign never reached {n} logged chunks")
+
+
+class TestSigkillResume:
+    def test_sigkilled_run_resumes_to_identical_estimate(self, tmp_path):
+        baseline = CampaignRunner(
+            SPEC,
+            engine=BernoulliEngine(p=0.3),
+            sampler=StubSampler(),
+            n_workers=1,
+        ).run()
+
+        store = RunStore.create(tmp_path, SPEC, run_id="victim")
+        script = CHILD_SCRIPT.format(
+            src=str(REPO_ROOT / "src"),
+            root=str(REPO_ROOT),
+            runs_dir=str(tmp_path),
+            run_id="victim",
+        )
+        child = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            wait_for_chunks(store, 2)
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+        assert child.returncode == -signal.SIGKILL
+
+        # The kill landed mid-campaign: some chunks logged, not all.
+        total_chunks = -(-baseline.n_samples // SPEC.chunk_size)
+        logged = [
+            line
+            for line in (store.path / "log.jsonl").read_text().splitlines()
+            if line
+        ]
+        assert 0 < len(logged) < total_chunks
+        first = json.loads(logged[0])
+        assert first["chunk"] == 0
+
+        resumed = CampaignRunner.resume(
+            store,
+            engine=BernoulliEngine(p=0.3),
+            sampler=StubSampler(),
+            n_workers=1,
+        )
+        assert resumed.n_samples == baseline.n_samples
+        assert resumed.ssf == baseline.ssf
+        assert [r.e for r in resumed.records] == [
+            r.e for r in baseline.records
+        ]
+        assert store.read_checkpoint()["status"] == "complete"

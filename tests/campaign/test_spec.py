@@ -1,0 +1,79 @@
+"""Tests for the declarative campaign spec."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, StoppingConfig, load_spec
+from repro.errors import EvaluationError
+
+
+class TestStoppingConfig:
+    def test_defaults_are_fixed_mode(self):
+        config = StoppingConfig()
+        assert config.mode == "fixed"
+        assert config.sample_cap == config.n_samples
+
+    def test_adaptive_cap_is_max_samples(self):
+        config = StoppingConfig(mode="risk", max_samples=7000)
+        assert config.sample_cap == 7000
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EvaluationError):
+            StoppingConfig(mode="vibes")
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(EvaluationError):
+            StoppingConfig(mode="fixed", n_samples=0)
+        with pytest.raises(EvaluationError):
+            StoppingConfig(mode="risk", max_samples=0)
+
+
+class TestCampaignSpec:
+    def test_json_roundtrip(self):
+        spec = CampaignSpec(
+            benchmark="read",
+            variant="dual+parity",
+            sampler="cone",
+            window=30,
+            seed=99,
+            chunk_size=25,
+            stopping=StoppingConfig(mode="ci", ci_width=0.03, max_samples=4000),
+        )
+        restored = CampaignSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_load_spec_from_file(self, tmp_path):
+        spec = CampaignSpec(seed=4)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert load_spec(path) == spec
+
+    def test_load_spec_bad_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(EvaluationError):
+            load_spec(path)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(EvaluationError):
+            CampaignSpec(chunk_size=0)
+        with pytest.raises(EvaluationError):
+            CampaignSpec(sampler="quantum")
+
+
+class TestChunkPlan:
+    def test_plan_covers_cap_exactly(self):
+        spec = CampaignSpec(
+            chunk_size=30,
+            stopping=StoppingConfig(mode="fixed", n_samples=100),
+        )
+        sizes = spec.chunk_sizes()
+        assert sizes == (30, 30, 30, 10)
+        assert sum(sizes) == 100
+
+    def test_plan_is_pure_function_of_spec(self):
+        spec = CampaignSpec(
+            chunk_size=7,
+            stopping=StoppingConfig(mode="risk", max_samples=50),
+        )
+        assert spec.chunk_sizes() == spec.chunk_sizes()
+        assert sum(spec.chunk_sizes()) == 50

@@ -1,0 +1,93 @@
+"""Tests for the adaptive stopping rules."""
+
+import pytest
+
+from repro.attack.spec import AttackSample
+from repro.campaign import (
+    BoundedRule,
+    CiWidthRule,
+    FixedSampleRule,
+    RiskTargetRule,
+    StoppingConfig,
+    build_stopping_rule,
+)
+from repro.errors import EvaluationError
+from repro.sampling.estimator import SsfEstimator
+from repro.utils.stats import samples_for_risk
+
+
+def estimator_with(successes: int, total: int) -> SsfEstimator:
+    estimator = SsfEstimator()
+    sample = AttackSample(t=0, centre=0, radius_um=3.0, weight=1.0)
+    for i in range(total):
+        estimator.push(sample, 1 if i < successes else 0)
+    return estimator
+
+
+class TestFixedSampleRule:
+    def test_stops_exactly_at_budget(self):
+        rule = FixedSampleRule(100)
+        assert not rule.check(estimator_with(5, 99)).stop
+        decision = rule.check(estimator_with(5, 100))
+        assert decision.stop
+        assert decision.target_samples == 100
+
+
+class TestRiskTargetRule:
+    def test_warmup_blocks_early_stop(self):
+        # All-zero prefix has sigma^2 = 0; without the warm-up the bound
+        # would be met after a single sample.
+        rule = RiskTargetRule(epsilon=0.1, delta=0.1, min_samples=50)
+        assert not rule.check(estimator_with(0, 10)).stop
+
+    def test_stops_when_chebyshev_bound_met(self):
+        rule = RiskTargetRule(epsilon=0.1, delta=0.25, min_samples=10)
+        estimator = estimator_with(30, 100)
+        needed = samples_for_risk(estimator.variance, 0.1, 0.25)
+        decision = rule.check(estimator)
+        assert needed <= 100
+        assert decision.stop
+        assert decision.target_samples == max(needed, 10)
+
+    def test_reports_target_while_running(self):
+        rule = RiskTargetRule(epsilon=0.01, delta=0.05, min_samples=10)
+        decision = rule.check(estimator_with(30, 100))
+        assert not decision.stop
+        assert decision.target_samples > 100
+
+
+class TestCiWidthRule:
+    def test_stops_on_narrow_interval(self):
+        rule = CiWidthRule(width=0.5, min_samples=10)
+        assert rule.check(estimator_with(5, 100)).stop
+
+    def test_keeps_going_on_wide_interval(self):
+        rule = CiWidthRule(width=0.001, min_samples=10)
+        assert not rule.check(estimator_with(5, 100)).stop
+
+
+class TestBoundedRule:
+    def test_cap_fires_when_inner_never_converges(self):
+        rule = BoundedRule(CiWidthRule(width=1e-9, min_samples=1), 50)
+        decision = rule.check(estimator_with(10, 50))
+        assert decision.stop
+        assert "cap" in decision.reason
+
+    def test_inner_decision_wins_before_cap(self):
+        rule = BoundedRule(FixedSampleRule(20), 100)
+        assert rule.check(estimator_with(2, 20)).stop
+
+
+class TestBuildStoppingRule:
+    @pytest.mark.parametrize("mode", ["fixed", "risk", "ci"])
+    def test_all_modes_build(self, mode):
+        rule = build_stopping_rule(StoppingConfig(mode=mode))
+        assert isinstance(rule, BoundedRule)
+        assert rule.describe()
+
+    def test_unknown_mode_rejected(self):
+        class Broken:
+            mode = "nope"
+
+        with pytest.raises(EvaluationError):
+            build_stopping_rule(Broken())

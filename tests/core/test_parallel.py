@@ -1,6 +1,7 @@
 """Tests for parallel campaign evaluation."""
 
 import multiprocessing
+import os
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro import RandomSampler, default_attack_spec
 from repro.core.engine import CrossLevelEngine
 from repro.core.parallel import _split_counts, parallel_evaluate
 from repro.errors import EvaluationError
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
 
 needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
@@ -75,3 +78,70 @@ class TestParallelEvaluate:
         eng, spec = engine
         with pytest.raises(EvaluationError):
             parallel_evaluate(eng, RandomSampler(spec), 0, n_workers=2)
+
+
+@needs_fork
+class TestSeedPolicyRegression:
+    """The old ``seed + worker_index`` derivation collided across
+    campaigns: (seed=0, worker=1) reused (seed=1, worker=0)'s stream."""
+
+    def draws(self, seed):
+        result = parallel_evaluate(
+            BernoulliEngine(p=0.5),
+            StubSampler(),
+            40,
+            seed=seed,
+            n_workers=2,
+            chunk_size=20,
+            poll_interval_s=0.1,
+        )
+        return [(r.sample.t, r.sample.centre, r.e) for r in result.records]
+
+    def test_adjacent_campaign_seeds_share_no_stream(self):
+        a = self.draws(0)
+        b = self.draws(1)
+        # Old scheme: b's first half == a's second half. Spawned
+        # SeedSequence children must make every chunk stream distinct.
+        assert a[:20] != b[:20]
+        assert a[20:] != b[:20]
+        assert a[:20] != b[20:]
+
+    def test_worker_count_invariant_given_chunk_size(self):
+        two = parallel_evaluate(
+            BernoulliEngine(), StubSampler(), 60, seed=5,
+            n_workers=2, chunk_size=10, poll_interval_s=0.1,
+        )
+        four = parallel_evaluate(
+            BernoulliEngine(), StubSampler(), 60, seed=5,
+            n_workers=4, chunk_size=10, poll_interval_s=0.1,
+        )
+        assert two.ssf == four.ssf
+        assert [r.e for r in two.records] == [r.e for r in four.records]
+
+
+@needs_fork
+class TestDeadWorkerDetection:
+    """A worker that dies without posting to the queue (e.g. OOM-kill)
+    used to hang the parent in a bare ``queue.get()`` forever."""
+
+    def test_killed_worker_raises_instead_of_hanging(self):
+        class DyingEngine:
+            def evaluate(self, sampler, n_samples, seed=None, progress=None):
+                os._exit(9)
+
+        with pytest.raises(EvaluationError, match="died"):
+            parallel_evaluate(
+                DyingEngine(), StubSampler(), 40,
+                seed=1, n_workers=2, poll_interval_s=0.1,
+            )
+
+    def test_worker_exception_still_surfaced(self):
+        class FailingEngine:
+            def evaluate(self, sampler, n_samples, seed=None, progress=None):
+                raise RuntimeError("chunk exploded")
+
+        with pytest.raises(EvaluationError, match="chunk exploded"):
+            parallel_evaluate(
+                FailingEngine(), StubSampler(), 40,
+                seed=1, n_workers=2, poll_interval_s=0.1,
+            )

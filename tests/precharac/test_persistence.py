@@ -51,6 +51,44 @@ class TestRoundTrip:
             assert fresh.g_T(t) == pytest.approx(restored.g_T(t))
 
 
+class TestFieldFidelity:
+    """The derived quantities the samplers consume must survive the trip
+    bit-for-bit, not just structurally."""
+
+    @pytest.fixture()
+    def loaded(self, small_context, tmp_path):
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        return load_characterization(path, small_context.netlist)
+
+    def test_correlation_values_exact(self, small_context, loaded):
+        ch = small_context.characterization
+        assert loaded.signatures.correlations
+        for key, value in ch.signatures.correlations.items():
+            assert loaded.signatures.correlations[key] == value
+        assert loaded.signatures.n_cycles == ch.signatures.n_cycles
+
+    def test_register_characters_exact(self, small_context, loaded):
+        ch = small_context.characterization
+        assert loaded.lifetime.results
+        for key, char in ch.lifetime.results.items():
+            restored = loaded.lifetime.results[key]
+            assert restored.register == char.register
+            assert restored.bit == char.bit
+            assert restored.lifetime == char.lifetime
+            assert restored.contamination == char.contamination
+            assert restored.ever_masked == char.ever_masked
+            assert restored.trials == char.trials
+
+    def test_node_lifetime_exact(self, small_context, loaded):
+        ch = small_context.characterization
+        for node in small_context.netlist.nodes:
+            assert loaded.node_lifetime[node.nid] == ch.node_lifetime[node.nid]
+
+    def test_config_preserved(self, small_context, loaded):
+        assert loaded.config == small_context.characterization.config
+
+
 class TestGuards:
     def test_wrong_netlist_rejected(self, small_context, tmp_path):
         path = tmp_path / "charac.json"
@@ -75,5 +113,23 @@ class TestGuards:
     def test_corrupt_json_rejected(self, small_context, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
+        with pytest.raises(CharacterizationError):
+            load_characterization(path, small_context.netlist)
+
+    def test_tampered_node_count_rejected(self, small_context, tmp_path):
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["n_nodes"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CharacterizationError):
+            load_characterization(path, small_context.netlist)
+
+    def test_tampered_register_manifest_rejected(self, small_context, tmp_path):
+        path = tmp_path / "charac.json"
+        save_characterization(small_context.characterization, path)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["registers"]["phantom_reg"] = 8
+        path.write_text(json.dumps(payload))
         with pytest.raises(CharacterizationError):
             load_characterization(path, small_context.netlist)

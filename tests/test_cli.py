@@ -42,6 +42,71 @@ class TestParser:
         assert set(BENCHMARKS) == {"write", "read", "dma"}
 
 
+class TestCampaignParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["campaign", "run"])
+        assert args.stop == "fixed"
+        assert args.chunk_size == 50
+        assert args.runs_dir == "runs"
+        assert args.func.__name__ == "cmd_campaign_run"
+
+    def test_adaptive_flags(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "run", "--stop", "risk",
+                "--epsilon", "0.01", "--delta", "0.1",
+                "--max-samples", "5000", "--workers", "4",
+            ]
+        )
+        assert args.stop == "risk"
+        assert args.epsilon == 0.01
+        assert args.max_samples == 5000
+
+    def test_resume_requires_run_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "resume"])
+
+    def test_status_run_id_optional(self):
+        args = build_parser().parse_args(["campaign", "status"])
+        assert args.run_id is None
+
+
+class TestCampaignCommands:
+    def test_status_empty_runs_dir(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "status", "--runs-dir", str(tmp_path / "none")]
+        )
+        assert code == 0
+        assert "no campaign runs" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_campaign_run_then_status(self, capsys, tmp_path):
+        runs = str(tmp_path / "runs")
+        code = main(
+            [
+                "campaign", "run", "--benchmark", "write",
+                "-n", "20", "--window", "5", "--sampler", "random",
+                "--chunk-size", "10", "--runs-dir", runs,
+                "--run-id", "clitest",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign" in out
+        assert "clitest" in out
+
+        assert main(["campaign", "status", "--runs-dir", runs]) == 0
+        listing = capsys.readouterr().out
+        assert "clitest" in listing and "complete" in listing
+
+        assert main(
+            ["campaign", "status", "clitest", "--runs-dir", runs]
+        ) == 0
+        detail = capsys.readouterr().out
+        assert "complete" in detail
+        assert "20" in detail
+
+
 class TestCommands:
     def test_info_runs(self, capsys):
         assert main(["info"]) == 0
