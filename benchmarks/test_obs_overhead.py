@@ -1,0 +1,88 @@
+"""Observability overhead guard.
+
+The engine's hot path is instrumented by default (``observe=True`` with
+the no-op ``NULL_TRACER`` — exactly what the Fig. 9 convergence benchmark
+and every campaign run): a metrics registry records each sample and a
+``StageClock`` takes one ``perf_counter`` lap per stage boundary.  This
+guard pins the cost of that default against a fully-unobserved engine
+(``observe=False``) on the Fig. 9 workload and fails if the median
+overhead exceeds 3%.
+
+Runs are interleaved (plain, observed, plain, observed, ...) so clock
+drift and cache warm-up hit both variants equally, and compared on the
+min-of-N wall time — the standard way to strip scheduler noise from a
+throughput measurement.
+"""
+
+import time
+
+from repro import (
+    CrossLevelEngine,
+    ImportanceSampler,
+    default_attack_spec,
+)
+from repro.obs.tracing import NULL_TRACER
+
+N_SAMPLES = 400
+REPEATS = 5
+MAX_OVERHEAD = 0.03
+
+
+def build(context, observe):
+    spec = default_attack_spec(context, window=50)
+    engine = CrossLevelEngine(
+        context, spec, tracer=NULL_TRACER, observe=observe
+    )
+    sampler = ImportanceSampler(
+        spec, context.characterization, placement=context.placement
+    )
+    return engine, sampler
+
+
+def timed_run(engine, sampler):
+    start = time.perf_counter()
+    result = engine.evaluate(sampler, N_SAMPLES, seed=77)
+    return time.perf_counter() - start, result
+
+
+def test_noop_observability_overhead_under_budget(write_context, emit):
+    plain_engine, plain_sampler = build(write_context, observe=False)
+    obs_engine, obs_sampler = build(write_context, observe=True)
+
+    # Warm caches (golden state, characterization lookups) off the clock.
+    timed_run(plain_engine, plain_sampler)
+    timed_run(obs_engine, obs_sampler)
+
+    plain_times, obs_times = [], []
+    for _ in range(REPEATS):
+        seconds, plain_result = timed_run(plain_engine, plain_sampler)
+        plain_times.append(seconds)
+        seconds, obs_result = timed_run(obs_engine, obs_sampler)
+        obs_times.append(seconds)
+
+    # Observability must not change the estimate, only describe it.
+    assert obs_result.ssf == plain_result.ssf
+    assert plain_result.metrics is None
+    assert obs_result.metrics is not None
+
+    best_plain = min(plain_times)
+    best_obs = min(obs_times)
+    overhead = best_obs / best_plain - 1.0
+
+    emit(
+        "obs_overhead",
+        "\n".join(
+            [
+                "No-op observability overhead "
+                f"({N_SAMPLES} samples, min of {REPEATS})",
+                f"  unobserved engine : {best_plain:.3f} s",
+                f"  observed (default): {best_obs:.3f} s",
+                f"  overhead          : {100 * overhead:+.2f} % "
+                f"(budget {100 * MAX_OVERHEAD:.0f} %)",
+            ]
+        ),
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"default observability costs {100 * overhead:.2f} % "
+        f"(> {100 * MAX_OVERHEAD:.0f} % budget) on the Fig. 9 workload"
+    )

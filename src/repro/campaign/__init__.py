@@ -12,12 +12,18 @@ campaigns *operable* at scale:
 * :class:`WorkStealingScheduler` — dynamic sharding across worker
   processes with straggler-free chunking and early cancellation;
 * :class:`CampaignHooks` — progress/telemetry callbacks the CLI renders
-  as live convergence status.
+  as live convergence status; :class:`ObsHooks` publishes the same events
+  into a :class:`repro.obs.MetricsRegistry`.
 
 Everything meets in :class:`CampaignRunner`.
 """
 
-from repro.campaign.hooks import CampaignHooks, ConsoleProgress, HookChain
+from repro.campaign.hooks import (
+    CampaignHooks,
+    ConsoleProgress,
+    HookChain,
+    ObsHooks,
+)
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.scheduler import (
     Chunk,
@@ -36,10 +42,14 @@ from repro.campaign.stopping import (
     build_stopping_rule,
 )
 from repro.campaign.store import (
+    ChunkLogEntry,
+    METRICS_FILE,
+    PROM_FILE,
     RunStore,
     STATUS_COMPLETE,
     STATUS_INTERRUPTED,
     STATUS_RUNNING,
+    TRACE_FILE,
     record_from_dict,
     record_to_dict,
 )
@@ -49,9 +59,11 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "Chunk",
+    "ChunkLogEntry",
     "ChunkResult",
     "ConsoleProgress",
     "HookChain",
+    "ObsHooks",
     "RunStore",
     "StoppingConfig",
     "StopDecision",
@@ -69,4 +81,7 @@ __all__ = [
     "STATUS_COMPLETE",
     "STATUS_INTERRUPTED",
     "STATUS_RUNNING",
+    "METRICS_FILE",
+    "PROM_FILE",
+    "TRACE_FILE",
 ]

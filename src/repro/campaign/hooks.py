@@ -7,19 +7,33 @@ only — exceptions raised by a hook propagate (a broken telemetry sink
 should fail loudly, not silently corrupt monitoring) but hooks cannot
 influence the sample sequence or the stopping decision, which keeps the
 estimate deterministic whatever is watching.
+
+Before the first event the runner calls :meth:`CampaignHooks.bind` with
+its merged :class:`~repro.obs.metrics.MetricsRegistry` and tracer, and
+chains an :class:`ObsHooks` *ahead* of user hooks — so when a display
+hook like :class:`ConsoleProgress` receives ``on_batch``, the registry
+already reflects the merged chunk and the hook can render from metrics
+instead of poking estimator internals.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from typing import IO, Optional
 
 from repro.campaign.stopping import StopDecision
+from repro.obs.metrics import MetricsRegistry
 from repro.sampling.estimator import SsfEstimator
 
 
 class CampaignHooks:
     """No-op base class; subclass and override what you care about."""
+
+    def bind(self, metrics, tracer=None) -> None:
+        """Called once before the first event with the runner's merged
+        metrics registry and tracer.  Hooks that render from metrics
+        keep the reference; the default implementation ignores it."""
 
     def on_batch(
         self,
@@ -42,10 +56,20 @@ class CampaignHooks:
 
 
 class HookChain(CampaignHooks):
-    """Fan one event stream out to several hooks, in order."""
+    """Fan one event stream out to several hooks, in order.
+
+    Ordering is part of the contract: for every event, hook ``i``
+    completes before hook ``i + 1`` starts — producers of derived state
+    (e.g. :class:`ObsHooks` updating the metrics registry) go before
+    consumers of it (e.g. :class:`ConsoleProgress`).
+    """
 
     def __init__(self, *hooks: CampaignHooks):
         self.hooks = [h for h in hooks if h is not None]
+
+    def bind(self, metrics, tracer=None) -> None:
+        for hook in self.hooks:
+            hook.bind(metrics, tracer)
 
     def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
         for hook in self.hooks:
@@ -60,30 +84,94 @@ class HookChain(CampaignHooks):
             hook.on_stop(decision, estimator)
 
 
+class ObsHooks(CampaignHooks):
+    """Publishes campaign progress into a :class:`MetricsRegistry`.
+
+    Progress metrics (chunks/samples merged, SSF/σ gauges) are
+    deterministic: the runner also feeds replayed chunks through this
+    hook on resume, so a SIGKILL-resumed campaign converges to the same
+    merged values as an uninterrupted one.  Operational events
+    (checkpoints, stops) are flagged non-deterministic — how often a run
+    checkpointed depends on where it was interrupted.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def bind(self, metrics, tracer=None) -> None:
+        if metrics is not None:
+            self.metrics = metrics
+
+    def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
+        m = self.metrics
+        m.counter("campaign_chunks_merged_total").inc()
+        m.counter("campaign_samples_merged_total").inc(n_new)
+        m.gauge("campaign_n_samples").set(estimator.n_samples)
+        m.gauge("campaign_ssf").set(estimator.ssf)
+        if estimator.n_samples >= 2:
+            m.gauge("campaign_std_error").set(estimator.std_error)
+        if decision is not None and decision.target_samples:
+            m.gauge("campaign_target_samples").set(decision.target_samples)
+
+    def on_checkpoint(self, snapshot) -> None:
+        self.metrics.counter(
+            "campaign_checkpoints_total", deterministic=False
+        ).inc()
+
+    def on_stop(self, decision, estimator) -> None:
+        self.metrics.counter(
+            "campaign_stops_total",
+            deterministic=False,
+            reason=decision.reason,
+        ).inc()
+
+
 class ConsoleProgress(CampaignHooks):
     """Live convergence status for the CLI (one line per refresh).
 
-    Renders the running SSF estimate, the standard error, and — when the
-    stopping rule publishes one — progress toward its sample target.
+    Renders the running SSF estimate, the standard error, the merge
+    throughput (samples/sec between refreshes), and — when the stopping
+    rule publishes one — progress toward its sample target.  Reads from
+    the bound metrics registry (kept current by :class:`ObsHooks` ahead
+    of it in the runner's chain); the estimator argument is only a
+    fallback for standalone use without a registry.
     """
 
     def __init__(self, stream: Optional[IO[str]] = None, every: int = 1):
         self.stream = stream or sys.stderr
         self.every = max(1, every)
         self._chunks_seen = 0
+        self._metrics: Optional[MetricsRegistry] = None
+        self._last_render: Optional[tuple] = None  # (perf_counter, n)
+
+    def bind(self, metrics, tracer=None) -> None:
+        self._metrics = metrics
+
+    def _progress_values(self, estimator):
+        m = self._metrics
+        if m is not None and m.value("campaign_samples_merged_total"):
+            return (
+                int(m.value("campaign_samples_merged_total")),
+                m.value("campaign_ssf") or 0.0,
+                m.value("campaign_std_error") or 0.0,
+            )
+        return estimator.n_samples, estimator.ssf, estimator.std_error
 
     def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
         self._chunks_seen += 1
         if self._chunks_seen % self.every:
             return
-        msg = (
-            f"chunk {chunk_index}: n={estimator.n_samples} "
-            f"ssf={estimator.ssf:.5f} "
-            f"se={estimator.std_error:.2e}"
-        )
+        n, ssf, std_error = self._progress_values(estimator)
+        msg = f"chunk {chunk_index}: n={n} ssf={ssf:.5f} se={std_error:.2e}"
+        now = time.perf_counter()
+        if self._last_render is not None:
+            then, n_then = self._last_render
+            if now > then and n > n_then:
+                msg += f" rate={(n - n_then) / (now - then):.0f}/s"
+        self._last_render = (now, n)
         target = decision.target_samples if decision else None
         if target:
-            pct = 100.0 * min(1.0, estimator.n_samples / target)
+            pct = 100.0 * min(1.0, n / target)
             msg += f" target~{target} ({pct:.0f}%)"
         print(msg, file=self.stream)
 

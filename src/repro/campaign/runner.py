@@ -14,6 +14,16 @@ chunk-index order via a reorder buffer.  Consequences:
 * the stopping rule sees the same estimator sequence every time, so the
   stop point is reproducible too.  Chunks that completed out of order
   past the stop point are discarded, never logged.
+
+Observability rides the same consumption order: each chunk's serialized
+metrics snapshot (recorded by the worker's engine, or rebuilt from its
+records when absent) is merged into the runner's registry in chunk-index
+order, so the merged metrics inherit every determinism guarantee above —
+1 worker or 8, uninterrupted or SIGKILL-resumed, the deterministic subset
+is identical.  The merged registry is exported to ``metrics.jsonl`` /
+``metrics.prom`` in the run directory at every checkpoint; a recording
+tracer additionally captures runner/scheduler spans (chunk dispatch,
+steal, merge, checkpoint fsync) exported as Chrome ``trace.json``.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from repro.campaign.hooks import CampaignHooks
+from repro.campaign.hooks import CampaignHooks, HookChain, ObsHooks
 from repro.campaign.scheduler import Chunk, ChunkResult, WorkStealingScheduler
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.stopping import StopDecision, build_stopping_rule
@@ -33,6 +43,10 @@ from repro.campaign.store import (
 )
 from repro.core.results import CampaignResult, SampleRecord
 from repro.errors import EvaluationError
+from repro.obs.engine_metrics import metrics_from_records
+from repro.obs.logging import warn_once
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sampling.estimator import SsfEstimator
 
 
@@ -40,7 +54,10 @@ class CampaignRunner:
     """Drives one campaign end-to-end (fresh or resumed).
 
     ``engine`` and ``sampler`` are normally built from the spec; tests (or
-    callers that already hold a context) may inject their own.
+    callers that already hold a context) may inject their own.  The runner
+    always maintains a merged :class:`MetricsRegistry` (``self.metrics``);
+    pass a recording :class:`~repro.obs.tracing.Tracer` (or set
+    ``spec.trace``) to capture spans as well.
     """
 
     def __init__(
@@ -53,6 +70,8 @@ class CampaignRunner:
         n_workers: Optional[int] = None,
         checkpoint_every: int = 5,
         poll_interval_s: float = 0.5,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.spec = spec
         self.store = store
@@ -62,6 +81,14 @@ class CampaignRunner:
         self.poll_interval_s = poll_interval_s
         self._engine = engine
         self._sampler = sampler
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None and getattr(spec, "trace", False):
+            tracer = Tracer()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Runner-owned obs hook: first in the chain, also fed during
+        # replay, so campaign progress metrics are deterministic.
+        self._obs = ObsHooks(self.metrics)
+        self._hook_chain = HookChain(self._obs, self.hooks)
 
     # ------------------------------------------------------------------
     # entry points
@@ -69,7 +96,19 @@ class CampaignRunner:
     def run(self, resume: bool = False) -> CampaignResult:
         start = time.perf_counter()
         if self._engine is None or self._sampler is None:
-            self._engine, self._sampler = self.spec.build_runtime()
+            with self.tracer.span("campaign.build_runtime"):
+                self._engine, self._sampler = self.spec.build_runtime()
+        if self.tracer.enabled and (
+            getattr(self._engine, "tracer", None) is NULL_TRACER
+        ):
+            # Give the engine our span buffer: in-process (sequential)
+            # chunks then contribute per-sample stage spans.  Fork
+            # workers inherit a copy whose spans never travel back —
+            # their stage *timings* still do, via the metrics snapshot.
+            self._engine.tracer = self.tracer
+        self._warn_on_stopping_overlap()
+        self.hooks.bind(self.metrics, self.tracer)
+        hooks = self._hook_chain
 
         rule = build_stopping_rule(self.spec.stopping)
         chunks = [
@@ -82,11 +121,16 @@ class CampaignRunner:
         if resume:
             if self.store is None:
                 raise EvaluationError("resume requires a run store")
-            for index, chunk_records in self.store.replay():
-                for record in chunk_records:
-                    estimator.push(record.sample, record.e)
-                    records.append(record)
-                next_index = index + 1
+            with self.tracer.span("campaign.replay"):
+                for entry in self.store.replay_chunks():
+                    for record in entry.records:
+                        estimator.push(record.sample, record.e)
+                        records.append(record)
+                    self._merge_chunk_metrics(entry.records, entry.metrics)
+                    self._obs.on_batch(
+                        entry.index, len(entry.records), estimator, None
+                    )
+                    next_index = entry.index + 1
         decision = rule.check(estimator) if next_index else None
         if decision is not None and not decision.stop:
             decision = None
@@ -101,14 +145,17 @@ class CampaignRunner:
             STATUS_COMPLETE, estimator, decision, len(records)
         )
         if self.store is not None:
-            self.store.write_checkpoint(snapshot)
-        self.hooks.on_checkpoint(snapshot)
-        self.hooks.on_stop(decision, estimator)
+            with self.tracer.span("checkpoint.fsync"):
+                self.store.write_checkpoint(snapshot)
+        hooks.on_checkpoint(snapshot)
+        hooks.on_stop(decision, estimator)
+        self._export_obs()
         return CampaignResult(
             strategy=f"campaign:{self._sampler.name} ({decision.reason})",
             records=records,
             estimator=estimator,
             wall_time_s=wall,
+            metrics=self.metrics.snapshot(),
         )
 
     @classmethod
@@ -119,6 +166,7 @@ class CampaignRunner:
         engine=None,
         sampler=None,
         n_workers: Optional[int] = None,
+        tracer=None,
     ) -> CampaignResult:
         """Continue an interrupted run exactly where its log ends."""
         runner = cls(
@@ -128,6 +176,7 @@ class CampaignRunner:
             engine=engine,
             sampler=sampler,
             n_workers=n_workers,
+            tracer=tracer,
         )
         return runner.run(resume=True)
 
@@ -141,7 +190,10 @@ class CampaignRunner:
             seed=self.spec.seed,
             n_workers=self.n_workers,
             poll_interval_s=self.poll_interval_s,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
+        hooks = self._hook_chain
         pending: Dict[int, ChunkResult] = {}
         state = {"next": next_index, "decision": None, "since_ckpt": 0}
 
@@ -150,13 +202,18 @@ class CampaignRunner:
             while state["next"] in pending:
                 ready = pending.pop(state["next"])
                 if self.store is not None:
-                    self.store.append_chunk(ready.index, ready.records)
-                for record in ready.records:
-                    estimator.push(record.sample, record.e)
-                    records.append(record)
+                    with self.tracer.span("chunk.append", chunk=ready.index):
+                        self.store.append_chunk(
+                            ready.index, ready.records, metrics=ready.metrics
+                        )
+                with self.tracer.span("chunk.merge", chunk=ready.index):
+                    for record in ready.records:
+                        estimator.push(record.sample, record.e)
+                        records.append(record)
+                    self._merge_chunk_metrics(ready.records, ready.metrics)
                 state["next"] += 1
                 decision = rule.check(estimator)
-                self.hooks.on_batch(
+                hooks.on_batch(
                     ready.index, len(ready.records), estimator, decision
                 )
                 state["since_ckpt"] += 1
@@ -177,6 +234,7 @@ class CampaignRunner:
             self._checkpoint(
                 STATUS_INTERRUPTED, estimator, state["decision"], len(records)
             )
+            self._export_obs()
             raise
         self._workers_used = scheduler.n_workers_used
 
@@ -188,6 +246,43 @@ class CampaignRunner:
             if not decision.stop:
                 decision = StopDecision(True, "chunk plan exhausted")
         return decision
+
+    # ------------------------------------------------------------------
+    # metrics merging
+    # ------------------------------------------------------------------
+    def _merge_chunk_metrics(
+        self, chunk_records: List[SampleRecord], snapshot: Optional[List[dict]]
+    ) -> None:
+        """Fold one chunk's metrics into the merged registry, in the
+        strict chunk-index order the caller guarantees.
+
+        Chunks from unobserved engines (stubs, pre-observability logs)
+        carry no snapshot; their deterministic metrics are rebuilt from
+        the records so the merged registry stays complete either way.
+        """
+        if snapshot is None:
+            snapshot = metrics_from_records(chunk_records).snapshot()
+        self.metrics.merge_snapshot(snapshot)
+
+    def _export_obs(self) -> None:
+        if self.store is None:
+            return
+        self.store.write_metrics(self.metrics)
+        if self.tracer.enabled:
+            self.store.write_trace(self.tracer)
+
+    def _warn_on_stopping_overlap(self) -> None:
+        config = getattr(self._engine, "config", None)
+        if getattr(config, "stop_on_convergence", False):
+            warn_once(
+                "engine-stop-under-campaign",
+                "EngineConfig.stop_on_convergence is active under campaign "
+                "orchestration: the campaign stopping rule (which sees the "
+                "merged cross-chunk estimator) takes precedence, while the "
+                "engine-level rule can truncate individual chunks and break "
+                "worker-count determinism. Disable stop_on_convergence and "
+                "use StoppingConfig(mode='risk'|'ci') instead.",
+            )
 
     # ------------------------------------------------------------------
     # checkpoints
@@ -213,5 +308,7 @@ class CampaignRunner:
         if self.store is None:
             return
         snapshot = self._snapshot(status, estimator, decision, n_records)
-        self.store.write_checkpoint(snapshot)
-        self.hooks.on_checkpoint(snapshot)
+        with self.tracer.span("checkpoint.fsync", status=status):
+            self.store.write_checkpoint(snapshot)
+        self._export_obs()
+        self._hook_chain.on_checkpoint(snapshot)

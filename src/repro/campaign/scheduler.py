@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.results import SampleRecord
 from repro.errors import EvaluationError
+from repro.obs.tracing import NULL_TRACER
 from repro.utils.rng import as_generator
 
 
@@ -44,10 +45,18 @@ class Chunk:
 
 @dataclass(frozen=True)
 class ChunkResult:
-    """Completed chunk, in whatever order the pool finished it."""
+    """Completed chunk, in whatever order the pool finished it.
+
+    ``metrics`` is the serialized per-chunk metrics snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) recorded by the
+    worker's engine during this chunk, or ``None`` when the engine ran
+    unobserved — consumers fall back to rebuilding the deterministic
+    subset from ``records``.
+    """
 
     index: int
     records: List[SampleRecord]
+    metrics: Optional[List[dict]] = None
 
 
 def chunk_seed_sequence(seed: Optional[int], index: int) -> np.random.SeedSequence:
@@ -62,10 +71,12 @@ def chunk_seed_sequence(seed: Optional[int], index: int) -> np.random.SeedSequen
     return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
 
 
-def _run_chunk(engine, sampler, seed: Optional[int], chunk: Chunk) -> List[SampleRecord]:
+def _run_chunk(engine, sampler, seed: Optional[int], chunk: Chunk) -> ChunkResult:
     rng = as_generator(chunk_seed_sequence(seed, chunk.index))
     result = engine.evaluate(sampler, chunk.n_samples, seed=rng)
-    return list(result.records)
+    return ChunkResult(
+        chunk.index, list(result.records), getattr(result, "metrics", None)
+    )
 
 
 def _chunk_worker(engine, sampler, seed, task_queue, result_queue) -> None:
@@ -76,8 +87,8 @@ def _chunk_worker(engine, sampler, seed, task_queue, result_queue) -> None:
             break
         index, n_samples = task
         try:
-            records = _run_chunk(engine, sampler, seed, Chunk(index, n_samples))
-            result_queue.put((index, records))
+            result = _run_chunk(engine, sampler, seed, Chunk(index, n_samples))
+            result_queue.put((index, (result.records, result.metrics)))
         except Exception as exc:  # pragma: no cover - surfaced to the parent
             result_queue.put((index, exc))
 
@@ -98,6 +109,8 @@ class WorkStealingScheduler:
         n_workers: Optional[int] = None,
         poll_interval_s: float = 0.5,
         prefetch: int = 2,
+        tracer=None,
+        metrics=None,
     ):
         self.engine = engine
         self.sampler = sampler
@@ -108,6 +121,14 @@ class WorkStealingScheduler:
         self.poll_interval_s = poll_interval_s
         self.prefetch = max(1, prefetch)
         self.n_workers_used = 1
+        # Parent-side observability (operational, not part of the
+        # deterministic merge): chunk dispatch/complete counters + spans.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, deterministic=False).inc(amount)
 
     def run(
         self,
@@ -123,12 +144,25 @@ class WorkStealingScheduler:
         use_fork = "fork" in multiprocessing.get_all_start_methods()
         if n_workers <= 1 or not use_fork:
             self.n_workers_used = 1
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "scheduler_workers", deterministic=False
+                ).set(1)
             for chunk in remaining:
-                records = _run_chunk(self.engine, self.sampler, self.seed, chunk)
-                if not on_chunk(ChunkResult(chunk.index, records)):
+                self._count("scheduler_chunks_dispatched_total")
+                with self.tracer.span("chunk.run", chunk=chunk.index):
+                    result = _run_chunk(
+                        self.engine, self.sampler, self.seed, chunk
+                    )
+                self._count("scheduler_chunks_completed_total")
+                if not on_chunk(result):
                     return
             return
         self.n_workers_used = n_workers
+        if self.metrics is not None:
+            self.metrics.gauge("scheduler_workers", deterministic=False).set(
+                n_workers
+            )
         self._run_pool(remaining, on_chunk, n_workers)
 
     # ------------------------------------------------------------------
@@ -157,7 +191,9 @@ class WorkStealingScheduler:
                 chunk = next(feed, None)
                 if chunk is None:
                     break
-                task_queue.put((chunk.index, chunk.n_samples))
+                with self.tracer.span("chunk.dispatch", chunk=chunk.index):
+                    task_queue.put((chunk.index, chunk.n_samples))
+                self._count("scheduler_chunks_dispatched_total")
                 outstanding += 1
 
             while outstanding:
@@ -167,11 +203,18 @@ class WorkStealingScheduler:
                     raise EvaluationError(
                         f"worker failed on chunk {index}: {payload}"
                     ) from payload
-                if not on_chunk(ChunkResult(index, payload)):
+                records, chunk_metrics = payload
+                self._count("scheduler_chunks_completed_total")
+                if not on_chunk(ChunkResult(index, records, chunk_metrics)):
                     return  # cancel: the finally block tears the pool down
                 chunk = next(feed, None)
                 if chunk is not None:
-                    task_queue.put((chunk.index, chunk.n_samples))
+                    # Past the prefetch backlog: this dispatch backfills an
+                    # idle worker that just finished — a steal.
+                    with self.tracer.span("chunk.steal", chunk=chunk.index):
+                        task_queue.put((chunk.index, chunk.n_samples))
+                    self._count("scheduler_chunks_dispatched_total")
+                    self._count("scheduler_chunks_stolen_total")
                     outstanding += 1
             for _ in processes:
                 task_queue.put(None)

@@ -77,6 +77,7 @@ class CampaignSpec:
     seed: int = 2024                  # root seed of the per-chunk seed tree
     chunk_size: int = 50              # samples per work-stealing chunk
     charac_cache: Optional[str] = None  # pre-characterization JSON to reuse
+    trace: bool = False               # record spans → runs/<id>/trace.json
     stopping: StoppingConfig = field(default_factory=StoppingConfig)
 
     def __post_init__(self) -> None:

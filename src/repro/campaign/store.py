@@ -5,16 +5,23 @@ Layout of one run directory (``<root>/<run_id>/``)::
     spec.json        the CampaignSpec (written once at creation)
     log.jsonl        one JSON line per *consumed* chunk, in chunk order
     checkpoint.json  latest estimator snapshot + run status
+    metrics.jsonl    latest merged metrics snapshot (one metric per line)
+    metrics.prom     the same metrics as a Prometheus textfile
+    trace.json       Chrome trace_event export (only when tracing was on)
 
 The log is the source of truth: ``campaign resume`` replays it into a
 fresh Welford estimator and continues with the first chunk index not in
 the log.  Because chunks are only logged once they have been merged into
 the estimator (strictly in chunk-index order), the log is always a
 contiguous prefix of the campaign's chunk plan — a crash can at worst
-truncate the final line, which the replay detects and discards.
+truncate the final line, which the replay detects and discards.  Each log
+line also carries the chunk's serialized metrics snapshot, so a resumed
+run re-merges the *same* per-chunk metrics an uninterrupted run saw.
 
-Checkpoints are advisory (they feed ``campaign status``); correctness
-never depends on them.
+Checkpoints and the metrics/trace exports are advisory (they feed
+``campaign status`` and ``repro obs report``); correctness never depends
+on them — both are atomically rewritten from merged state, never
+appended.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import json
 import os
 import pathlib
 import uuid
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.attack.spec import AttackSample
@@ -33,6 +41,9 @@ from repro.errors import EvaluationError
 SPEC_FILE = "spec.json"
 LOG_FILE = "log.jsonl"
 CHECKPOINT_FILE = "checkpoint.json"
+METRICS_FILE = "metrics.jsonl"
+PROM_FILE = "metrics.prom"
+TRACE_FILE = "trace.json"
 
 STATUS_RUNNING = "running"
 STATUS_COMPLETE = "complete"
@@ -76,6 +87,20 @@ def record_from_dict(data: dict) -> SampleRecord:
         n_pulses_latched=int(data["n_pulses_latched"]),
         analytical=bool(data["analytical"]),
     )
+
+
+@dataclass(frozen=True)
+class ChunkLogEntry:
+    """One replayed chunk: records plus the chunk's metrics snapshot.
+
+    ``metrics`` is ``None`` for log lines written before observability
+    existed (or by unobserved engines); consumers rebuild the
+    deterministic subset from ``records`` in that case.
+    """
+
+    index: int
+    records: List[SampleRecord]
+    metrics: Optional[List[dict]] = None
 
 
 class RunStore:
@@ -135,21 +160,33 @@ class RunStore:
     # ------------------------------------------------------------------
     # append-only sample log
     # ------------------------------------------------------------------
-    def append_chunk(self, chunk_index: int, records: List[SampleRecord]) -> None:
+    def append_chunk(
+        self,
+        chunk_index: int,
+        records: List[SampleRecord],
+        metrics: Optional[List[dict]] = None,
+    ) -> None:
         """Durably append one consumed chunk (fsynced before returning)."""
-        line = json.dumps(
-            {
-                "chunk": chunk_index,
-                "records": [record_to_dict(r) for r in records],
-            }
-        )
+        payload = {
+            "chunk": chunk_index,
+            "records": [record_to_dict(r) for r in records],
+        }
+        if metrics is not None:
+            payload["metrics"] = metrics
+        line = json.dumps(payload)
         with open(self.path / LOG_FILE, "a") as fh:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 
     def replay(self) -> Iterator[Tuple[int, List[SampleRecord]]]:
-        """Yield ``(chunk_index, records)`` in log order.
+        """Yield ``(chunk_index, records)`` in log order (compat shim
+        over :meth:`replay_chunks`)."""
+        for entry in self.replay_chunks():
+            yield entry.index, entry.records
+
+    def replay_chunks(self) -> Iterator[ChunkLogEntry]:
+        """Yield :class:`ChunkLogEntry` in log order.
 
         A truncated trailing line (crash mid-append) is discarded; any
         other malformed content raises, because it means the log is not
@@ -183,9 +220,11 @@ class RunStore:
                     f"(expected chunk {expected}, found {payload['chunk']})"
                 )
             expected += 1
-            yield payload["chunk"], [
-                record_from_dict(r) for r in payload["records"]
-            ]
+            yield ChunkLogEntry(
+                index=payload["chunk"],
+                records=[record_from_dict(r) for r in payload["records"]],
+                metrics=payload.get("metrics"),
+            )
 
     # ------------------------------------------------------------------
     # checkpoints
@@ -206,3 +245,32 @@ class RunStore:
         except json.JSONDecodeError:
             # A torn checkpoint is recoverable: the log has the truth.
             return {"status": STATUS_INTERRUPTED, "n_samples": 0}
+
+    # ------------------------------------------------------------------
+    # observability exports (advisory, atomically rewritten)
+    # ------------------------------------------------------------------
+    def _atomic_write(self, filename: str, text: str) -> None:
+        tmp = self.path / (filename + ".tmp")
+        tmp.write_text(text)
+        tmp.replace(self.path / filename)
+
+    def write_metrics(self, registry) -> None:
+        """Export a merged :class:`~repro.obs.metrics.MetricsRegistry` as
+        ``metrics.jsonl`` + a Prometheus textfile."""
+        self._atomic_write(METRICS_FILE, registry.to_jsonl())
+        self._atomic_write(PROM_FILE, registry.to_prometheus())
+
+    def read_metrics(self) -> List[dict]:
+        """The latest exported metrics snapshot ([] when never written)."""
+        target = self.path / METRICS_FILE
+        if not target.exists():
+            return []
+        from repro.obs.report import load_metrics_jsonl
+
+        return load_metrics_jsonl(target)
+
+    def write_trace(self, tracer) -> None:
+        """Export a recording tracer's buffer as Chrome trace JSON."""
+        self._atomic_write(
+            TRACE_FILE, json.dumps(tracer.to_chrome(), sort_keys=True)
+        )

@@ -10,7 +10,8 @@ Exposes the main workflows without writing Python::
     python -m repro countermeasures --benchmark write -n 600
     python -m repro campaign run --benchmark write --stop risk --epsilon 0.02
     python -m repro campaign resume <run-id>
-    python -m repro campaign status
+    python -m repro campaign status <run-id> --metrics
+    python -m repro obs report <run-id>
 
 All commands print the same tables the library APIs produce.
 """
@@ -299,6 +300,7 @@ def _campaign_spec_from_args(args):
         seed=args.seed,
         chunk_size=args.chunk_size,
         charac_cache=args.charac_cache,
+        trace=getattr(args, "trace", False),
         stopping=stopping,
     )
 
@@ -396,6 +398,67 @@ def cmd_campaign_status(args) -> int:
     if checkpoint.get("stop_reason"):
         rows.append(["stop reason", checkpoint["stop_reason"]])
     print(format_table(["quantity", "value"], rows, title="Campaign status"))
+
+    if getattr(args, "metrics", False):
+        from repro.obs.report import outcome_rates, stage_breakdown
+
+        snapshot = store.read_metrics()
+        if not snapshot:
+            print("\n(no metrics exported yet for this run)")
+            return 0
+        stages = stage_breakdown(snapshot)
+        if stages:
+            print()
+            print(
+                format_table(
+                    ["stage", "samples", "total (s)", "mean (s)", "share"],
+                    [
+                        [
+                            row["stage"],
+                            row["count"],
+                            f"{row['total_s']:.3f}",
+                            f"{row['mean_s']:.2e}",
+                            f"{100 * row['share']:.1f} %",
+                        ]
+                        for row in stages
+                    ],
+                    title="Stage-time breakdown",
+                )
+            )
+        outcomes = outcome_rates(snapshot)
+        if outcomes:
+            print()
+            print(
+                format_table(
+                    ["outcome", "samples", "rate"],
+                    [
+                        [category, count, f"{100 * rate:.1f} %"]
+                        for category, count, rate in outcomes
+                    ],
+                    title="Outcome categories",
+                )
+            )
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.campaign import RunStore
+    from repro.obs.report import render_report
+
+    store = RunStore.open(args.runs_dir, args.run_id)
+    snapshot = store.read_metrics()
+    if not snapshot:
+        print(
+            f"run {store.run_id} has no metrics.jsonl yet "
+            f"(campaign never checkpointed?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        render_report(
+            snapshot, top_n=args.top, title=f"Run report: {store.run_id}"
+        )
+    )
     return 0
 
 
@@ -502,6 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="explicit run id (default: random)")
     pr.add_argument("--progress-every", type=int, default=1,
                     help="print progress every N chunks")
+    pr.add_argument("--trace", action="store_true",
+                    help="record spans to runs/<run-id>/trace.json "
+                    "(Chrome trace_event format)")
     pr.set_defaults(func=cmd_campaign_run)
 
     pr = campaign_sub.add_parser(
@@ -518,7 +584,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pr.add_argument("run_id", nargs="?", default=None)
     pr.add_argument("--runs-dir", default="runs")
+    pr.add_argument("--metrics", action="store_true",
+                    help="also render stage-time breakdown and outcome "
+                    "rates from the run's exported metrics")
     pr.set_defaults(func=cmd_campaign_status)
+
+    p = sub.add_parser(
+        "obs", help="observability reports from exported run metrics"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pr = obs_sub.add_parser(
+        "report",
+        help="render stage times, masking funnel, outcome rates, and "
+        "slowest samples from a run's metrics.jsonl",
+    )
+    pr.add_argument("run_id", help="campaign run id")
+    pr.add_argument("--runs-dir", default="runs")
+    pr.add_argument("--top", type=int, default=10,
+                    help="slowest-sample rows to show")
+    pr.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser("countermeasures", help="compare MPU variants")
     _add_common(p, with_sampler=False)

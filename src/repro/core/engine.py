@@ -14,6 +14,17 @@ Per sample:
    the RTL state and resume simulation to the end of the benchmark;
 5. the success indicator compares the final state against the golden
    outcome (malicious operation committed *and* undetected).
+
+Observability: with ``observe=True`` (the default) each ``evaluate`` call
+records per-stage wall times, outcome counters, and the masking funnel
+into a fresh :class:`~repro.obs.metrics.MetricsRegistry`, snapshotted onto
+the returned :class:`CampaignResult` — the unit the campaign scheduler
+serializes per chunk and merges deterministically.  A recording
+:class:`~repro.obs.tracing.Tracer` additionally captures one span per
+stage per sample.  With ``observe=False`` and the default
+:data:`~repro.obs.tracing.NULL_TRACER`, the per-sample flow runs
+uninstrumented (no clocks, no registry) — the baseline the
+``benchmarks/test_obs_overhead.py`` guard compares against.
 """
 
 from __future__ import annotations
@@ -30,6 +41,9 @@ from repro.core.context import EvaluationContext
 from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
 from repro.errors import EvaluationError
 from repro.gatesim.transient import TransientSimulator
+from repro.obs.engine_metrics import observe_record, observe_timing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_CLOCK, NULL_TRACER, StageClock
 from repro.sampling.base import Sampler
 from repro.sampling.estimator import SsfEstimator
 from repro.utils.rng import SeedLike, as_generator
@@ -42,6 +56,16 @@ class EngineConfig:
     # Use the analytical evaluator when all faulty bits are memory-type.
     analytical_memory_eval: bool = True
     # Stop early once the estimator converges (see SsfEstimator.converged).
+    #
+    # Precedence: this is an *engine-level* rule that only governs direct
+    # ``engine.evaluate`` calls.  Under campaign orchestration
+    # (repro.campaign), the campaign's stopping rule — which sees the
+    # merged cross-chunk estimator — takes precedence; an engine-level
+    # stop merely truncates the individual chunk it fires in, which
+    # changes the chunk plan's sample counts and breaks the
+    # worker-count-independence guarantee.  The campaign runner emits a
+    # one-time warning (via the repro.obs logger) when both are active;
+    # prefer ``StoppingConfig(mode="risk" | "ci")`` for campaigns.
     stop_on_convergence: bool = False
     convergence_rel_tol: float = 0.05
     min_samples: int = 200
@@ -55,10 +79,14 @@ class CrossLevelEngine:
         context: EvaluationContext,
         spec: AttackSpec,
         config: Optional[EngineConfig] = None,
+        tracer=None,
+        observe: bool = True,
     ):
         self.context = context
         self.spec = spec
         self.config = config or EngineConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.observe = observe
         self.transient_sim = TransientSimulator(context.netlist, context.timing)
         self._analytical: Optional[AnalyticalEvaluator] = None
         if context.characterization is not None:
@@ -74,8 +102,14 @@ class CrossLevelEngine:
     # single-sample flow
     # ------------------------------------------------------------------
     def run_sample(
-        self, sample: AttackSample, rng: np.random.Generator
+        self, sample: AttackSample, rng: np.random.Generator, clock=NULL_CLOCK
     ) -> SampleRecord:
+        """Evaluate one attack sample.
+
+        ``clock`` marks stage boundaries (see
+        :data:`repro.obs.engine_metrics.STAGES`); the default null clock
+        keeps the uninstrumented path free of timing calls.
+        """
         context = self.context
         injection_cycle = context.target_cycle - sample.t
         # Negative t (injection after the target) can overrun the run end;
@@ -95,6 +129,7 @@ class CrossLevelEngine:
         simulator = context.simulator
         soc = context.soc
         simulator.restart_from(context.golden, injection_cycle)
+        clock.lap("restart")
         impact_cycles = getattr(self.spec.technique, "impact_cycles", 1)
 
         flipped: frozenset = frozenset()
@@ -107,6 +142,7 @@ class CrossLevelEngine:
             simulator.step()
             soc.record_mpu_trace = False
             entry = soc.mpu_trace[-1]
+            clock.lap("rtl_step")
 
             injection = self.spec.build_injection(context.placement, sample, rng)
             result = self.transient_sim.simulate_cycle(
@@ -114,6 +150,7 @@ class CrossLevelEngine:
             )
             n_injected += result.n_pulses_injected
             n_latched += result.n_pulses_latched
+            clock.lap("transient")
             if result.flipped_bits:
                 masks: Dict[str, int] = {}
                 for register, bit in result.flipped_bits:
@@ -121,6 +158,7 @@ class CrossLevelEngine:
                 simulator.inject_bit_errors(masks)
                 # A bit flipped twice is back to fault-free: symmetric diff.
                 flipped = flipped ^ frozenset(result.flipped_bits)
+                clock.lap("writeback")
 
         if not flipped:
             return SampleRecord(
@@ -134,6 +172,7 @@ class CrossLevelEngine:
             )
 
         memory_only = self._all_memory_type(flipped)
+        clock.lap("classify")
         category = (
             OutcomeCategory.MEMORY_ONLY if memory_only else OutcomeCategory.NEEDS_RTL
         )
@@ -145,6 +184,7 @@ class CrossLevelEngine:
             and self._analytical is not None
         ):
             e = self._analytical.evaluate(flipped, injection_cycle)
+            clock.lap("analytical")
             return SampleRecord(
                 sample=sample,
                 e=e,
@@ -158,7 +198,9 @@ class CrossLevelEngine:
 
         # Step 5: the errors are already in the RTL state; resume to the end.
         simulator.run_to(context.n_cycles)
+        clock.lap("rtl_resume")
         e = 1 if context.benchmark.attack_succeeded(soc) else 0
+        clock.lap("compare")
         return SampleRecord(
             sample=sample,
             e=e,
@@ -191,10 +233,29 @@ class CrossLevelEngine:
         rng = as_generator(seed)
         estimator = SsfEstimator(record_history=True)
         records = []
+        tracer = self.tracer
+        registry = MetricsRegistry() if self.observe else None
+        observing = registry is not None or tracer.enabled
         start = time.perf_counter()
         for i in range(n_samples):
-            sample = sampler.sample(rng)
-            record = self.run_sample(sample, rng)
+            if observing:
+                clock = StageClock()
+                sample = sampler.sample(rng)
+                clock.lap("draw")
+                record = self.run_sample(sample, rng, clock=clock)
+                if registry is not None:
+                    observe_record(registry, record)
+                    observe_timing(
+                        registry,
+                        record,
+                        clock.stage_totals(),
+                        clock.total_seconds(),
+                    )
+                if tracer.enabled:
+                    tracer.add_laps(clock.laps, sample=i)
+            else:
+                sample = sampler.sample(rng)
+                record = self.run_sample(sample, rng)
             estimator.push(sample, record.e)
             records.append(record)
             if progress is not None:
@@ -209,6 +270,7 @@ class CrossLevelEngine:
             records=records,
             estimator=estimator,
             wall_time_s=wall,
+            metrics=registry.snapshot() if registry is not None else None,
         )
 
     # ------------------------------------------------------------------

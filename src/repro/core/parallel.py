@@ -81,6 +81,8 @@ def parallel_evaluate(
         return engine.evaluate(sampler, n_samples, seed=seed)
 
     from repro.campaign.scheduler import ChunkResult, WorkStealingScheduler
+    from repro.obs.engine_metrics import metrics_from_records
+    from repro.obs.metrics import MetricsRegistry
 
     chunks = _chunk_plan(n_samples, n_workers, chunk_size)
     scheduler = WorkStealingScheduler(
@@ -91,23 +93,33 @@ def parallel_evaluate(
         poll_interval_s=poll_interval_s,
     )
     start = time.perf_counter()
-    completed: Dict[int, List[SampleRecord]] = {}
+    completed: Dict[int, ChunkResult] = {}
 
     def collect(result: ChunkResult) -> bool:
-        completed[result.index] = result.records
+        completed[result.index] = result
         return True
 
     scheduler.run(chunks, collect)
 
     estimator = SsfEstimator(record_history=True)
     records: List[SampleRecord] = []
+    merged = MetricsRegistry()
     for index in sorted(completed):
-        for record in completed[index]:
+        chunk = completed[index]
+        for record in chunk.records:
             estimator.push(record.sample, record.e)
             records.append(record)
+        # Merge per-chunk metrics in index order so the merged snapshot
+        # is deterministic regardless of worker count (rebuilt from the
+        # records when the engine ran unobserved).
+        snapshot = chunk.metrics
+        if snapshot is None:
+            snapshot = metrics_from_records(chunk.records).snapshot()
+        merged.merge_snapshot(snapshot)
     return CampaignResult(
         strategy=f"{sampler.name} (x{scheduler.n_workers_used} workers)",
         records=records,
         estimator=estimator,
         wall_time_s=time.perf_counter() - start,
+        metrics=merged.snapshot(),
     )

@@ -46,6 +46,9 @@ class CampaignResult:
     records: List[SampleRecord]
     estimator: SsfEstimator
     wall_time_s: float = 0.0
+    # Serialized repro.obs.MetricsRegistry snapshot recorded during the
+    # run (None when the producer ran unobserved).
+    metrics: Optional[List[dict]] = None
 
     @property
     def ssf(self) -> float:

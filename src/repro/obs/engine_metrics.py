@@ -1,0 +1,153 @@
+"""Engine-level metric recording: one vocabulary, two sources.
+
+The *deterministic* metrics (outcome counters, masking funnel, flipped-bit
+histogram) are pure functions of the :class:`~repro.core.results.SampleRecord`
+stream, so they can be recorded live by the engine **or** recomputed from a
+persisted chunk log (:func:`metrics_from_records`) — which is how a resumed
+campaign reconstructs bit-identical merged metrics for chunks that ran
+before the crash, and how chunk results from uninstrumented engines (test
+stubs, old logs) still contribute.
+
+The *wall-clock* metrics (stage/sample seconds, slowest-sample top-k) only
+exist when the engine observes live; they are flagged non-deterministic
+and excluded from cross-run equality comparisons.
+
+Metric names (the contract rendered by ``repro obs report`` and documented
+in ``docs/architecture.md``):
+
+========================================  =========  ==============================
+``engine_samples_total``                  counter    samples evaluated
+``engine_outcomes_total{category}``       counter    Fig. 5 outcome category
+``engine_success_total``                  counter    successful attacks (e = 1)
+``engine_pulses_injected_total``          counter    SET pulses injected
+``engine_pulses_latched_total``           counter    pulses that reached a latch
+``engine_analytical_evals_total``         counter    analytical fast-path hits
+``engine_rtl_resumes_total``              counter    full RTL resumes
+``engine_funnel_total{stage}``            counter    masking funnel (see FUNNEL_STAGES)
+``engine_flipped_bits``                   histogram  latched-wrong bits per sample
+``engine_stage_seconds{stage}``           histogram  per-stage wall time
+``engine_sample_seconds``                 histogram  whole-sample wall time
+``engine_slowest_samples``                topk       slowest samples with attrs
+========================================  =========  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.results import OutcomeCategory, SampleRecord
+from repro.obs.metrics import (
+    BIT_COUNT_BUCKETS,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+)
+
+#: Stages a sample passes through, in funnel order: each row counts the
+#: samples that made it *at least* this far into the Fig. 5 flow.
+FUNNEL_STAGES: Tuple[str, ...] = (
+    "sampled",       # drawn from the strategy
+    "in_window",     # injection cycle inside the simulated run
+    "injected",      # at least one transient pulse generated
+    "latched",       # at least one register bit latched wrong
+    "memory_only",   # all faulty bits memory-type (analytical candidates)
+    "needs_rtl",     # computation-type bits hit: RTL resume required
+    "success",       # malicious operation committed and undetected
+)
+
+#: Per-sample engine stages, in pipeline order (span + histogram labels).
+STAGES: Tuple[str, ...] = (
+    "draw",          # sampling strategy draw
+    "restart",       # checkpoint restart + RTL run-to-injection
+    "rtl_step",      # stepping the injection cycle(s) at RTL
+    "transient",     # transient generation + gate-level propagation + latch
+    "writeback",     # latched errors written back into the RTL state
+    "classify",      # memory-type vs computation-type classification
+    "analytical",    # analytical (no-resume) evaluation
+    "rtl_resume",    # resumed RTL simulation to the end of the benchmark
+    "compare",       # final-state comparison against the golden outcome
+)
+
+SLOWEST_SAMPLES_K = 10
+
+
+def observe_record(registry: MetricsRegistry, record: SampleRecord) -> None:
+    """Record the deterministic metrics of one sample outcome."""
+    registry.counter("engine_samples_total").inc()
+    registry.counter(
+        "engine_outcomes_total", category=record.category.value
+    ).inc()
+    if record.e:
+        registry.counter("engine_success_total").inc()
+    if record.n_pulses_injected:
+        registry.counter("engine_pulses_injected_total").inc(
+            record.n_pulses_injected
+        )
+    if record.n_pulses_latched:
+        registry.counter("engine_pulses_latched_total").inc(
+            record.n_pulses_latched
+        )
+    if record.analytical:
+        registry.counter("engine_analytical_evals_total").inc()
+    elif record.category is OutcomeCategory.NEEDS_RTL or (
+        record.category is OutcomeCategory.MEMORY_ONLY and not record.analytical
+    ):
+        registry.counter("engine_rtl_resumes_total").inc()
+
+    funnel = registry.counter
+    funnel("engine_funnel_total", stage="sampled").inc()
+    if record.category is OutcomeCategory.OUT_OF_RANGE:
+        return
+    funnel("engine_funnel_total", stage="in_window").inc()
+    if record.n_pulses_injected:
+        funnel("engine_funnel_total", stage="injected").inc()
+    if record.flipped_bits:
+        funnel("engine_funnel_total", stage="latched").inc()
+        registry.histogram(
+            "engine_flipped_bits", BIT_COUNT_BUCKETS
+        ).observe(len(record.flipped_bits))
+    if record.category is OutcomeCategory.MEMORY_ONLY:
+        funnel("engine_funnel_total", stage="memory_only").inc()
+    elif record.category is OutcomeCategory.NEEDS_RTL:
+        funnel("engine_funnel_total", stage="needs_rtl").inc()
+    if record.e:
+        funnel("engine_funnel_total", stage="success").inc()
+
+
+def observe_timing(
+    registry: MetricsRegistry,
+    record: SampleRecord,
+    stage_totals: Dict[str, float],
+    sample_seconds: float,
+) -> None:
+    """Record the wall-clock metrics of one observed sample."""
+    for stage, seconds in stage_totals.items():
+        registry.histogram(
+            "engine_stage_seconds", SECONDS_BUCKETS, stage=stage
+        ).observe(seconds)
+    registry.histogram("engine_sample_seconds", SECONDS_BUCKETS).observe(
+        sample_seconds
+    )
+    registry.topk(
+        "engine_slowest_samples", k=SLOWEST_SAMPLES_K, deterministic=False
+    ).offer(
+        sample_seconds,
+        t=record.sample.t,
+        centre=record.sample.centre,
+        radius_um=record.sample.radius_um,
+        category=record.category.value,
+    )
+
+
+def metrics_from_records(
+    records: Iterable[SampleRecord],
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Rebuild the deterministic engine metrics from a record stream.
+
+    The replay/fallback path: identical to what a live instrumented engine
+    would have recorded, minus wall-clock metrics.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for record in records:
+        observe_record(registry, record)
+    return registry

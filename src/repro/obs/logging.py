@@ -1,0 +1,39 @@
+"""Observability logger with one-time warnings.
+
+A thin veneer over :mod:`logging` so every subsystem warns through the
+same ``repro.obs`` channel, plus :func:`warn_once` for configuration
+hazards that would otherwise spam once per chunk (e.g. the
+``EngineConfig.stop_on_convergence`` / campaign stopping-rule overlap).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Set
+
+_LOGGER_NAME = "repro.obs"
+_warned_keys: Set[str] = set()
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The shared observability logger (or a child of it)."""
+    if name:
+        return logging.getLogger(f"{_LOGGER_NAME}.{name}")
+    return logging.getLogger(_LOGGER_NAME)
+
+
+def warn_once(key: str, message: str, logger: Optional[logging.Logger] = None) -> bool:
+    """Emit ``message`` as a warning the first time ``key`` is seen.
+
+    Returns True when the warning actually fired (tests use this).
+    """
+    if key in _warned_keys:
+        return False
+    _warned_keys.add(key)
+    (logger or get_logger()).warning(message)
+    return True
+
+
+def reset_warn_once() -> None:
+    """Forget all one-time warning keys (test isolation)."""
+    _warned_keys.clear()

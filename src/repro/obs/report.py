@@ -1,0 +1,209 @@
+"""Render observability reports from a run's ``metrics.jsonl`` alone.
+
+Everything here consumes the serialized snapshot format of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` — no live registry, no
+run store, no engine.  ``repro obs report <run-id>`` and ``campaign
+status --metrics`` are thin CLI shims over these functions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.engine_metrics import FUNNEL_STAGES
+
+
+def load_metrics_jsonl(path: Union[str, pathlib.Path]) -> List[dict]:
+    """Read a ``metrics.jsonl`` file back into a snapshot list."""
+    snapshot = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            snapshot.append(json.loads(line))
+    return snapshot
+
+
+def _entries(snapshot: Iterable[dict], name: str) -> List[dict]:
+    return [data for data in snapshot if data["name"] == name]
+
+
+def _scalar(
+    snapshot: Iterable[dict], name: str, **labels
+) -> Optional[float]:
+    for data in _entries(snapshot, name):
+        if data["labels"] == {k: str(v) for k, v in labels.items()}:
+            return data.get("value")
+    return None
+
+
+def stage_breakdown(snapshot: Iterable[dict]) -> List[dict]:
+    """Per-stage wall-time totals from ``engine_stage_seconds``.
+
+    Rows sorted by total time descending, each with the stage's share of
+    the summed stage time — the "which stage dominates" view.
+    """
+    snapshot = list(snapshot)
+    rows = []
+    for data in _entries(snapshot, "engine_stage_seconds"):
+        count = data["count"]
+        if not count:
+            continue
+        rows.append(
+            {
+                "stage": data["labels"].get("stage", "?"),
+                "count": count,
+                "total_s": data["sum"],
+                "mean_s": data["sum"] / count,
+            }
+        )
+    grand_total = sum(row["total_s"] for row in rows) or 1.0
+    for row in rows:
+        row["share"] = row["total_s"] / grand_total
+    rows.sort(key=lambda row: -row["total_s"])
+    return rows
+
+
+def masking_funnel(snapshot: Iterable[dict]) -> List[Tuple[str, int]]:
+    """``(stage, count)`` rows in canonical funnel order."""
+    snapshot = list(snapshot)
+    counts: Dict[str, int] = {}
+    for data in _entries(snapshot, "engine_funnel_total"):
+        counts[data["labels"].get("stage", "?")] = int(data["value"])
+    return [(stage, counts.get(stage, 0)) for stage in FUNNEL_STAGES]
+
+
+def outcome_rates(snapshot: Iterable[dict]) -> List[Tuple[str, int, float]]:
+    """``(category, count, rate)`` rows from the outcome counters."""
+    snapshot = list(snapshot)
+    total = _scalar(snapshot, "engine_samples_total") or 0
+    rows = []
+    for data in _entries(snapshot, "engine_outcomes_total"):
+        count = int(data["value"])
+        rows.append(
+            (
+                data["labels"].get("category", "?"),
+                count,
+                count / total if total else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
+def slowest_samples(
+    snapshot: Iterable[dict], top_n: int = 10
+) -> List[dict]:
+    """The recorded slowest samples (empty for timing-less snapshots)."""
+    for data in _entries(snapshot, "engine_slowest_samples"):
+        return data["items"][:top_n]
+    return []
+
+
+def campaign_summary(snapshot: Iterable[dict]) -> List[Tuple[str, str]]:
+    snapshot = list(snapshot)
+    rows: List[Tuple[str, str]] = []
+    n = _scalar(snapshot, "campaign_samples_merged_total")
+    if n is not None:
+        rows.append(("samples merged", str(int(n))))
+    chunks = _scalar(snapshot, "campaign_chunks_merged_total")
+    if chunks is not None:
+        rows.append(("chunks merged", str(int(chunks))))
+    ssf = _scalar(snapshot, "campaign_ssf")
+    if ssf is not None:
+        rows.append(("SSF", f"{ssf:.5f}"))
+    se = _scalar(snapshot, "campaign_std_error")
+    if se is not None:
+        rows.append(("std error", f"{se:.2e}"))
+    return rows
+
+
+def render_report(
+    snapshot: Iterable[dict], top_n: int = 10, title: str = "Run report"
+) -> str:
+    """The full text report ``repro obs report`` prints."""
+    from repro.analysis.reporting import format_table
+
+    snapshot = list(snapshot)
+    sections: List[str] = []
+
+    summary = campaign_summary(snapshot)
+    if summary:
+        sections.append(
+            format_table(["quantity", "value"], summary, title=title)
+        )
+    else:
+        sections.append(title)
+
+    stages = stage_breakdown(snapshot)
+    if stages:
+        sections.append(
+            format_table(
+                ["stage", "samples", "total (s)", "mean (s)", "share"],
+                [
+                    [
+                        row["stage"],
+                        row["count"],
+                        f"{row['total_s']:.3f}",
+                        f"{row['mean_s']:.2e}",
+                        f"{100 * row['share']:.1f} %",
+                    ]
+                    for row in stages
+                ],
+                title="Stage-time breakdown",
+            )
+        )
+    else:
+        sections.append("(no stage timing recorded)")
+
+    funnel = masking_funnel(snapshot)
+    sampled = funnel[0][1] if funnel else 0
+    sections.append(
+        format_table(
+            ["stage", "samples", "of sampled"],
+            [
+                [
+                    stage,
+                    count,
+                    f"{100 * count / sampled:.1f} %" if sampled else "-",
+                ]
+                for stage, count in funnel
+            ],
+            title="Masking funnel",
+        )
+    )
+
+    outcomes = outcome_rates(snapshot)
+    if outcomes:
+        sections.append(
+            format_table(
+                ["outcome", "samples", "rate"],
+                [
+                    [category, count, f"{100 * rate:.1f} %"]
+                    for category, count, rate in outcomes
+                ],
+                title="Outcome categories",
+            )
+        )
+
+    slowest = slowest_samples(snapshot, top_n)
+    if slowest:
+        sections.append(
+            format_table(
+                ["seconds", "t", "centre", "radius (um)", "outcome"],
+                [
+                    [
+                        f"{item['value']:.4f}",
+                        item["labels"].get("t", "?"),
+                        item["labels"].get("centre", "?"),
+                        item["labels"].get("radius_um", "?"),
+                        item["labels"].get("category", "?"),
+                    ]
+                    for item in slowest
+                ],
+                title=f"Top {len(slowest)} slowest samples",
+            )
+        )
+
+    return "\n\n".join(sections)

@@ -1,0 +1,192 @@
+"""Span-based tracing with a near-zero-overhead no-op default.
+
+The engine and the campaign runner are instrumented against the
+:class:`NullTracer` singleton by default: every instrumentation point is
+either a no-op method call or guarded by ``tracer.enabled``, so the
+uninstrumented hot path stays within the benchmark guard's overhead
+budget (``benchmarks/test_obs_overhead.py``).
+
+Opting in (``Tracer()``, or ``--trace`` on ``campaign run``) records
+:class:`SpanEvent` entries — name, start, duration, attributes — bounded
+by ``max_events`` (oldest kept, surplus counted in ``n_dropped``).
+:meth:`Tracer.to_chrome` converts the buffer into the Chrome
+``trace_event`` JSON format, loadable in ``chrome://tracing`` / Perfetto.
+
+:class:`StageClock` is the cheap companion used inside
+``CrossLevelEngine.run_sample``: one ``perf_counter`` call per stage
+boundary, laps collected as ``(stage, start_s, duration_s)`` tuples that
+feed both the stage-seconds histograms and (when tracing) per-stage
+spans.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SpanEvent:
+    """One completed span, in seconds on the ``perf_counter`` clock."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def add_event(self, name, start_s, duration_s, **attrs) -> None:
+        pass
+
+    def add_laps(self, laps, **attrs) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._tracer.add_event(
+            self.name,
+            self._start,
+            time.perf_counter() - self._start,
+            **self.attrs,
+        )
+        return False
+
+
+class Tracer:
+    """Recording tracer with a bounded in-memory buffer."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max(1, max_events)
+        self.events: List[SpanEvent] = []
+        self.n_dropped = 0
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Context manager timing a code block into one span."""
+        return _Span(self, name, attrs)
+
+    def add_event(self, name, start_s, duration_s, **attrs) -> None:
+        """Record an already-measured span (explicit timestamps)."""
+        if len(self.events) >= self.max_events:
+            self.n_dropped += 1
+            return
+        self.events.append(SpanEvent(name, start_s, duration_s, attrs))
+
+    def add_laps(
+        self, laps: List[Tuple[str, float, float]], **attrs
+    ) -> None:
+        """Record a :class:`StageClock` lap list as one span per lap."""
+        for stage, start_s, duration_s in laps:
+            self.add_event(stage, start_s, duration_s, **attrs)
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+    def to_chrome(
+        self, pid: Optional[int] = None, tid: int = 0
+    ) -> dict:
+        """The buffer as a Chrome ``trace_event`` JSON object.
+
+        Complete ("ph": "X") events with microsecond timestamps, suitable
+        for ``chrome://tracing`` and Perfetto.
+        """
+        if pid is None:
+            pid = os.getpid()
+        trace_events = [
+            {
+                "name": event.name,
+                "ph": "X",
+                "ts": round(event.start_s * 1e6, 3),
+                "dur": round(event.duration_s * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": event.attrs,
+            }
+            for event in self.events
+        ]
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"n_dropped": self.n_dropped},
+        }
+
+
+class StageClock:
+    """Accumulates ``(stage, start_s, duration_s)`` laps per sample."""
+
+    __slots__ = ("laps", "_mark")
+    active = True
+
+    def __init__(self):
+        self.laps: List[Tuple[str, float, float]] = []
+        self._mark = time.perf_counter()
+
+    def lap(self, stage: str) -> None:
+        now = time.perf_counter()
+        self.laps.append((stage, self._mark, now - self._mark))
+        self._mark = now
+
+    def total_seconds(self) -> float:
+        return sum(duration for _, _, duration in self.laps)
+
+    def stage_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for stage, _, duration in self.laps:
+            totals[stage] = totals.get(stage, 0.0) + duration
+        return totals
+
+
+class _NullClock:
+    __slots__ = ()
+    active = False
+
+    def lap(self, stage: str) -> None:
+        pass
+
+
+NULL_CLOCK = _NullClock()

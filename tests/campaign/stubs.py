@@ -59,3 +59,25 @@ class BernoulliEngine:
         return CampaignResult(
             strategy="stub", records=records, estimator=estimator
         )
+
+
+class InstrumentedEngine(BernoulliEngine):
+    """Bernoulli engine that ships a per-chunk metrics snapshot, like the
+    real engine with ``observe=True``: deterministic outcome metrics from
+    the records plus (non-deterministic) synthetic stage timings."""
+
+    def evaluate(self, sampler, n_samples, seed=None, progress=None):
+        from repro.obs import MetricsRegistry, observe_record, observe_timing
+
+        result = super().evaluate(sampler, n_samples, seed=seed)
+        registry = MetricsRegistry()
+        for record in result.records:
+            observe_record(registry, record)
+            observe_timing(
+                registry,
+                record,
+                {"restart": 5e-4, "transient": 2e-3},
+                2.5e-3,
+            )
+        result.metrics = registry.snapshot()
+        return result

@@ -114,3 +114,17 @@ class TestSigkillResume:
             r.e for r in baseline.records
         ]
         assert store.read_checkpoint()["status"] == "complete"
+
+        # Acceptance criterion: the SIGKILL-resumed campaign's merged
+        # metrics (deterministic view — counters, histograms, progress
+        # gauges) equal the uninterrupted run's, and the exported
+        # metrics.jsonl agrees with the in-memory result.
+        from repro.obs import deterministic_view, load_metrics_jsonl
+
+        assert deterministic_view(resumed.metrics) == deterministic_view(
+            baseline.metrics
+        )
+        exported = load_metrics_jsonl(store.path / "metrics.jsonl")
+        assert deterministic_view(exported) == deterministic_view(
+            baseline.metrics
+        )

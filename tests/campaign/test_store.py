@@ -104,6 +104,54 @@ class TestLogReplay:
             list(store.replay())
 
 
+class TestMetricsPersistence:
+    def chunk_metrics(self, records):
+        from repro.obs import metrics_from_records
+
+        return metrics_from_records(records).snapshot()
+
+    def test_chunk_metrics_roundtrip_through_log(self, tmp_path):
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="r")
+        records = [make_record(1), make_record(0)]
+        snapshot = self.chunk_metrics(records)
+        store.append_chunk(0, records, metrics=snapshot)
+        (entry,) = store.replay_chunks()
+        assert entry.index == 0
+        assert entry.metrics == snapshot
+        assert entry.records == records
+
+    def test_metricless_log_lines_replay_as_none(self, tmp_path):
+        """Lines written before observability existed (or by unobserved
+        engines) must still replay."""
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="r")
+        store.append_chunk(0, [make_record()])
+        (entry,) = store.replay_chunks()
+        assert entry.metrics is None
+
+    def test_write_then_read_metrics(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="r")
+        assert store.read_metrics() == []
+        registry = MetricsRegistry()
+        registry.counter("engine_samples_total").inc(12)
+        store.write_metrics(registry)
+        assert store.read_metrics() == registry.snapshot()
+        assert "engine_samples_total 12" in (
+            store.path / "metrics.prom"
+        ).read_text()
+
+    def test_write_trace(self, tmp_path):
+        from repro.obs import Tracer
+
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="r")
+        tracer = Tracer()
+        tracer.add_event("chunk.run", 0.0, 0.5, chunk=0)
+        store.write_trace(tracer)
+        trace = json.loads((store.path / "trace.json").read_text())
+        assert trace["traceEvents"][0]["name"] == "chunk.run"
+
+
 class TestCheckpoints:
     def test_roundtrip(self, tmp_path):
         store = RunStore.create(tmp_path, CampaignSpec(), run_id="r")

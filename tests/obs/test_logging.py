@@ -1,0 +1,37 @@
+"""One-time warning behaviour of the shared obs logger."""
+
+import logging
+
+import pytest
+
+from repro.obs import get_logger, reset_warn_once, warn_once
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    reset_warn_once()
+    yield
+    reset_warn_once()
+
+
+class TestWarnOnce:
+    def test_fires_exactly_once_per_key(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            assert warn_once("k1", "configuration hazard") is True
+            assert warn_once("k1", "configuration hazard") is False
+        assert caplog.text.count("configuration hazard") == 1
+
+    def test_distinct_keys_both_fire(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            assert warn_once("a", "msg a")
+            assert warn_once("b", "msg b")
+        assert "msg a" in caplog.text and "msg b" in caplog.text
+
+    def test_reset_allows_refire(self):
+        assert warn_once("k", "m")
+        reset_warn_once()
+        assert warn_once("k", "m")
+
+    def test_logger_namespace(self):
+        assert get_logger().name == "repro.obs"
+        assert get_logger("engine").name == "repro.obs.engine"

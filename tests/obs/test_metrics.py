@@ -1,0 +1,215 @@
+"""Unit tests for the metrics registry: collector semantics, exact
+shard merging, deterministic flags, and the jsonl/Prometheus exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    BIT_COUNT_BUCKETS,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+    deterministic_view,
+)
+
+
+class TestCollectors:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc()
+        registry.counter("hits_total").inc(4)
+        assert registry.value("hits_total") == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("hits_total").inc(-1)
+
+    def test_labels_key_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("outcomes_total", category="masked").inc(2)
+        registry.counter("outcomes_total", category="needs_rtl").inc(3)
+        assert registry.value("outcomes_total", category="masked") == 2
+        assert registry.value("outcomes_total", category="needs_rtl") == 3
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(1.0)
+        gauge.set(7.0)
+        assert registry.value("depth") == 7.0
+
+    def test_histogram_binning_with_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", edges=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # counts[i] covers value <= edges[i]; final bin is overflow.
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_requires_sorted_edges(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("empty", edges=())
+
+    def test_topk_keeps_largest(self):
+        registry = MetricsRegistry()
+        top = registry.topk("slow", k=2)
+        for value in (1.0, 5.0, 3.0, 4.0):
+            top.offer(value, t=int(value))
+        assert [item["value"] for item in top.items] == [5.0, 4.0]
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+
+class TestDeterministicFlags:
+    def test_seconds_suffix_defaults_nondeterministic(self):
+        registry = MetricsRegistry()
+        registry.histogram("stage_seconds", edges=SECONDS_BUCKETS).observe(1e-3)
+        registry.counter("samples_total").inc()
+        names = {d["name"]: d["deterministic"] for d in registry.snapshot()}
+        assert names == {"stage_seconds": False, "samples_total": True}
+
+    def test_explicit_flag_overrides_default(self):
+        registry = MetricsRegistry()
+        registry.counter("checkpoints_total", deterministic=False).inc()
+        (entry,) = registry.snapshot()
+        assert entry["deterministic"] is False
+
+    def test_deterministic_view_filters(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("b_seconds", edges=SECONDS_BUCKETS).observe(0.1)
+        view = deterministic_view(registry.snapshot())
+        assert [d["name"] for d in view] == ["a_total"]
+        assert registry.snapshot(deterministic_only=True) == view
+
+
+def random_observations(seed, n=200):
+    # Integer-valued observations: float addition over them is exact, so
+    # histogram sums stay bit-identical under any merge grouping.  (Real
+    # fractional sums are only reproducible for a *fixed* chunk plan,
+    # which is what campaigns guarantee.)
+    rng = np.random.default_rng(seed)
+    values = [float(v) for v in rng.integers(0, 40, size=n)]
+    categories = rng.choice(["masked", "memory_only", "needs_rtl"], size=n)
+    return list(zip(values, categories))
+
+
+def record_into(registry, observations):
+    for value, category in observations:
+        registry.counter("samples_total").inc()
+        registry.counter("outcomes_total", category=category).inc()
+        registry.histogram("bits", edges=BIT_COUNT_BUCKETS).observe(value)
+        registry.gauge("last_value").set(value)
+
+
+class TestMerging:
+    def test_merge_is_grouping_invariant(self):
+        """Merging per-chunk snapshots in order gives the same registry
+        whatever the chunk boundaries were — the property that makes
+        merged metrics independent of chunk size and worker count."""
+        observations = random_observations(seed=7)
+        whole = MetricsRegistry()
+        record_into(whole, observations)
+
+        for n_chunks in (1, 3, 7):
+            merged = MetricsRegistry()
+            for shard in np.array_split(np.arange(len(observations)), n_chunks):
+                chunk = MetricsRegistry()
+                record_into(chunk, [observations[i] for i in shard])
+                merged.merge_snapshot(chunk.snapshot())
+            assert merged.snapshot() == whole.snapshot()
+
+    def test_histogram_merge_is_exact_bucketwise_addition(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", edges=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", edges=(1.0, 2.0)).observe(9.0)
+        a.merge_snapshot(b.snapshot())
+        merged = a.histogram("h", edges=(1.0, 2.0))
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+
+    def test_histogram_merge_rejects_mismatched_edges(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", edges=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", edges=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_gauge_merge_takes_later_snapshot(self):
+        merged = MetricsRegistry()
+        for value in (3.0, 8.0):
+            chunk = MetricsRegistry()
+            chunk.gauge("g").set(value)
+            merged.merge_snapshot(chunk.snapshot())
+        assert merged.value("g") == 8.0
+
+    def test_gauge_merge_skips_unset(self):
+        merged = MetricsRegistry()
+        chunk = MetricsRegistry()
+        chunk.gauge("g").set(3.0)
+        merged.merge_snapshot(chunk.snapshot())
+        empty = MetricsRegistry()
+        empty.gauge("g")
+        merged.merge_snapshot(empty.snapshot())
+        assert merged.value("g") == 3.0
+
+    def test_topk_merge_keeps_global_largest(self):
+        merged = MetricsRegistry()
+        for values in ((1.0, 9.0), (5.0, 7.0)):
+            chunk = MetricsRegistry()
+            for value in values:
+                chunk.topk("slow", k=2).offer(value)
+            merged.merge_snapshot(chunk.snapshot())
+        items = merged.topk("slow", k=2).items
+        assert [item["value"] for item in items] == [9.0, 7.0]
+
+    def test_from_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        record_into(registry, random_observations(seed=11, n=50))
+        restored = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert restored.snapshot() == registry.snapshot()
+
+
+class TestExporters:
+    def test_jsonl_roundtrip(self):
+        registry = MetricsRegistry()
+        record_into(registry, random_observations(seed=3, n=30))
+        lines = [
+            json.loads(line)
+            for line in registry.to_jsonl().splitlines()
+            if line
+        ]
+        assert MetricsRegistry.from_snapshot(lines).snapshot() == (
+            registry.snapshot()
+        )
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("samples_total").inc(3)
+        registry.gauge("workers").set(4)
+        registry.histogram("bits", edges=(1.0, 2.0)).observe(0.5)
+        registry.histogram("bits", edges=(1.0, 2.0)).observe(9.0)
+        registry.topk("slow", k=2).offer(1.0)
+        text = registry.to_prometheus()
+        assert "# TYPE samples_total counter" in text
+        assert "samples_total 3" in text
+        assert "workers 4" in text
+        # Buckets are cumulative and capped by +Inf == count.
+        assert 'bits_bucket{le="1"} 1' in text
+        assert 'bits_bucket{le="2"} 1' in text
+        assert 'bits_bucket{le="+Inf"} 2' in text
+        assert "bits_count 2" in text
+        assert "slow" not in text  # topk has no prometheus mapping

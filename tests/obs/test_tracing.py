@@ -1,0 +1,86 @@
+"""Tracer and stage-clock tests: no-op default, span recording, bounded
+buffer, Chrome export."""
+
+import time
+
+from repro.obs import (
+    NULL_CLOCK,
+    NULL_TRACER,
+    StageClock,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", chunk=3) as span:
+            span.set(more=1)
+        NULL_TRACER.add_event("x", 0.0, 1.0)
+        NULL_TRACER.add_laps([("draw", 0.0, 1.0)])
+
+    def test_null_clock_records_nothing(self):
+        assert NULL_CLOCK.active is False
+        NULL_CLOCK.lap("draw")
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", chunk=2) as span:
+            span.set(extra="yes")
+            time.sleep(0.001)
+        (event,) = tracer.events
+        assert event.name == "work"
+        assert event.duration_s >= 0.001
+        assert event.attrs == {"chunk": 2, "extra": "yes"}
+
+    def test_buffer_bounded_with_drop_count(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.add_event("e", float(i), 0.1)
+        assert len(tracer.events) == 2
+        assert tracer.n_dropped == 3
+
+    def test_add_laps_expands_to_events(self):
+        tracer = Tracer()
+        tracer.add_laps(
+            [("draw", 0.0, 0.5), ("restart", 0.5, 0.25)], sample=7
+        )
+        assert [e.name for e in tracer.events] == ["draw", "restart"]
+        assert all(e.attrs == {"sample": 7} for e in tracer.events)
+
+    def test_chrome_export_shape(self):
+        tracer = Tracer()
+        tracer.add_event("stage", 1.0, 0.5, chunk=0)
+        chrome = tracer.to_chrome(pid=42, tid=1)
+        (event,) = chrome["traceEvents"]
+        assert event == {
+            "name": "stage",
+            "ph": "X",
+            "ts": 1_000_000.0,
+            "dur": 500_000.0,
+            "pid": 42,
+            "tid": 1,
+            "args": {"chunk": 0},
+        }
+        assert chrome["otherData"]["n_dropped"] == 0
+        assert chrome["displayTimeUnit"] == "ms"
+
+
+class TestStageClock:
+    def test_laps_partition_elapsed_time(self):
+        clock = StageClock()
+        time.sleep(0.001)
+        clock.lap("draw")
+        time.sleep(0.002)
+        clock.lap("transient")
+        time.sleep(0.001)
+        clock.lap("transient")
+        totals = clock.stage_totals()
+        assert set(totals) == {"draw", "transient"}
+        assert totals["transient"] >= 0.003
+        assert clock.total_seconds() == sum(totals.values())
+        # Laps are contiguous: each starts where the previous ended.
+        for (_, s0, d0), (_, s1, _) in zip(clock.laps, clock.laps[1:]):
+            assert s1 == s0 + d0

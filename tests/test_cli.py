@@ -69,6 +69,23 @@ class TestCampaignParser:
     def test_status_run_id_optional(self):
         args = build_parser().parse_args(["campaign", "status"])
         assert args.run_id is None
+        assert args.metrics is False
+
+    def test_run_trace_flag(self):
+        args = build_parser().parse_args(["campaign", "run", "--trace"])
+        assert args.trace is True
+
+    def test_obs_report_args(self):
+        args = build_parser().parse_args(
+            ["obs", "report", "abc", "--top", "5"]
+        )
+        assert args.run_id == "abc"
+        assert args.top == 5
+        assert args.func.__name__ == "cmd_obs_report"
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
 
 
 class TestCampaignCommands:
@@ -78,6 +95,65 @@ class TestCampaignCommands:
         )
         assert code == 0
         assert "no campaign runs" in capsys.readouterr().out
+
+    def _store_with_metrics(self, tmp_path):
+        """A finished-looking run directory built without an engine."""
+        from repro.campaign import CampaignSpec, RunStore
+        from repro.obs import MetricsRegistry, SECONDS_BUCKETS
+
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="fake")
+        registry = MetricsRegistry()
+        registry.counter("engine_samples_total").inc(10)
+        registry.counter("engine_outcomes_total", category="masked").inc(7)
+        registry.counter("engine_outcomes_total", category="needs_rtl").inc(3)
+        registry.counter("engine_funnel_total", stage="sampled").inc(10)
+        registry.counter("engine_funnel_total", stage="latched").inc(3)
+        registry.histogram(
+            "engine_stage_seconds", SECONDS_BUCKETS, stage="transient"
+        ).observe(0.02)
+        registry.gauge("campaign_ssf").set(0.3)
+        store.write_metrics(registry)
+        return store
+
+    def test_obs_report_renders_from_metrics_file(self, capsys, tmp_path):
+        self._store_with_metrics(tmp_path)
+        code = main(["obs", "report", "fake", "--runs-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Stage-time breakdown" in out
+        assert "Masking funnel" in out
+        assert "transient" in out
+        assert "needs_rtl" in out
+
+    def test_obs_report_without_metrics_fails(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, RunStore
+
+        RunStore.create(tmp_path, CampaignSpec(), run_id="bare")
+        code = main(["obs", "report", "bare", "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "no metrics.jsonl" in capsys.readouterr().err
+
+    def test_status_metrics_renders_breakdown(self, capsys, tmp_path):
+        self._store_with_metrics(tmp_path)
+        code = main(
+            ["campaign", "status", "fake", "--runs-dir", str(tmp_path),
+             "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Stage-time breakdown" in out
+        assert "Outcome categories" in out
+
+    def test_status_metrics_without_export(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, RunStore
+
+        RunStore.create(tmp_path, CampaignSpec(), run_id="bare")
+        code = main(
+            ["campaign", "status", "bare", "--runs-dir", str(tmp_path),
+             "--metrics"]
+        )
+        assert code == 0
+        assert "no metrics exported" in capsys.readouterr().out
 
     @pytest.mark.slow
     def test_campaign_run_then_status(self, capsys, tmp_path):
@@ -105,6 +181,22 @@ class TestCampaignCommands:
         detail = capsys.readouterr().out
         assert "complete" in detail
         assert "20" in detail
+
+        # The run exported its merged metrics; both metric surfaces
+        # render from that file alone.
+        import pathlib
+
+        assert (pathlib.Path(runs) / "clitest" / "metrics.jsonl").exists()
+        assert main(
+            ["campaign", "status", "clitest", "--runs-dir", runs,
+             "--metrics"]
+        ) == 0
+        assert "Stage-time breakdown" in capsys.readouterr().out
+
+        assert main(["obs", "report", "clitest", "--runs-dir", runs]) == 0
+        report = capsys.readouterr().out
+        assert "Masking funnel" in report
+        assert "slowest samples" in report
 
 
 class TestCommands:
