@@ -32,6 +32,12 @@ from repro.campaign.scheduler import (
     chunk_seed_sequence,
 )
 from repro.campaign.spec import CampaignSpec, StoppingConfig, load_spec
+from repro.campaign.spec_hash import (
+    canonical_spec_dict,
+    canonical_spec_json,
+    code_version_salt,
+    spec_hash,
+)
 from repro.campaign.stopping import (
     BoundedRule,
     CiWidthRule,
@@ -74,8 +80,12 @@ __all__ = [
     "BoundedRule",
     "WorkStealingScheduler",
     "build_stopping_rule",
+    "canonical_spec_dict",
+    "canonical_spec_json",
     "chunk_seed_sequence",
+    "code_version_salt",
     "load_spec",
+    "spec_hash",
     "record_from_dict",
     "record_to_dict",
     "STATUS_COMPLETE",

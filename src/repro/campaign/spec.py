@@ -194,8 +194,16 @@ class CampaignSpec:
 
 
 def load_spec(path: Union[str, pathlib.Path]) -> CampaignSpec:
-    """Read a :class:`CampaignSpec` from a JSON file."""
+    """Read a :class:`CampaignSpec` from a JSON file.
+
+    A missing or corrupt file raises :class:`EvaluationError` naming the
+    path, so CLI and service callers surface an actionable message
+    instead of a raw traceback.
+    """
+    path = pathlib.Path(path)
     try:
-        return CampaignSpec.from_json(pathlib.Path(path).read_text())
+        return CampaignSpec.from_json(path.read_text())
     except (OSError, json.JSONDecodeError, TypeError) as exc:
-        raise EvaluationError(f"cannot load campaign spec: {exc}") from exc
+        raise EvaluationError(
+            f"cannot load campaign spec {path}: {exc}"
+        ) from exc

@@ -1,0 +1,77 @@
+"""Canonical, content-addressed hashing of campaign specs.
+
+Two campaigns with the same hash are guaranteed to produce the same
+final estimate (for a fixed code version), so the hash is usable as a
+cache key: the evaluation service deduplicates submissions and serves a
+finished run's SSF/CI instantly when an identical spec arrives again.
+
+Canonicalization rules (pinned by golden-hash tests):
+
+* every field is serialized explicitly with its effective value, so a
+  spec built from defaults hashes identically to one that spells the
+  defaults out, and field order never matters (``sort_keys``);
+* the MPU ``variant`` string is normalized through
+  :meth:`~repro.soc.mpu.MpuVariant.parse` — ``"TMR+PARITY"``,
+  ``"tmr+parity"`` and ``"parity+tmr"`` are one variant, and they hash
+  as one;
+* pure observability/performance knobs that cannot change the estimate
+  are *excluded*: ``trace`` (span recording) and ``charac_cache`` (a
+  memoized pre-characterization is derived deterministically from the
+  benchmark + variant, the path only skips recomputation);
+* everything else — including ``seed`` and ``chunk_size``, both of which
+  select the per-chunk seed streams and therefore the exact sample
+  sequence — is part of the identity.
+
+The digest is salted with the package version plus a schema version, so
+a code upgrade that could change results invalidates every cached entry
+instead of silently serving stale estimates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.campaign.spec import CampaignSpec
+
+#: Bump when canonicalization rules change (invalidates all cached hashes).
+HASH_SCHEMA_VERSION = 1
+
+#: Spec fields that cannot affect the campaign's estimate.
+NON_SEMANTIC_FIELDS = ("trace", "charac_cache")
+
+
+def code_version_salt() -> str:
+    """Salt folding the code version into every spec hash."""
+    import repro
+
+    return f"repro/{repro.__version__}/spec-hash/v{HASH_SCHEMA_VERSION}"
+
+
+def canonical_spec_dict(spec: CampaignSpec) -> dict:
+    """The semantic content of ``spec`` as a plain dict.
+
+    Fields listed in :data:`NON_SEMANTIC_FIELDS` are dropped and the
+    countermeasure variant is normalized, so semantically identical
+    specs canonicalize identically.
+    """
+    from repro.soc.mpu import MpuVariant
+
+    data = spec.to_dict()
+    for field in NON_SEMANTIC_FIELDS:
+        data.pop(field, None)
+    data["variant"] = MpuVariant.parse(data["variant"]).name
+    return data
+
+
+def canonical_spec_json(spec: CampaignSpec) -> str:
+    """Minified, key-sorted JSON of the canonical spec dict."""
+    return json.dumps(
+        canonical_spec_dict(spec), sort_keys=True, separators=(",", ":")
+    )
+
+
+def spec_hash(spec: CampaignSpec) -> str:
+    """Hex SHA-256 of the salted canonical spec JSON."""
+    payload = code_version_salt() + "\n" + canonical_spec_json(spec)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -12,13 +12,21 @@ Exposes the main workflows without writing Python::
     python -m repro campaign resume <run-id>
     python -m repro campaign status <run-id> --metrics
     python -m repro obs report <run-id>
+    python -m repro serve --runs-dir runs --port 8321
+    python -m repro submit --benchmark write -n 500 --url http://localhost:8321
+    python -m repro status <job-id> --url http://localhost:8321
 
-All commands print the same tables the library APIs produce.
+All commands print the same tables the library APIs produce; ``--json``
+(on ``campaign run/resume/status`` and the service verbs) emits a single
+machine-readable JSON document on stdout instead.  Framework errors
+(:class:`~repro.errors.ReproError`) print one clean ``error:`` line and
+exit 2 — never a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -305,6 +313,17 @@ def _campaign_spec_from_args(args):
     )
 
 
+def _campaign_json_payload(spec, store, result) -> dict:
+    """Machine-readable outcome of a finished ``campaign run/resume``."""
+    from repro.campaign import spec_hash
+    from repro.service.cache import result_payload
+
+    payload = result_payload(store)
+    payload["spec_hash"] = spec_hash(spec)
+    payload["wall_time_s"] = result.wall_time_s
+    return payload
+
+
 def cmd_campaign_run(args) -> int:
     from repro.campaign import CampaignRunner, ConsoleProgress, RunStore
 
@@ -318,6 +337,10 @@ def cmd_campaign_run(args) -> int:
         n_workers=args.workers,
     )
     result = runner.run()
+    if getattr(args, "json", False):
+        print(json.dumps(_campaign_json_payload(spec, store, result),
+                         sort_keys=True))
+        return 0
     print(
         format_table(
             ["quantity", "value"],
@@ -339,6 +362,10 @@ def cmd_campaign_resume(args) -> int:
         hooks=ConsoleProgress(every=args.progress_every),
         n_workers=args.workers,
     )
+    if getattr(args, "json", False):
+        print(json.dumps(_campaign_json_payload(spec, store, result),
+                         sort_keys=True))
+        return 0
     print(
         format_table(
             ["quantity", "value"],
@@ -352,8 +379,25 @@ def cmd_campaign_resume(args) -> int:
 def cmd_campaign_status(args) -> int:
     from repro.campaign import RunStore
 
+    as_json = getattr(args, "json", False)
     if not args.run_id:
         runs = RunStore.list_runs(args.runs_dir)
+        if as_json:
+            payload = []
+            for run_id in runs:
+                checkpoint = RunStore.open(
+                    args.runs_dir, run_id
+                ).read_checkpoint()
+                payload.append(
+                    {
+                        "run_id": run_id,
+                        "status": checkpoint.get("status"),
+                        "n_samples": checkpoint.get("n_samples", 0),
+                        "ssf": checkpoint.get("ssf"),
+                    }
+                )
+            print(json.dumps({"runs": payload}, sort_keys=True))
+            return 0
         if not runs:
             print(f"no campaign runs under {args.runs_dir}")
             return 0
@@ -380,6 +424,17 @@ def cmd_campaign_status(args) -> int:
     store = RunStore.open(args.runs_dir, args.run_id)
     spec = store.load_spec()
     checkpoint = store.read_checkpoint()
+    if as_json:
+        from repro.campaign import spec_hash
+
+        payload = dict(checkpoint)
+        payload["run_id"] = store.run_id
+        payload["spec_hash"] = spec_hash(spec)
+        payload["spec"] = spec.to_dict()
+        print(json.dumps(payload, sort_keys=True))
+        # Scripts branch on the exit code: an interrupted run is a
+        # failed run until something resumes it.
+        return 1 if checkpoint.get("status") == "interrupted" else 0
     rows = [
         ["run id", store.run_id],
         ["status", checkpoint.get("status", "?")],
@@ -438,6 +493,118 @@ def cmd_campaign_status(args) -> int:
                     title="Outcome categories",
                 )
             )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# service verbs
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.service import EvaluationService, ServiceServer
+
+    service = EvaluationService(
+        args.runs_dir,
+        max_concurrency=args.jobs,
+        campaign_workers=args.workers,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"repro service listening on {server.url} "
+        f"(runs dir: {args.runs_dir})",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job_table(payload: dict, title: str) -> None:
+    order = (
+        "job_id", "run_id", "state", "cache_hit", "spec_hash", "priority",
+        "run_status", "n_samples", "n_samples_live", "ssf", "queue_depth",
+        "error",
+    )
+    rows = [
+        [key, payload[key]] for key in order
+        if payload.get(key) is not None
+    ]
+    print(format_table(["field", "value"], rows, title=title))
+
+
+def cmd_submit(args) -> int:
+    client = _service_client(args)
+    spec = _campaign_spec_from_args(args)
+    response = client.submit(spec, priority=args.priority)
+    if args.wait and response["state"] != "done":
+        status = client.wait(response["job_id"], timeout_s=args.timeout)
+        response = {**response, "state": status["state"]}
+        if status.get("error"):
+            response["error"] = status["error"]
+    if response["state"] == "done":
+        result = client.result(response["job_id"])
+        response = {**response, "ssf": result["ssf"],
+                    "n_samples": result["n_samples"]}
+    if args.json:
+        print(json.dumps(response, sort_keys=True))
+    else:
+        _print_job_table(response, title="Submitted campaign")
+    return 0 if response["state"] in ("queued", "running", "done") else 1
+
+
+def cmd_job_status(args) -> int:
+    payload = _service_client(args).status(args.job_id)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        _print_job_table(payload, title="Job status")
+    return 0
+
+
+def cmd_job_result(args) -> int:
+    client = _service_client(args)
+    if args.wait:
+        client.wait(args.job_id, timeout_s=args.timeout)
+    payload = client.result(args.job_id)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    rows = [
+        ["job id", payload["job_id"]],
+        ["run id", payload["run_id"]],
+        ["cache hit", payload["cache_hit"]],
+        ["SSF", f"{payload['ssf']:.5f}"],
+        [
+            f"Wilson CI (z={payload['ci_z']})",
+            f"[{payload['ci_low']:.5f}, {payload['ci_high']:.5f}]",
+        ],
+        ["successes", f"{payload['n_success']}/{payload['n_samples']}"],
+    ]
+    if payload.get("stop_reason"):
+        rows.append(["stop reason", payload["stop_reason"]])
+    print(format_table(["quantity", "value"], rows, title="Job result"))
+    return 0
+
+
+def cmd_job_cancel(args) -> int:
+    payload = _service_client(args).cancel(args.job_id)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(f"job {payload['job_id']}: {payload['state']}")
     return 0
 
 
@@ -568,6 +735,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--trace", action="store_true",
                     help="record spans to runs/<run-id>/trace.json "
                     "(Chrome trace_event format)")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the outcome as one JSON document on stdout")
     pr.set_defaults(func=cmd_campaign_run)
 
     pr = campaign_sub.add_parser(
@@ -577,6 +746,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--runs-dir", default="runs")
     pr.add_argument("--workers", type=int, default=1)
     pr.add_argument("--progress-every", type=int, default=1)
+    pr.add_argument("--json", action="store_true",
+                    help="emit the outcome as one JSON document on stdout")
     pr.set_defaults(func=cmd_campaign_resume)
 
     pr = campaign_sub.add_parser(
@@ -587,6 +758,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--metrics", action="store_true",
                     help="also render stage-time breakdown and outcome "
                     "rates from the run's exported metrics")
+    pr.add_argument("--json", action="store_true",
+                    help="emit status as JSON; exits 1 for an "
+                    "interrupted run")
     pr.set_defaults(func=cmd_campaign_status)
 
     p = sub.add_parser(
@@ -610,13 +784,89 @@ def build_parser() -> argparse.ArgumentParser:
                    help="variant names (default: the standard five)")
     p.set_defaults(func=cmd_countermeasures)
 
+    # ------------------------------------------------------------------
+    # service verbs
+    # ------------------------------------------------------------------
+    p = sub.add_parser(
+        "serve",
+        help="run the SSF evaluation service (job queue + result cache "
+        "+ HTTP API)",
+    )
+    p.add_argument("--runs-dir", default="runs",
+                   help="directory holding durable runs and job state")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="campaigns executed concurrently")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per campaign (fork platforms)")
+    p.set_defaults(func=cmd_serve)
+
+    def _client_flags(pc, with_json=True):
+        pc.add_argument("--url", default="http://127.0.0.1:8321",
+                        help="base URL of a running `repro serve`")
+        if with_json:
+            pc.add_argument("--json", action="store_true",
+                            help="emit the response as JSON on stdout")
+
+    p = sub.add_parser(
+        "submit", help="submit a campaign spec to a running service"
+    )
+    _add_common(p)
+    p.add_argument("--subblock", type=float, default=0.125)
+    p.add_argument("--impact-cycles", type=int, default=1)
+    p.add_argument("--stop", choices=("fixed", "risk", "ci"),
+                   default="fixed")
+    p.add_argument("--epsilon", type=float, default=0.02)
+    p.add_argument("--delta", type=float, default=0.05)
+    p.add_argument("--ci-width", type=float, default=0.05)
+    p.add_argument("--min-samples", type=int, default=200)
+    p.add_argument("--max-samples", type=int, default=100_000)
+    p.add_argument("--chunk-size", type=int, default=50)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher-priority jobs run first")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait timeout in seconds")
+    _client_flags(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="status of a service job")
+    p.add_argument("job_id")
+    _client_flags(p)
+    p.set_defaults(func=cmd_job_status)
+
+    p = sub.add_parser(
+        "result", help="SSF result of a finished service job"
+    )
+    p.add_argument("job_id")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes first")
+    p.add_argument("--timeout", type=float, default=600.0)
+    _client_flags(p)
+    p.set_defaults(func=cmd_job_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job_id")
+    _client_flags(p)
+    p.set_defaults(func=cmd_job_cancel)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # One actionable line, never a traceback: a missing run id, a
+        # corrupt run directory, or an unreachable service all land here.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,3 +44,11 @@ class SamplingError(ReproError):
 
 class EvaluationError(ReproError):
     """The SSF evaluation engine hit an unrecoverable inconsistency."""
+
+
+class ServiceError(ReproError):
+    """The evaluation service (or its client) failed a request."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status  # HTTP status code, 0 for transport errors

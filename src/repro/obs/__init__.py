@@ -42,6 +42,12 @@ from repro.obs.report import (
     slowest_samples,
     stage_breakdown,
 )
+from repro.obs.service_metrics import (
+    cache_hit_ratio,
+    record_cache_request,
+    record_submission,
+    update_job_gauges,
+)
 from repro.obs.tracing import (
     NULL_CLOCK,
     NULL_TRACER,
@@ -67,9 +73,13 @@ __all__ = [
     "StageClock",
     "TopK",
     "Tracer",
+    "cache_hit_ratio",
     "campaign_summary",
     "deterministic_view",
     "get_logger",
+    "record_cache_request",
+    "record_submission",
+    "update_job_gauges",
     "load_metrics_jsonl",
     "masking_funnel",
     "metrics_from_records",

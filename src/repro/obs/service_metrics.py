@@ -1,0 +1,61 @@
+"""Service-level metrics: queue depth, jobs by state, cache hit ratio.
+
+The evaluation service (:mod:`repro.service`) publishes its operational
+state into the same :class:`~repro.obs.metrics.MetricsRegistry` the
+campaign layer uses, so ``GET /v1/metrics`` exposes one coherent
+Prometheus surface.  Everything here is flagged non-deterministic —
+queue depth and hit ratios depend on request arrival order, not on the
+Monte Carlo sample stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.metrics import MetricsRegistry
+
+QUEUE_DEPTH = "service_queue_depth"
+JOBS_BY_STATE = "service_jobs"
+CACHE_REQUESTS = "service_cache_requests_total"
+CACHE_HIT_RATIO = "service_cache_hit_ratio"
+JOBS_SUBMITTED = "service_jobs_submitted_total"
+
+
+def record_cache_request(registry: MetricsRegistry, hit: bool) -> None:
+    """Count one submit-time cache lookup and refresh the hit ratio."""
+    outcome = "hit" if hit else "miss"
+    registry.counter(
+        CACHE_REQUESTS, deterministic=False, outcome=outcome
+    ).inc()
+    hits = registry.value(CACHE_REQUESTS, outcome="hit") or 0
+    misses = registry.value(CACHE_REQUESTS, outcome="miss") or 0
+    total = hits + misses
+    registry.gauge(CACHE_HIT_RATIO, deterministic=False).set(
+        hits / total if total else 0.0
+    )
+
+
+def cache_hit_ratio(registry: MetricsRegistry) -> float:
+    return registry.value(CACHE_HIT_RATIO) or 0.0
+
+
+def update_job_gauges(
+    registry: MetricsRegistry,
+    state_counts: Dict[str, int],
+    queue_depth: int,
+) -> None:
+    """Refresh the jobs-by-state gauges and the queue-depth gauge.
+
+    ``state_counts`` must carry *every* state the service knows (zeros
+    included), so a state that just emptied reads 0 instead of a stale
+    count.
+    """
+    registry.gauge(QUEUE_DEPTH, deterministic=False).set(queue_depth)
+    for state, count in state_counts.items():
+        registry.gauge(
+            JOBS_BY_STATE, deterministic=False, state=state
+        ).set(count)
+
+
+def record_submission(registry: MetricsRegistry) -> None:
+    registry.counter(JOBS_SUBMITTED, deterministic=False).inc()

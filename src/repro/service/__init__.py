@@ -1,0 +1,70 @@
+"""SSF evaluation service (``repro.service``).
+
+A long-lived layer over :mod:`repro.campaign` that makes the framework
+multi-tenant: clients submit :class:`~repro.campaign.spec.CampaignSpec`
+documents, the service deduplicates identical work by canonical spec
+hash, queues and executes campaigns under bounded concurrency, caches
+finished results content-addressed by that hash, and serves estimates,
+live status, and observability reports over HTTP.
+
+* :mod:`repro.service.jobs` — durable JSONL job log + priority queue
+  (crash-safe like the campaign ``RunStore``);
+* :mod:`repro.service.cache` — spec-hash result cache over run
+  directories, with partial-run reuse via ``campaign resume``;
+* :mod:`repro.service.service` — :class:`EvaluationService`: submit /
+  dedup / worker pool / cancel / metrics;
+* :mod:`repro.service.server` — stdlib HTTP API (``POST /v1/campaigns``
+  and friends);
+* :mod:`repro.service.client` — thin client used by the CLI verbs
+  ``repro submit|status|result|cancel``.
+"""
+
+from repro.campaign.spec_hash import (
+    canonical_spec_dict,
+    canonical_spec_json,
+    code_version_salt,
+    spec_hash,
+)
+from repro.service.cache import CacheHit, ResultCache, result_payload
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    Job,
+    JobQueue,
+    JobStore,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+)
+from repro.service.server import ServiceHTTPServer, ServiceServer
+from repro.service.service import EvaluationService, JobCancelled
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CacheHit",
+    "EvaluationService",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "JobStore",
+    "ResultCache",
+    "STATE_CANCELLED",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "ServiceServer",
+    "TERMINAL_STATES",
+    "canonical_spec_dict",
+    "canonical_spec_json",
+    "code_version_salt",
+    "result_payload",
+    "spec_hash",
+]

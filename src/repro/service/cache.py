@@ -1,0 +1,138 @@
+"""Content-addressed result cache over durable campaign runs.
+
+The cache's key is the canonical spec hash
+(:func:`repro.campaign.spec_hash.spec_hash`); its value is a campaign
+run directory.  There is deliberately *no* separate cache database: the
+run directories the campaign layer already writes (``spec.json`` +
+``checkpoint.json`` + ``metrics.jsonl``) are the cache, so results
+produced by ``repro campaign run`` on the CLI are served by the service
+too, and deleting a run directory evicts it.
+
+Two lookup grades:
+
+* :meth:`ResultCache.lookup_complete` — a finished run whose spec
+  hashes identically: its SSF/CI is returned without spending a single
+  new Monte Carlo sample;
+* :meth:`ResultCache.lookup_partial` — an interrupted run with the same
+  hash: the service resumes it (``campaign resume`` semantics), reusing
+  every sample already in the durable log.
+
+Spec hashes are memoized per ``(run_id, spec.json mtime)``, so repeated
+lookups over a large runs directory stay cheap.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.campaign.spec import load_spec
+from repro.campaign.spec_hash import spec_hash
+from repro.campaign.store import (
+    RunStore,
+    SPEC_FILE,
+    STATUS_COMPLETE,
+)
+from repro.errors import EvaluationError
+from repro.utils.stats import wilson_interval
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A finished run serving a resubmitted spec."""
+
+    run_id: str
+    checkpoint: dict
+
+
+def result_payload(store: RunStore, z: float = 1.96) -> dict:
+    """The servable result of a finished run: SSF, Wilson CI, counters.
+
+    Raises :class:`EvaluationError` (naming the run path) when the run
+    directory is missing or its checkpoint is unreadable, so callers
+    surface a clean message instead of a raw traceback.
+    """
+    if not (store.path / SPEC_FILE).exists():
+        raise EvaluationError(
+            f"campaign run directory {store.path} is missing or has no "
+            f"{SPEC_FILE}"
+        )
+    checkpoint = store.read_checkpoint()
+    n_samples = int(checkpoint.get("n_samples") or 0)
+    n_success = int(checkpoint.get("n_success") or 0)
+    ci_low, ci_high = (
+        wilson_interval(n_success, n_samples, z=z) if n_samples else (0.0, 1.0)
+    )
+    return {
+        "run_id": store.run_id,
+        "status": checkpoint.get("status"),
+        "ssf": checkpoint.get("ssf"),
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+        "ci_z": z,
+        "n_samples": n_samples,
+        "n_success": n_success,
+        "std_error": checkpoint.get("std_error"),
+        "stop_reason": checkpoint.get("stop_reason"),
+    }
+
+
+class ResultCache:
+    """Spec-hash index over every run directory under ``runs_dir``."""
+
+    def __init__(self, runs_dir: Union[str, pathlib.Path]):
+        self.runs_dir = pathlib.Path(runs_dir)
+        # (run_id) -> (spec.json mtime_ns, spec hash); refreshed on change.
+        self._hashes: Dict[str, Tuple[int, str]] = {}
+
+    # ------------------------------------------------------------------
+    # hashing with memoization
+    # ------------------------------------------------------------------
+    def run_hash(self, run_id: str) -> Optional[str]:
+        """Spec hash of one run, or ``None`` for unreadable specs.
+
+        Corrupt run directories are treated as cache misses rather than
+        submit-time failures: a damaged old run must never block new
+        work from being queued.
+        """
+        spec_file = self.runs_dir / run_id / SPEC_FILE
+        try:
+            mtime = spec_file.stat().st_mtime_ns
+        except OSError:
+            self._hashes.pop(run_id, None)
+            return None
+        cached = self._hashes.get(run_id)
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+        try:
+            digest = spec_hash(load_spec(spec_file))
+        except EvaluationError:
+            self._hashes.pop(run_id, None)
+            return None
+        self._hashes[run_id] = (mtime, digest)
+        return digest
+
+    def _runs_by_hash(self, digest: str):
+        for run_id in RunStore.list_runs(self.runs_dir):
+            if self.run_hash(run_id) == digest:
+                yield RunStore(self.runs_dir / run_id)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def lookup_complete(self, digest: str) -> Optional[CacheHit]:
+        """A finished run for this spec hash, if any."""
+        for store in self._runs_by_hash(digest):
+            checkpoint = store.read_checkpoint()
+            if checkpoint.get("status") == STATUS_COMPLETE:
+                return CacheHit(run_id=store.run_id, checkpoint=checkpoint)
+        return None
+
+    def lookup_partial(self, digest: str) -> Optional[str]:
+        """An unfinished run for this spec hash, resumable in place."""
+        for store in self._runs_by_hash(digest):
+            checkpoint = store.read_checkpoint()
+            if checkpoint.get("status") != STATUS_COMPLETE:
+                return store.run_id
+        return None

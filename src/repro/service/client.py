@@ -1,0 +1,129 @@
+"""Thin HTTP client for the evaluation service (stdlib ``urllib``).
+
+Used by the ``repro submit|status|result|cancel`` CLI verbs and by
+tests; any HTTP or transport failure surfaces as
+:class:`~repro.errors.ServiceError` carrying the status code, so
+callers never touch ``urllib`` exceptions directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Union
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        as_text: bool = False,
+    ):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}",
+                status=exc.code,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
+        text = raw.decode("utf-8")
+        return text if as_text else json.loads(text)
+
+    # ------------------------------------------------------------------
+    # API verbs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: Union[CampaignSpec, dict],
+        priority: int = 0,
+    ) -> dict:
+        spec_data = spec.to_dict() if isinstance(spec, CampaignSpec) else spec
+        return self._request(
+            "POST",
+            "/v1/campaigns",
+            body={"spec": spec_data, "priority": priority},
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{job_id}/result")
+
+    def report(self, job_id: str) -> str:
+        return self._request(
+            "GET", f"/v1/campaigns/{job_id}/report", as_text=True
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/campaigns/{job_id}")
+
+    def list_jobs(self) -> dict:
+        return self._request("GET", "/v1/campaigns")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/v1/metrics", as_text=True)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its
+        final status document."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)

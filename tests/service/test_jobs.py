@@ -1,0 +1,147 @@
+"""JobStore durability and JobQueue ordering semantics."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    Job,
+    JobQueue,
+    JobStore,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_QUEUED,
+    STATE_RUNNING,
+)
+
+
+def make_job(job_id="j1", priority=0, seq=0, **kwargs) -> Job:
+    return Job(
+        job_id=job_id,
+        spec={"benchmark": "write"},
+        spec_hash="h" * 64,
+        run_id=job_id,
+        priority=priority,
+        seq=seq,
+        **kwargs,
+    )
+
+
+class TestJobStore:
+    def test_submit_then_load_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = make_job(priority=3, seq=7)
+        store.record_submit(job)
+        loaded = JobStore(tmp_path).load()
+        assert loaded["j1"].to_dict() == job.to_dict()
+
+    def test_updates_fold_in_order(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.record_submit(make_job())
+        store.record_update("j1", state=STATE_RUNNING)
+        store.record_update("j1", state=STATE_DONE, result={"ssf": 0.25})
+        job = JobStore(tmp_path).load()["j1"]
+        assert job.state == STATE_DONE
+        assert job.result == {"ssf": 0.25}
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.record_submit(make_job())
+        store.record_update("j1", state=STATE_RUNNING)
+        log = tmp_path / "jobs.jsonl"
+        log.write_text(log.read_text() + '{"event": "upd')  # no newline
+        job = JobStore(tmp_path).load()["j1"]
+        assert job.state == STATE_RUNNING
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.record_submit(make_job())
+        log = tmp_path / "jobs.jsonl"
+        log.write_text("not json\n" + log.read_text())
+        with pytest.raises(ServiceError, match="corrupt job log"):
+            JobStore(tmp_path).load()
+
+    def test_update_for_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.record_update("ghost", state=STATE_DONE)
+        with pytest.raises(ServiceError, match="unknown job"):
+            JobStore(tmp_path).load()
+
+    def test_unknown_future_fields_are_ignored(self, tmp_path):
+        # Forward compatibility: a newer writer may log extra job fields.
+        store = JobStore(tmp_path)
+        payload = make_job().to_dict()
+        payload["shiny_new_field"] = 42
+        store._append({"event": "submit", "job": payload})
+        assert JobStore(tmp_path).load()["j1"].state == STATE_QUEUED
+
+    def test_empty_store_loads_empty(self, tmp_path):
+        assert JobStore(tmp_path / "fresh").load() == {}
+
+    def test_log_lines_are_json(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.record_submit(make_job())
+        store.record_update("j1", state=STATE_CANCELLED)
+        lines = (tmp_path / "jobs.jsonl").read_text().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == [
+            "submit", "update",
+        ]
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        for seq in range(3):
+            queue.push(make_job(job_id=f"j{seq}", seq=seq))
+        assert [queue.pop(0.01).job_id for _ in range(3)] == [
+            "j0", "j1", "j2",
+        ]
+
+    def test_higher_priority_first(self):
+        queue = JobQueue()
+        queue.push(make_job(job_id="low", priority=0, seq=0))
+        queue.push(make_job(job_id="high", priority=5, seq=1))
+        assert queue.pop(0.01).job_id == "high"
+        assert queue.pop(0.01).job_id == "low"
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+    def test_cancelled_jobs_are_skipped(self):
+        queue = JobQueue()
+        victim = make_job(job_id="victim", seq=0)
+        queue.push(victim)
+        queue.push(make_job(job_id="next", seq=1))
+        victim.state = STATE_CANCELLED  # lazy cancellation
+        assert queue.pop(0.01).job_id == "next"
+        assert queue.depth() == 0
+
+    def test_depth_counts_only_queued(self):
+        queue = JobQueue()
+        queue.push(make_job(job_id="a", seq=0))
+        b = make_job(job_id="b", seq=1)
+        queue.push(b)
+        b.state = STATE_CANCELLED
+        assert queue.depth() == 1
+
+    def test_close_wakes_blocked_pop(self):
+        queue = JobQueue()
+        out = {}
+
+        def blocked():
+            out["job"] = queue.pop(timeout=10)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out["job"] is None
+
+    def test_push_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(ServiceError, match="closed"):
+            queue.push(make_job())

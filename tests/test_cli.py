@@ -88,6 +88,133 @@ class TestCampaignParser:
             build_parser().parse_args(["obs"])
 
 
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8321
+        assert args.jobs == 1
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--stop", "ci", "--priority", "3", "--wait",
+             "--url", "http://h:1", "--json"]
+        )
+        assert args.stop == "ci"
+        assert args.priority == 3
+        assert args.wait and args.json
+        assert args.url == "http://h:1"
+        assert args.func.__name__ == "cmd_submit"
+
+    def test_job_verbs_registered(self):
+        for verb, func in (
+            ("status", "cmd_job_status"),
+            ("result", "cmd_job_result"),
+            ("cancel", "cmd_job_cancel"),
+        ):
+            args = build_parser().parse_args([verb, "abc123"])
+            assert args.job_id == "abc123"
+            assert args.func.__name__ == func
+
+    def test_campaign_json_flags(self):
+        assert build_parser().parse_args(
+            ["campaign", "run", "--json"]
+        ).json is True
+        assert build_parser().parse_args(
+            ["campaign", "status", "x", "--json"]
+        ).json is True
+        assert build_parser().parse_args(
+            ["campaign", "resume", "x", "--json"]
+        ).json is True
+
+
+class TestCliErrorHandling:
+    def test_missing_run_is_clean_error_not_traceback(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "status", "ghost", "--runs-dir", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ghost" in err and str(tmp_path) in err
+
+    def test_corrupt_spec_names_the_path(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, RunStore
+
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="broken")
+        (store.path / "spec.json").write_text("{not json")
+        code = main(
+            ["campaign", "status", "broken", "--runs-dir", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "spec.json" in err
+
+    def test_resume_of_missing_run_is_clean(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "resume", "ghost", "--runs-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_unreachable_service_is_clean(self, capsys):
+        code = main(
+            ["status", "job1", "--url", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestCampaignJson:
+    def _interrupted_store(self, tmp_path):
+        from repro.campaign import CampaignSpec, RunStore
+
+        store = RunStore.create(tmp_path, CampaignSpec(), run_id="frozen")
+        store.write_checkpoint(
+            {"status": "interrupted", "n_samples": 40, "n_success": 10,
+             "ssf": 0.25}
+        )
+        return store
+
+    def test_status_json_single_run(self, capsys, tmp_path):
+        import json
+
+        self._interrupted_store(tmp_path)
+        code = main(
+            ["campaign", "status", "frozen", "--runs-dir", str(tmp_path),
+             "--json"]
+        )
+        # Interrupted runs exit nonzero so scripts notice failures.
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == "frozen"
+        assert payload["status"] == "interrupted"
+        assert payload["n_samples"] == 40
+        assert len(payload["spec_hash"]) == 64
+        assert payload["spec"]["benchmark"] == "write"
+
+    def test_status_json_listing(self, capsys, tmp_path):
+        import json
+
+        self._interrupted_store(tmp_path)
+        code = main(
+            ["campaign", "status", "--runs-dir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["run_id"] == "frozen"
+
+    def test_status_json_empty_dir(self, capsys, tmp_path):
+        import json
+
+        code = main(
+            ["campaign", "status", "--runs-dir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == {"runs": []}
+
+
 class TestCampaignCommands:
     def test_status_empty_runs_dir(self, capsys, tmp_path):
         code = main(
