@@ -32,7 +32,6 @@ import numpy as np
 from repro.core.results import SampleRecord
 from repro.errors import EvaluationError
 from repro.obs.tracing import NULL_TRACER
-from repro.utils.rng import as_generator
 
 
 @dataclass(frozen=True)
@@ -72,8 +71,14 @@ def chunk_seed_sequence(seed: Optional[int], index: int) -> np.random.SeedSequen
 
 
 def _run_chunk(engine, sampler, seed: Optional[int], chunk: Chunk) -> ChunkResult:
-    rng = as_generator(chunk_seed_sequence(seed, chunk.index))
-    result = engine.evaluate(sampler, chunk.n_samples, seed=rng)
+    # Pass the chunk's SeedSequence itself (not a Generator): the engine
+    # spawns one child stream per sample from it, so samples within a
+    # chunk never share RNG state and each is replayable in isolation.
+    # Stub engines that call ``as_generator`` on it see the same stream
+    # the old Generator-passing code produced.
+    result = engine.evaluate(
+        sampler, chunk.n_samples, seed=chunk_seed_sequence(seed, chunk.index)
+    )
     return ChunkResult(
         chunk.index, list(result.records), getattr(result, "metrics", None)
     )

@@ -608,6 +608,113 @@ def cmd_job_cancel(args) -> int:
     return 0
 
 
+def cmd_conformance(args) -> int:
+    from repro.conformance import (
+        DESIGNS,
+        DifferentialConfig,
+        get_design,
+        run_design,
+    )
+
+    designs = (
+        [get_design(name) for name in args.design]
+        if args.design
+        else list(DESIGNS)
+    )
+    config = DifferentialConfig(
+        epsilon=args.epsilon,
+        delta=args.delta,
+        max_samples=args.max_samples,
+        seed=args.seed,
+    )
+    reports = []
+    for design in designs:
+        print(
+            f"conformance: {design.name} ({design.description})...",
+            file=sys.stderr,
+        )
+        reports.append(run_design(design, config))
+    all_passed = all(r.passed for r in reports)
+    if args.json:
+        payload = {
+            "passed": all_passed,
+            "reports": [r.to_dict() for r in reports],
+        }
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if all_passed else 1
+    for report in reports:
+        rows = [
+            ["exact SSF (enumeration)", f"{report.exact_ssf:.5f}"],
+            ["enumerated faults", report.n_enumerated],
+        ]
+        for v in report.verdicts:
+            rows.extend(
+                [
+                    [f"{v.sampler}: SSF", f"{v.ssf:.5f}"],
+                    [f"{v.sampler}: samples", v.n_samples],
+                    [
+                        f"{v.sampler}: {v.ci_kind} CI",
+                        f"[{v.ci_low:.5f}, {v.ci_high:.5f}]",
+                    ],
+                    [
+                        f"{v.sampler}: covers exact",
+                        "yes" if v.covers_exact else "NO",
+                    ],
+                    [
+                        f"{v.sampler}: outcome mismatches",
+                        v.n_outcome_mismatches,
+                    ],
+                    [
+                        f"{v.sampler}: g_(T,P) fit p-value",
+                        f"{v.gof.p_value:.4f}" if v.gof else "-",
+                    ],
+                    [f"{v.sampler}: verdict", "PASS" if v.passed else "FAIL"],
+                ]
+            )
+        print(
+            format_table(
+                ["quantity", "value"],
+                rows,
+                title=f"Conformance: {report.design}",
+            )
+        )
+        print()
+    print("conformance:", "PASS" if all_passed else "FAIL")
+    return 0 if all_passed else 1
+
+
+def cmd_replay(args) -> int:
+    from repro.campaign import RunStore
+    from repro.conformance import replay_sample
+
+    store = RunStore.open(args.runs_dir, args.run_id)
+    print(
+        f"replaying sample {args.sample} of run {store.run_id} "
+        f"(rebuilding spec runtime)...",
+        file=sys.stderr,
+    )
+    outcome = replay_sample(store, args.sample)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), sort_keys=True))
+        return 0 if outcome.bit_identical else 1
+    rows = [
+        ["run id", outcome.run_id],
+        ["sample index", outcome.sample_index],
+        ["chunk / offset", f"{outcome.chunk_index} / {outcome.chunk_offset}"],
+        ["logged (t, centre)", f"({outcome.logged['t']}, {outcome.logged['centre']})"],
+        ["logged outcome e", outcome.logged["e"]],
+        ["replayed outcome e", outcome.replayed["e"]],
+        [
+            "bit-identical",
+            "yes" if outcome.bit_identical else "NO",
+        ],
+    ]
+    if not outcome.bit_identical:
+        rows.append(["diverging fields", ", ".join(outcome.diff())])
+    print(format_table(["quantity", "value"], rows, title="Sample replay"))
+    return 0 if outcome.bit_identical else 1
+
+
 def cmd_obs_report(args) -> int:
     from repro.campaign import RunStore
     from repro.obs.report import render_report
@@ -777,6 +884,39 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--top", type=int, default=10,
                     help="slowest-sample rows to show")
     pr.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential correctness gate: exhaustive oracle vs the "
+        "Monte Carlo engine on the registry designs",
+    )
+    p.add_argument("--design", action="append", default=None,
+                   help="registry design name (repeatable; default: all)")
+    p.add_argument("--epsilon", type=float, default=0.05,
+                   help="risk-target absolute SSF error")
+    p.add_argument("--delta", type=float, default=0.05,
+                   help="risk-target failure probability")
+    p.add_argument("--max-samples", type=int, default=20_000,
+                   help="hard sample cap per sampler")
+    p.add_argument("--seed", type=int, default=7,
+                   help="root seed of the differential seed tree")
+    p.add_argument("--json", action="store_true",
+                   help="emit the reports as one JSON document on stdout")
+    p.set_defaults(func=cmd_conformance)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute one logged campaign sample from its seed "
+        "lineage and check the outcome is bit-identical",
+    )
+    p.add_argument("run_id", help="campaign run id")
+    p.add_argument("--sample", type=int, required=True,
+                   help="global sample index within the run's chunk log")
+    p.add_argument("--runs-dir", default="runs")
+    p.add_argument("--json", action="store_true",
+                   help="emit the comparison as JSON; exits 1 on "
+                   "divergence")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("countermeasures", help="compare MPU variants")
     _add_common(p, with_sampler=False)

@@ -46,7 +46,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_CLOCK, NULL_TRACER, StageClock
 from repro.sampling.base import Sampler
 from repro.sampling.estimator import SsfEstimator
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, sample_seed_sequence
 
 
 @dataclass
@@ -227,10 +227,21 @@ class CrossLevelEngine:
         seed: SeedLike = None,
         progress: Optional[Callable[[int, SsfEstimator], None]] = None,
     ) -> CampaignResult:
-        """Run a Monte Carlo campaign with the given strategy."""
+        """Run a Monte Carlo campaign with the given strategy.
+
+        Seed policy: a ``SeedSequence`` seed (the campaign path — the
+        scheduler passes each chunk's spawned child) derives one
+        *independent* child stream per sample via
+        :func:`~repro.utils.rng.sample_seed_sequence`, so the draw and the
+        injection of sample ``i`` never share RNG state with sample
+        ``i±1`` and any sample is replayable in isolation.  An int /
+        ``Generator`` / ``None`` seed keeps the legacy single shared
+        stream (stable for callers that pin integer seeds in tests).
+        """
         if n_samples <= 0:
             raise EvaluationError("n_samples must be positive")
-        rng = as_generator(seed)
+        per_sample_base = seed if isinstance(seed, np.random.SeedSequence) else None
+        rng = None if per_sample_base is not None else as_generator(seed)
         estimator = SsfEstimator(record_history=True)
         records = []
         tracer = self.tracer
@@ -238,6 +249,8 @@ class CrossLevelEngine:
         observing = registry is not None or tracer.enabled
         start = time.perf_counter()
         for i in range(n_samples):
+            if per_sample_base is not None:
+                rng = as_generator(sample_seed_sequence(per_sample_base, i))
             if observing:
                 clock = StageClock()
                 sample = sampler.sample(rng)

@@ -11,6 +11,11 @@ over the same support must converge to it (asserted by
 Enumeration is also the practical tool for *small* designs; the paper's
 framework exists precisely because it stops scaling — the bench records
 the evaluations/second of both approaches.
+
+Seed audit: enumeration is *RNG-free* — outcomes come from deterministic
+RTL probes / the analytical evaluator, never from a random stream — so it
+cannot alias the Monte Carlo engine's per-sample seed tree no matter how
+the two are interleaved (exercised by ``tests/conformance``).
 """
 
 from __future__ import annotations

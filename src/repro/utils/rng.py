@@ -28,6 +28,24 @@ def as_generator(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def sample_seed_sequence(
+    base: np.random.SeedSequence, index: int
+) -> np.random.SeedSequence:
+    """The ``index``-th spawned child of ``base``, O(1) in the index.
+
+    Equivalent to ``base.spawn(index + 1)[index]`` — spawned children
+    extend the parent's spawn key by ``(index,)`` — without mutating
+    ``base``'s spawn counter.  The campaign seed tree composes these:
+    ``sample_seed_sequence(chunk_seed_sequence(seed, c), i)`` names the
+    stream of sample ``i`` of chunk ``c``, so any logged sample can be
+    replayed bit-identically without re-running its predecessors (see
+    :mod:`repro.conformance.replay`).
+    """
+    return np.random.SeedSequence(
+        entropy=base.entropy, spawn_key=tuple(base.spawn_key) + (index,)
+    )
+
+
 def spawn_seed_sequences(seed: Optional[int], n: int) -> list:
     """Derive ``n`` statistically independent child ``SeedSequence`` objects.
 

@@ -1,0 +1,274 @@
+"""Property-based invariants over the shared strategies (tentpole pillar 2).
+
+Each property states a contract the estimation pipeline depends on:
+importance reweighting is unbiased, masking a D pin never widens fault
+propagation, spec hashes ignore only non-semantic knobs, persistence
+layers round-trip losslessly, and the chunk/seed bookkeeping partitions
+exactly.  All strategies come from ``tests/strategies.py`` so the ``ci``
+profile (``HYPOTHESIS_PROFILE=ci``) derandomizes the whole suite at once.
+"""
+
+import dataclasses
+import json
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.spec import AttackSample
+from repro.campaign import (
+    CampaignSpec,
+    RunStore,
+    record_from_dict,
+    record_to_dict,
+    spec_hash,
+)
+from repro.gatesim.logic import LogicEvaluator
+from repro.precharac.characterization import (
+    CharacterizationConfig,
+    SystemCharacterization,
+)
+from repro.precharac.lifetime import LifetimeCampaign, RegisterCharacter
+from repro.netlist.cones import UnrolledCones
+from repro.precharac.persistence import (
+    load_characterization,
+    save_characterization,
+)
+from repro.precharac.signatures import SignatureAnalysis
+from repro.sampling.estimator import SsfEstimator
+
+from tests.strategies import (
+    campaign_specs,
+    random_netlists,
+    reweighting_problems,
+    sample_records,
+    with_masked_dff,
+)
+
+
+class TestEstimatorInvariants:
+    @given(problem=reweighting_problems())
+    def test_reweighting_is_unbiased(self, problem):
+        """E_g[(f/g) * e] == E_f[e] exactly, for any proposal g that is
+        positive on f's support — the identity importance sampling rests
+        on (paper eq. for SSF under a biased sampler)."""
+        f, g, e = problem
+        nominal = sum(fi * ei for fi, ei in zip(f, e))
+        reweighted = sum(gi * (fi / gi) * ei for fi, gi, ei in zip(f, g, e))
+        assert reweighted == pytest.approx(nominal, rel=1e-9, abs=1e-12)
+
+    @given(problem=reweighting_problems())
+    def test_estimator_accumulates_weighted_mean(self, problem):
+        """Pushing each support point once with weight f/g yields exactly
+        the arithmetic mean of the weighted outcomes (Welford path)."""
+        f, g, e = problem
+        estimator = SsfEstimator(record_history=False)
+        for i, (fi, gi, ei) in enumerate(zip(f, g, e)):
+            sample = AttackSample(t=i, centre=i, radius_um=1.0, weight=fi / gi)
+            estimator.push(sample, ei)
+        expected = sum(
+            (fi / gi) * ei for fi, gi, ei in zip(f, g, e)
+        ) / len(f)
+        assert estimator.ssf == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+
+def _next_state_diff(evaluator, inputs, state, faulty_inputs, faulty_state):
+    golden = evaluator.next_state(evaluator.evaluate(inputs, state))
+    faulty = evaluator.next_state(
+        evaluator.evaluate(faulty_inputs, faulty_state)
+    )
+    return {reg for reg in golden if golden[reg] != faulty[reg]}
+
+
+class TestMaskingMonotonicity:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_masking_never_widens_propagation(self, data):
+        """An AND mask on a register's D pin can only *absorb* a fault:
+        with the mask open the clone propagates identically; with it
+        closed the propagated set shrinks by exactly the masked register.
+        This is the gate-level form of the monotonicity the analytical
+        evaluator assumes when it prunes masked cones."""
+        nl = data.draw(random_netlists())
+        registers = sorted(nl.registers)
+        target = data.draw(st.sampled_from(registers))
+        masked = with_masked_dff(nl, target)
+
+        input_names = sorted({n.split("[")[0] for n in nl.inputs})
+        inputs = {n: data.draw(st.integers(0, 1)) for n in input_names}
+        state = {r: data.draw(st.integers(0, 1)) for r in registers}
+
+        if data.draw(st.booleans()):
+            key = data.draw(st.sampled_from(registers))
+            faulty_inputs, faulty_state = inputs, dict(state)
+            faulty_state[key] ^= 1
+        else:
+            key = data.draw(st.sampled_from(input_names))
+            faulty_inputs, faulty_state = dict(inputs), state
+            faulty_inputs[key] ^= 1
+
+        base_diff = _next_state_diff(
+            LogicEvaluator(nl), inputs, state, faulty_inputs, faulty_state
+        )
+        masked_ev = LogicEvaluator(masked)
+        open_diff = _next_state_diff(
+            masked_ev,
+            {**inputs, "mask": 1},
+            state,
+            {**faulty_inputs, "mask": 1},
+            faulty_state,
+        )
+        closed_diff = _next_state_diff(
+            masked_ev,
+            {**inputs, "mask": 0},
+            state,
+            {**faulty_inputs, "mask": 0},
+            faulty_state,
+        )
+        assert open_diff == base_diff
+        assert closed_diff == base_diff - {target}
+        assert closed_diff <= base_diff
+
+
+class TestSpecHashStability:
+    @given(spec=campaign_specs())
+    def test_hash_survives_serialization_round_trip(self, spec):
+        h = spec_hash(spec)
+        assert spec_hash(CampaignSpec.from_json(spec.to_json())) == h
+
+    @given(spec=campaign_specs())
+    def test_hash_ignores_only_non_semantic_fields(self, spec):
+        h = spec_hash(spec)
+        assert spec_hash(dataclasses.replace(spec, trace=not spec.trace)) == h
+        assert (
+            spec_hash(dataclasses.replace(spec, charac_cache="cache.json")) == h
+        )
+        assert spec_hash(dataclasses.replace(spec, seed=spec.seed + 1)) != h
+        assert (
+            spec_hash(dataclasses.replace(spec, window=spec.window + 1)) != h
+        )
+
+
+class TestPersistenceRoundTrips:
+    @given(record=sample_records())
+    def test_record_json_round_trip(self, record):
+        through_json = json.loads(json.dumps(record_to_dict(record)))
+        assert record_from_dict(through_json) == record
+
+    @given(
+        chunks=st.lists(
+            st.lists(sample_records(), min_size=1, max_size=5),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_runstore_chunk_log_round_trip(self, chunks):
+        with tempfile.TemporaryDirectory() as root:
+            store = RunStore.create(root, CampaignSpec())
+            for index, records in enumerate(chunks):
+                store.append_chunk(index, records)
+            entries = list(store.replay_chunks())
+        assert [entry.index for entry in entries] == list(range(len(chunks)))
+        assert [entry.records for entry in entries] == chunks
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_precharacterization_round_trip(self, data):
+        nl = data.draw(random_netlists())
+        all_nids = list(range(len(nl)))
+        dff_nids = sorted(nl.registers[r][0] for r in nl.registers)
+        responding = tuple(
+            sorted(
+                data.draw(
+                    st.sets(st.sampled_from(dff_nids), min_size=1)
+                )
+            )
+        )
+        config = CharacterizationConfig(
+            max_frame=data.draw(st.integers(1, 5)),
+            lifetime_horizon=20,
+            lifetime_trials=1,
+            seed=data.draw(st.sampled_from([None, 3])),
+        )
+        cones = UnrolledCones(responding=list(responding))
+        for depth in range(config.max_frame + 1):
+            cones.fanin[depth] = set(
+                data.draw(st.lists(st.sampled_from(all_nids), max_size=5))
+            )
+            cones.fanout[depth] = set(
+                data.draw(st.lists(st.sampled_from(all_nids), max_size=5))
+            )
+        correlations = {
+            (nid, frame): value
+            for nid, frame, value in data.draw(
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(all_nids),
+                        st.integers(0, config.max_frame),
+                        st.floats(0.0, 1.0),
+                    ),
+                    max_size=6,
+                )
+            )
+        }
+        campaign = LifetimeCampaign(horizon=20)
+        memory, computation = set(), set()
+        for register in sorted(nl.registers):
+            campaign.results[(register, 0)] = RegisterCharacter(
+                register=register,
+                bit=0,
+                lifetime=data.draw(st.floats(0.0, 20.0)),
+                contamination=data.draw(st.floats(0.0, 3.0)),
+                ever_masked=data.draw(st.booleans()),
+                trials=1,
+            )
+            bucket = memory if data.draw(st.booleans()) else computation
+            bucket.add((register, 0))
+        node_lifetime = {n.nid: 0.0 for n in nl.nodes}
+        for nid in data.draw(
+            st.lists(st.sampled_from(all_nids), max_size=6, unique=True)
+        ):
+            node_lifetime[nid] = data.draw(st.floats(0.1, 20.0))
+        original = SystemCharacterization(
+            netlist=nl,
+            responding=responding,
+            cones=cones,
+            signatures=SignatureAnalysis(
+                n_cycles=data.draw(st.integers(1, 50)),
+                signatures={},
+                correlations=correlations,
+            ),
+            lifetime=campaign,
+            node_lifetime=node_lifetime,
+            memory_type=memory,
+            computation_type=computation,
+            config=config,
+        )
+
+        with tempfile.TemporaryDirectory() as root:
+            path = root + "/charac.json"
+            save_characterization(original, path)
+            loaded = load_characterization(path, nl)
+
+        assert loaded.responding == responding
+        assert loaded.cones.fanin == cones.fanin
+        assert loaded.cones.fanout == cones.fanout
+        assert loaded.signatures.correlations == correlations
+        assert loaded.signatures.n_cycles == original.signatures.n_cycles
+        assert loaded.lifetime.horizon == campaign.horizon
+        assert loaded.lifetime.results == campaign.results
+        assert loaded.node_lifetime == node_lifetime
+        assert loaded.memory_type == memory
+        assert loaded.computation_type == computation
+        assert loaded.config == config
+
+
+class TestChunkBookkeeping:
+    @given(spec=campaign_specs())
+    def test_chunk_plan_partitions_the_sample_cap(self, spec):
+        sizes = spec.chunk_sizes()
+        assert sum(sizes) == spec.stopping.sample_cap
+        assert all(0 < size <= spec.chunk_size for size in sizes)
+        assert all(size == spec.chunk_size for size in sizes[:-1])

@@ -1,0 +1,47 @@
+"""Structural checks on the conformance design registry."""
+
+import pytest
+
+from repro.conformance import DESIGNS, design_names, get_design
+from repro.errors import EvaluationError
+
+
+class TestRegistry:
+    def test_at_least_three_designs(self):
+        assert len(DESIGNS) >= 3
+
+    def test_names_unique_and_listed(self):
+        names = design_names()
+        assert len(set(names)) == len(names)
+        assert set(names) == {d.name for d in DESIGNS}
+
+    def test_get_design_round_trips(self):
+        for design in DESIGNS:
+            assert get_design(design.name) is design
+
+    def test_unknown_design_raises_with_suggestions(self):
+        with pytest.raises(EvaluationError, match="write-cfg"):
+            get_design("nope")
+
+    def test_every_bit_exists_in_the_netlist(self, mpu_netlist):
+        """All registry bits must be real DFFs of the shared MPU design,
+        otherwise enumeration would silently test nothing."""
+        for design in DESIGNS:
+            for reg, bit in design.bits:
+                assert mpu_netlist.register_dff(reg, bit) is not None
+
+    def test_fault_spaces_are_enumerable(self):
+        for design in DESIGNS:
+            assert 0 < design.window <= 16
+            assert 0 < len(design.bits) * design.window <= 200
+            assert design.max_frame >= 1
+
+    def test_build_against_injected_context(self, small_context):
+        built = get_design("write-cfg").build(small_context)
+        design = get_design("write-cfg")
+        assert built.bits == design.bits
+        assert len(built.bit_of_cell) == len(design.bits)
+        assert set(built.bit_of_cell.values()) == set(design.bits)
+        # Pinpoint spec draws only from the registered cells/window.
+        assert sorted(built.spec.spatial.universe) == sorted(built.bit_of_cell)
+        assert built.spec.temporal.window == design.window

@@ -1,0 +1,129 @@
+"""Seed-lineage contract of the MC engine and the scheduler.
+
+The replay subsystem depends on a precise promise: sample ``i`` of chunk
+``c`` is drawn and executed on the generator seeded by
+``sample_seed_sequence(chunk_seed_sequence(root, c), i)`` and on nothing
+else.  These tests pin that promise down — including the regression that
+originally motivated it (all samples of a chunk sharing one stream).
+"""
+
+import numpy as np
+import pytest
+
+from repro import RandomSampler
+from repro.campaign.scheduler import (
+    Chunk,
+    WorkStealingScheduler,
+    chunk_seed_sequence,
+)
+from repro.campaign.store import record_to_dict
+from repro.conformance import get_design
+from repro.utils.rng import as_generator, sample_seed_sequence
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+
+def pcg_state(rng: np.random.Generator) -> int:
+    return rng.bit_generator.state["state"]["state"]
+
+
+class SpySampler(RandomSampler):
+    """Records the RNG state handed to every ``sample()`` call."""
+
+    def __init__(self, spec):
+        super().__init__(spec)
+        self.states = []
+
+    def sample(self, rng):
+        self.states.append(pcg_state(rng))
+        return super().sample(rng)
+
+
+@pytest.fixture(scope="module")
+def built(small_context):
+    return get_design("write-cfg").build(small_context)
+
+
+class TestPerSampleStreams:
+    def test_samples_in_a_chunk_never_share_a_seed(self, built):
+        """Regression: with a shared stream, sample i's RNG state is
+        whatever sample i-1 left behind; with per-sample spawning it is
+        exactly the fresh child-i state.  This fails on the pre-fix
+        engine (which built one generator per chunk)."""
+        base = chunk_seed_sequence(3, 0)
+        spy = SpySampler(built.spec)
+        built.engine.evaluate(spy, 6, seed=base)
+
+        expected = [
+            pcg_state(as_generator(sample_seed_sequence(base, i)))
+            for i in range(6)
+        ]
+        assert spy.states == expected
+        assert len(set(spy.states)) == 6
+
+    def test_sample_replayable_in_isolation(self, built):
+        """Record i of a chunk is reproducible without running 0..i-1."""
+        base = chunk_seed_sequence(11, 4)
+        result = built.engine.evaluate(RandomSampler(built.spec), 5, seed=base)
+
+        rng = as_generator(sample_seed_sequence(base, 3))
+        sample = RandomSampler(built.spec).sample(rng)
+        record = built.engine.run_sample(sample, rng)
+        assert record_to_dict(record) == record_to_dict(result.records[3])
+
+    def test_int_seed_keeps_legacy_shared_stream(self, built):
+        """Int / Generator seeds keep the historical single-stream path
+        (callers pinning integer seeds must see unchanged sequences)."""
+        r_int = built.engine.evaluate(RandomSampler(built.spec), 5, seed=123)
+        r_gen = built.engine.evaluate(
+            RandomSampler(built.spec), 5, seed=as_generator(123)
+        )
+        assert [record_to_dict(r) for r in r_int.records] == [
+            record_to_dict(r) for r in r_gen.records
+        ]
+
+        spy = SpySampler(built.spec)
+        built.engine.evaluate(spy, 3, seed=123)
+        assert spy.states[0] == pcg_state(as_generator(123))
+
+
+class SeedSpyEngine(BernoulliEngine):
+    """Bernoulli stub that records the seed the scheduler passes."""
+
+    def __init__(self):
+        super().__init__(p=0.3)
+        self.seeds = []
+
+    def evaluate(self, sampler, n_samples, seed=None, progress=None):
+        self.seeds.append(seed)
+        return super().evaluate(sampler, n_samples, seed=seed)
+
+
+class TestSchedulerSeedLineage:
+    def test_scheduler_passes_chunk_seed_sequences(self):
+        """The scheduler must hand each chunk its *SeedSequence* (not a
+        flattened Generator) so the engine can spawn per-sample children
+        — the contract replay reconstructs."""
+        engine = SeedSpyEngine()
+        scheduler = WorkStealingScheduler(
+            engine, StubSampler(), seed=17, n_workers=1
+        )
+        scheduler.run([Chunk(0, 4), Chunk(1, 4), Chunk(2, 4)], lambda r: True)
+
+        assert len(engine.seeds) == 3
+        for seed in engine.seeds:
+            assert isinstance(seed, np.random.SeedSequence)
+        assert [tuple(s.spawn_key) for s in engine.seeds] == [(0,), (1,), (2,)]
+        assert all(s.entropy == 17 for s in engine.seeds)
+
+    def test_chunk_streams_are_pairwise_distinct(self):
+        states = {
+            (c, i): tuple(
+                sample_seed_sequence(chunk_seed_sequence(7, c), i)
+                .generate_state(4)
+                .tolist()
+            )
+            for c in range(6)
+            for i in range(8)
+        }
+        assert len(set(states.values())) == len(states)

@@ -8,7 +8,10 @@ Tests that mutate SoC state build their own instances.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.context import build_context
 from repro.gatesim.logic import LogicEvaluator
@@ -18,6 +21,22 @@ from repro.soc.memmap import DEFAULT_MEMORY_MAP
 from repro.soc.mpu import build_mpu_netlist
 from repro.soc.programs import illegal_write_benchmark
 from repro.soc.soc import Soc
+
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles — select with HYPOTHESIS_PROFILE=ci|dev.
+# ``ci`` is derandomized so the conformance job is reproducible run to
+# run (a property failure in CI replays identically on a laptop).
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -2,11 +2,12 @@
 
 Cross-validates the levelized evaluator and the next-state computation
 against a direct recursive reference evaluation, over arbitrary DAGs —
-coverage the hand-built designs cannot provide.
+coverage the hand-built designs cannot provide.  The netlist generator
+lives in ``tests/strategies.py``, shared with the conformance invariant
+suite.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,42 +15,7 @@ from repro.gatesim.logic import LogicEvaluator
 from repro.netlist.cells import GateKind, eval_gate
 from repro.netlist.graph import Netlist
 
-COMB_KINDS = [
-    GateKind.AND,
-    GateKind.OR,
-    GateKind.NAND,
-    GateKind.NOR,
-    GateKind.XOR,
-    GateKind.XNOR,
-    GateKind.NOT,
-    GateKind.BUF,
-    GateKind.MUX,
-]
-
-
-@st.composite
-def random_netlists(draw):
-    """A random sequential netlist with 2-5 inputs, 1-3 DFFs, <=25 gates."""
-    nl = Netlist("random")
-    n_inputs = draw(st.integers(2, 5))
-    n_dffs = draw(st.integers(1, 3))
-    sources = [nl.add_input(f"in{i}") for i in range(n_inputs)]
-    dffs = [
-        nl.add_dff(name=f"r{i}[0]", register=f"r{i}", bit=0)
-        for i in range(n_dffs)
-    ]
-    pool = sources + dffs + [nl.add_const(0), nl.add_const(1)]
-    n_gates = draw(st.integers(1, 25))
-    for _ in range(n_gates):
-        kind = draw(st.sampled_from(COMB_KINDS))
-        arity = {GateKind.NOT: 1, GateKind.BUF: 1, GateKind.MUX: 3}.get(kind, 2)
-        fanins = [draw(st.sampled_from(pool)) for _ in range(arity)]
-        pool.append(nl.add_gate(kind, *fanins))
-    for dff in dffs:
-        nl.connect_dff(dff, draw(st.sampled_from(pool)))
-    nl.mark_output("out", pool[-1])
-    nl.validate()
-    return nl
+from tests.strategies import random_netlists
 
 
 def reference_eval(nl: Netlist, values_by_nid):

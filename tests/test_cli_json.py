@@ -1,0 +1,296 @@
+"""Golden-file tests for the CLI's machine-readable surfaces.
+
+Scripts and the CI pipeline consume ``--json`` output, so the *key sets*
+of every JSON document (and the exit-code conventions) are pinned in
+``tests/golden/cli_json_keys.json``.  Adding a key is a deliberate act:
+regenerate the golden file with ``REPRO_REGEN_GOLDEN=1 pytest
+tests/test_cli_json.py`` and review the diff.  Removing or renaming a key
+breaks consumers and should fail loudly here.
+
+The campaign/service verbs run against the stub Bernoulli engine
+(``CampaignSpec.build_runtime`` is monkeypatched; the service gets an
+``engine_factory``), so these tests exercise the full CLI wiring without
+paying a cross-level context build.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro import cli
+from repro.campaign import CampaignSpec, RunStore, StoppingConfig
+from repro.campaign.store import STATUS_INTERRUPTED
+from repro.conformance.differential import DifferentialReport, SamplerVerdict
+from repro.service import EvaluationService, ServiceServer
+from repro.utils.stats import Chi2Result
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "cli_json_keys.json"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: Keys whose presence depends on timing (live metrics flushes), not on
+#: the API contract — ignored by the comparison.
+VOLATILE_KEYS = {"status": {"n_samples_live"}}
+
+
+def run_cli(capsys, argv):
+    """Invoke the CLI in-process; return (exit code, parsed JSON)."""
+    code = cli.main(argv)
+    out = capsys.readouterr().out
+    json_lines = [l for l in out.splitlines() if l.startswith(("{", "["))]
+    assert json_lines, f"no JSON on stdout for {argv}: {out!r}"
+    return code, json.loads(json_lines[-1])
+
+
+def check_keys(name, payload):
+    observed = sorted(set(payload) - VOLATILE_KEYS.get(name, set()))
+    if REGEN:
+        data = (
+            json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        )
+        data[name] = observed
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert name in golden, f"no golden key set for {name!r} — regenerate"
+    assert observed == golden[name], (
+        f"{name}: JSON keys drifted from tests/golden/cli_json_keys.json "
+        f"(set REPRO_REGEN_GOLDEN=1 to accept)"
+    )
+
+
+@pytest.fixture()
+def stub_runtime(monkeypatch):
+    monkeypatch.setattr(
+        CampaignSpec,
+        "build_runtime",
+        lambda self: (BernoulliEngine(p=0.3), StubSampler()),
+    )
+
+
+class TestCampaignVerbs:
+    def test_campaign_run_json_and_exit_code(
+        self, capsys, tmp_path, stub_runtime
+    ):
+        code, payload = run_cli(capsys, [
+            "campaign", "run", "--stop", "fixed", "-n", "40",
+            "--chunk-size", "20", "--seed", "9",
+            "--runs-dir", str(tmp_path), "--run-id", "golden", "--json",
+        ])
+        assert code == 0
+        assert payload["status"] == "complete"
+        assert payload["run_id"] == "golden"
+        assert payload["n_samples"] == 40
+        assert payload["ci_low"] <= payload["ssf"] <= payload["ci_high"]
+        check_keys("campaign_run", payload)
+
+    def test_campaign_resume_json(self, capsys, tmp_path, stub_runtime):
+        spec = CampaignSpec(
+            seed=9, chunk_size=20, stopping=StoppingConfig(n_samples=40)
+        )
+        store = RunStore.create(tmp_path, spec, run_id="torestart")
+        store.write_checkpoint(
+            {"status": STATUS_INTERRUPTED, "n_samples": 0}
+        )
+        code, payload = run_cli(capsys, [
+            "campaign", "resume", "torestart",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        assert payload["status"] == "complete"
+        check_keys("campaign_resume", payload)
+
+    def test_campaign_status_json(self, capsys, tmp_path, stub_runtime):
+        run_cli(capsys, [
+            "campaign", "run", "--stop", "fixed", "-n", "40",
+            "--chunk-size", "20", "--seed", "9",
+            "--runs-dir", str(tmp_path), "--run-id", "golden", "--json",
+        ])
+        code, payload = run_cli(capsys, [
+            "campaign", "status", "golden",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        assert payload["status"] == "complete"
+        assert payload["spec"]["seed"] == 9
+        check_keys("campaign_status", payload)
+
+        code, listing = run_cli(capsys, [
+            "campaign", "status", "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        assert [r["run_id"] for r in listing["runs"]] == ["golden"]
+        check_keys("campaign_status_list", listing["runs"][0])
+
+    def test_interrupted_status_exits_nonzero(self, capsys, tmp_path):
+        spec = CampaignSpec(stopping=StoppingConfig(n_samples=40))
+        store = RunStore.create(tmp_path, spec, run_id="broken")
+        store.write_checkpoint(
+            {"status": STATUS_INTERRUPTED, "n_samples": 20, "n_success": 3}
+        )
+        code, payload = run_cli(capsys, [
+            "campaign", "status", "broken",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 1
+        assert payload["status"] == "interrupted"
+
+    def test_unknown_run_exits_two(self, capsys, tmp_path):
+        code = cli.main([
+            "campaign", "status", "missing",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def service_url(tmp_path):
+    service = EvaluationService(
+        tmp_path / "svc-runs",
+        engine_factory=lambda spec: (BernoulliEngine(p=0.3), StubSampler()),
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    yield server.url
+    server.stop(cancel_running=True)
+
+
+class TestServiceVerbs:
+    def test_submit_status_result_json(self, capsys, service_url):
+        code, submitted = run_cli(capsys, [
+            "submit", "--stop", "fixed", "-n", "60", "--chunk-size", "20",
+            "--seed", "9", "--url", service_url, "--wait", "--json",
+        ])
+        assert code == 0
+        assert submitted["state"] == "done"
+        check_keys("submit", submitted)
+        job_id = submitted["job_id"]
+
+        code, status = run_cli(capsys, [
+            "status", job_id, "--url", service_url, "--json",
+        ])
+        assert code == 0
+        assert status["state"] == "done"
+        check_keys("status", status)
+
+        code, result = run_cli(capsys, [
+            "result", job_id, "--url", service_url, "--json",
+        ])
+        assert code == 0
+        assert result["n_samples"] == 60
+        assert result["ci_low"] <= result["ssf"] <= result["ci_high"]
+        check_keys("result", result)
+
+
+def _synthetic_report(passed=True):
+    verdict = SamplerVerdict(
+        sampler="uniform",
+        ssf=0.25,
+        n_samples=1000,
+        n_success=250,
+        ci_low=0.2,
+        ci_high=0.3,
+        ci_kind="risk",
+        stop_reason="risk target met at n=1000 (bound 950)",
+        covers_exact=passed,
+        n_outcome_mismatches=0,
+        per_bit_ok=True,
+        per_bit_mc={"cfg_top0[12]": 250},
+        per_bit_expected={"cfg_top0[12]": 250},
+        gof=Chi2Result(3.0, 5, 0.7, 6, 0),
+        gof_ok=True,
+    )
+    return DifferentialReport(
+        design="write-cfg",
+        exact_ssf=0.25,
+        n_enumerated=36,
+        enumeration_wall_s=0.05,
+        verdicts=[verdict],
+    )
+
+
+class TestConformanceVerbs:
+    """CLI wiring of ``conformance``/``replay`` against synthetic results
+    (the real differential/replay paths are covered by tests/conformance)."""
+
+    def test_conformance_json_and_exit_codes(self, capsys, monkeypatch):
+        import repro.conformance
+
+        monkeypatch.setattr(
+            repro.conformance,
+            "run_design",
+            lambda design, config: _synthetic_report(passed=True),
+        )
+        code, payload = run_cli(
+            capsys, ["conformance", "--design", "write-cfg", "--json"]
+        )
+        assert code == 0
+        assert payload["passed"] is True
+        check_keys("conformance", payload)
+        check_keys("conformance_report", payload["reports"][0])
+        check_keys("conformance_verdict", payload["reports"][0]["verdicts"][0])
+
+        monkeypatch.setattr(
+            repro.conformance,
+            "run_design",
+            lambda design, config: _synthetic_report(passed=False),
+        )
+        code, payload = run_cli(
+            capsys, ["conformance", "--design", "write-cfg", "--json"]
+        )
+        assert code == 1
+        assert payload["passed"] is False
+
+    def test_replay_json_and_exit_codes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.conformance
+        from repro.conformance.replay import ReplayedSample
+
+        spec = CampaignSpec(stopping=StoppingConfig(n_samples=10))
+        RunStore.create(tmp_path, spec, run_id="replayed")
+        logged = {"t": 2, "centre": 7, "e": 1}
+
+        def fake_replay(store, sample_index, engine=None, sampler=None):
+            return ReplayedSample(
+                run_id=store.run_id,
+                sample_index=sample_index,
+                chunk_index=0,
+                chunk_offset=sample_index,
+                logged=logged,
+                replayed=dict(logged),
+            )
+
+        monkeypatch.setattr(repro.conformance, "replay_sample", fake_replay)
+        code, payload = run_cli(capsys, [
+            "replay", "replayed", "--sample", "3",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        assert payload["bit_identical"] is True
+        check_keys("replay", payload)
+
+        def diverging_replay(store, sample_index, engine=None, sampler=None):
+            return ReplayedSample(
+                run_id=store.run_id,
+                sample_index=sample_index,
+                chunk_index=0,
+                chunk_offset=sample_index,
+                logged=logged,
+                replayed={**logged, "e": 0},
+            )
+
+        monkeypatch.setattr(
+            repro.conformance, "replay_sample", diverging_replay
+        )
+        code, payload = run_cli(capsys, [
+            "replay", "replayed", "--sample", "3",
+            "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 1
+        assert payload["diverging_fields"] == ["e"]
