@@ -1,0 +1,156 @@
+"""Batched-kernel speedup guard (PR 5 satellite).
+
+Measures the batched ``run_batch`` campaign path against the scalar
+reference on two workloads over the largest bundled conformance design's
+context:
+
+* ``write-wide`` — the pinpoint design itself (8 bits, window 10), where
+  the win is the amortized RTL restart/step + shared cycle baseline;
+* ``write-transient`` — a voltage-transient spec on the same context,
+  which additionally exercises the uint64 bit-parallel reachability
+  pruning inside ``simulate_cycle_batch``.
+
+Both runs must return *identical* records (the equivalence suite proves
+this in depth; here it guards the measurement), the batched path must
+never be slower, and in full mode the design workload must clear the 2×
+bar.  Results go to ``benchmarks/results/BENCH_batch.json`` so CI can
+archive the numbers and trend them across commits.
+
+``REPRO_BENCH_QUICK=1`` shrinks the sample budget for the CI smoke job.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrossLevelEngine,
+    ImportanceSampler,
+    default_attack_spec,
+)
+from repro.conformance import get_design
+from repro.conformance.differential import build_samplers
+from repro.core.engine import EngineConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+N_SAMPLES = 400 if QUICK else 2000
+REPEATS = 1 if QUICK else 3
+SEED = 2024
+MIN_SPEEDUP = 1.0          # batched must never lose
+FULL_DESIGN_SPEEDUP = 2.0  # acceptance bar on the largest design
+
+
+@pytest.fixture(scope="module")
+def wide_design():
+    """write-wide: the largest bundled conformance design, own context."""
+    return get_design("write-wide").build()
+
+
+def _measure(engine, sampler, n):
+    """Min-of-REPEATS wall time (plus the result of the last run)."""
+    best, result = None, None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = engine.evaluate(
+            sampler, n, seed=np.random.SeedSequence(SEED)
+        )
+        seconds = time.perf_counter() - start
+        best = seconds if best is None else min(best, seconds)
+    return best, result
+
+
+def _bench_workload(name, context, spec, sampler, n):
+    scalar = CrossLevelEngine(
+        context, spec, config=EngineConfig(batch=False), observe=False
+    )
+    batched = CrossLevelEngine(
+        context, spec, config=EngineConfig(batch=True), observe=False
+    )
+    # Warm-up off the clock: golden state, characterization lookups, and
+    # the batched engine's cycle-baseline cache (steady-state throughput
+    # is what campaigns see — one engine lives per scheduler worker).
+    _measure(scalar, sampler, min(n, 100))
+    _measure(batched, sampler, min(n, 100))
+    hits0, misses0 = batched.baseline_cache_stats
+
+    scalar_s, scalar_result = _measure(scalar, sampler, n)
+    batched_s, batched_result = _measure(batched, sampler, n)
+
+    assert batched_result.records == scalar_result.records, (
+        f"{name}: batched kernel diverged from the scalar reference"
+    )
+    hits, misses = batched.baseline_cache_stats
+    delta_hits, delta_misses = hits - hits0, misses - misses0
+    total = delta_hits + delta_misses
+    return {
+        "workload": name,
+        "n_samples": n,
+        "scalar_samples_per_s": round(n / scalar_s, 1),
+        "batched_samples_per_s": round(n / batched_s, 1),
+        "speedup": round(scalar_s / batched_s, 2),
+        "cache_hit_ratio": round(delta_hits / total, 4) if total else None,
+        "ssf": scalar_result.ssf,
+    }
+
+
+def test_batched_kernel_speedup(wide_design, emit):
+    context = wide_design.context
+    rows = []
+
+    samplers = dict(build_samplers(wide_design))
+    rows.append(
+        _bench_workload(
+            "write-wide", context, wide_design.spec,
+            samplers["importance"], N_SAMPLES,
+        )
+    )
+
+    transient_spec = default_attack_spec(
+        context, window=10, subblock_fraction=0.25
+    )
+    rows.append(
+        _bench_workload(
+            "write-transient", context, transient_spec,
+            ImportanceSampler(
+                transient_spec,
+                context.characterization,
+                placement=context.placement,
+            ),
+            N_SAMPLES,
+        )
+    )
+
+    payload = {
+        "bench": "batch_speedup",
+        "quick": QUICK,
+        "repeats": REPEATS,
+        "workloads": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"Batched kernel speedup ({N_SAMPLES} samples, min of {REPEATS}"
+        f"{', quick' if QUICK else ''})"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['workload']:<16} scalar {row['scalar_samples_per_s']:>8}/s"
+            f"  batched {row['batched_samples_per_s']:>8}/s"
+            f"  speedup {row['speedup']:>5}x"
+            f"  cache hit ratio {row['cache_hit_ratio']}"
+        )
+    emit("batch_speedup", "\n".join(lines))
+
+    for row in rows:
+        assert row["speedup"] >= MIN_SPEEDUP, row
+    if not QUICK:
+        assert rows[0]["speedup"] >= FULL_DESIGN_SPEEDUP, rows[0]

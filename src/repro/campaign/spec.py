@@ -78,6 +78,7 @@ class CampaignSpec:
     chunk_size: int = 50              # samples per work-stealing chunk
     charac_cache: Optional[str] = None  # pre-characterization JSON to reuse
     trace: bool = False               # record spans → runs/<id>/trace.json
+    batch: bool = True                # batched sampling kernel (--no-batch off)
     stopping: StoppingConfig = field(default_factory=StoppingConfig)
 
     def __post_init__(self) -> None:
@@ -134,7 +135,7 @@ class CampaignSpec:
         """
         from repro import default_attack_spec
         from repro.core.context import build_context
-        from repro.core.engine import CrossLevelEngine
+        from repro.core.engine import CrossLevelEngine, EngineConfig
         from repro.sampling import (
             FaninConeSampler,
             ImportanceSampler,
@@ -180,7 +181,9 @@ class CampaignSpec:
         )
         if self.impact_cycles > 1:
             attack.technique.impact_cycles = self.impact_cycles
-        engine = CrossLevelEngine(context, attack)
+        engine = CrossLevelEngine(
+            context, attack, config=EngineConfig(batch=self.batch)
+        )
 
         if self.sampler == "random":
             sampler = RandomSampler(attack)

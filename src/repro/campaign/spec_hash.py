@@ -15,9 +15,11 @@ Canonicalization rules (pinned by golden-hash tests):
   ``"tmr+parity"`` and ``"parity+tmr"`` are one variant, and they hash
   as one;
 * pure observability/performance knobs that cannot change the estimate
-  are *excluded*: ``trace`` (span recording) and ``charac_cache`` (a
+  are *excluded*: ``trace`` (span recording), ``charac_cache`` (a
   memoized pre-characterization is derived deterministically from the
-  benchmark + variant, the path only skips recomputation);
+  benchmark + variant, the path only skips recomputation), and ``batch``
+  (the batched kernel is bit-identical to the scalar path, so batched
+  and scalar runs of one spec share a cache entry);
 * everything else — including ``seed`` and ``chunk_size``, both of which
   select the per-chunk seed streams and therefore the exact sample
   sequence — is part of the identity.
@@ -38,7 +40,7 @@ from repro.campaign.spec import CampaignSpec
 HASH_SCHEMA_VERSION = 1
 
 #: Spec fields that cannot affect the campaign's estimate.
-NON_SEMANTIC_FIELDS = ("trace", "charac_cache")
+NON_SEMANTIC_FIELDS = ("trace", "charac_cache", "batch")
 
 
 def code_version_salt() -> str:

@@ -113,7 +113,7 @@ def cmd_info(args) -> int:
 
 def cmd_evaluate(args) -> int:
     from repro import default_attack_spec
-    from repro.core.engine import CrossLevelEngine
+    from repro.core.engine import CrossLevelEngine, EngineConfig
 
     print("Building evaluation context...", file=sys.stderr)
     context = _build_context(args)
@@ -122,7 +122,11 @@ def cmd_evaluate(args) -> int:
     )
     if args.impact_cycles > 1:
         spec.technique.impact_cycles = args.impact_cycles
-    engine = CrossLevelEngine(context, spec)
+    engine = CrossLevelEngine(
+        context,
+        spec,
+        config=EngineConfig(batch=not getattr(args, "no_batch", False)),
+    )
     sampler = _make_sampler(args.sampler, spec, context)
     print(f"Running {args.samples} samples ({args.sampler})...", file=sys.stderr)
     if args.workers > 1:
@@ -132,7 +136,13 @@ def cmd_evaluate(args) -> int:
             engine, sampler, args.samples, seed=args.seed, n_workers=args.workers
         )
     else:
-        result = engine.evaluate(sampler, args.samples, seed=args.seed)
+        # SeedSequence seeding: per-sample independent streams (the
+        # campaign seed policy), which also lets the batched kernel engage.
+        import numpy as np
+
+        result = engine.evaluate(
+            sampler, args.samples, seed=np.random.SeedSequence(args.seed)
+        )
 
     rows = [
         ["benchmark", context.benchmark.name],
@@ -309,6 +319,7 @@ def _campaign_spec_from_args(args):
         chunk_size=args.chunk_size,
         charac_cache=args.charac_cache,
         trace=getattr(args, "trace", False),
+        batch=not getattr(args, "no_batch", False),
         stopping=stopping,
     )
 
@@ -778,6 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="consecutive cycles disturbed per injection")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel worker processes (fork platforms)")
+    p.add_argument("--no-batch", action="store_true", dest="no_batch",
+                   help="disable the batched sampling kernel (use the "
+                   "scalar reference path)")
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser(
@@ -842,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--trace", action="store_true",
                     help="record spans to runs/<run-id>/trace.json "
                     "(Chrome trace_event format)")
+    pr.add_argument("--no-batch", action="store_true", dest="no_batch",
+                    help="disable the batched sampling kernel (use the "
+                    "scalar reference path)")
     pr.add_argument("--json", action="store_true",
                     help="emit the outcome as one JSON document on stdout")
     pr.set_defaults(func=cmd_campaign_run)
@@ -963,6 +980,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-samples", type=int, default=200)
     p.add_argument("--max-samples", type=int, default=100_000)
     p.add_argument("--chunk-size", type=int, default=50)
+    p.add_argument("--no-batch", action="store_true", dest="no_batch",
+                   help="disable the batched sampling kernel (use the "
+                   "scalar reference path)")
     p.add_argument("--priority", type=int, default=0,
                    help="higher-priority jobs run first")
     p.add_argument("--wait", action="store_true",

@@ -30,8 +30,9 @@ uninstrumented (no clocks, no registry) — the baseline the
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,9 +42,16 @@ from repro.core.context import EvaluationContext
 from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
 from repro.errors import EvaluationError
 from repro.gatesim.transient import TransientSimulator
-from repro.obs.engine_metrics import observe_record, observe_timing
+from repro.obs.engine_metrics import (
+    observe_batch,
+    observe_batch_timing,
+    observe_batched_sample,
+    observe_record,
+    observe_timing,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_CLOCK, NULL_TRACER, StageClock
+from repro.rtl.checkpoint import Checkpoint
 from repro.sampling.base import Sampler
 from repro.sampling.estimator import SsfEstimator
 from repro.utils.rng import SeedLike, as_generator, sample_seed_sequence
@@ -69,6 +77,16 @@ class EngineConfig:
     stop_on_convergence: bool = False
     convergence_rel_tol: float = 0.05
     min_samples: int = 200
+    # Evaluate campaigns through the batched kernel (run_batch): samples
+    # sharing an injection cycle are packed into one gate-level call over
+    # a shared cycle baseline.  Only engages when ``evaluate`` is seeded
+    # with a SeedSequence (per-sample independent streams make regrouping
+    # RNG-safe) and the technique disturbs a single cycle; bit-identical
+    # to the scalar path either way.  ``--no-batch`` / CampaignSpec(batch=
+    # False) is the escape hatch.
+    batch: bool = True
+    # Max (injection cycle -> baseline/checkpoint) entries kept per engine.
+    baseline_cache_size: int = 128
 
 
 class CrossLevelEngine:
@@ -88,6 +106,14 @@ class CrossLevelEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.observe = observe
         self.transient_sim = TransientSimulator(context.netlist, context.timing)
+        # Per-(injection cycle) baseline cache for the batched kernel: the
+        # post-step RTL snapshot, the recorded MPU trace entry, and the
+        # shared gate-level CycleBaseline.  LRU-bounded; persists across
+        # evaluate calls (one engine lives per scheduler worker, so the
+        # cache also spans chunks).
+        self._cycle_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._analytical: Optional[AnalyticalEvaluator] = None
         if context.characterization is not None:
             self._analytical = AnalyticalEvaluator(
@@ -218,6 +244,198 @@ class CrossLevelEngine:
         return all(characterization.is_memory_type(reg, bit) for reg, bit in flipped)
 
     # ------------------------------------------------------------------
+    # batched flow
+    # ------------------------------------------------------------------
+    @property
+    def baseline_cache_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the per-cycle baseline cache so far."""
+        return self._cache_hits, self._cache_misses
+
+    def run_batch(
+        self,
+        samples: Sequence[AttackSample],
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock=NULL_CLOCK,
+    ) -> List[SampleRecord]:
+        """Evaluate a batch of samples, one record per sample, in order.
+
+        Samples sharing an injection cycle are packed into a single
+        gate-level :meth:`~repro.gatesim.transient.TransientSimulator.
+        simulate_cycle_batch` call over the cached cycle baseline, so the
+        RTL restart/step and the golden logic evaluation happen once per
+        distinct cycle instead of once per sample.  ``rngs`` must hold one
+        generator per sample (each consumed exactly as the scalar path
+        would consume it); omitted, every sample gets a fresh independent
+        stream.  Records are bit-identical to ``run_sample`` on each
+        sample.  Techniques disturbing more than one cycle fall back to
+        the scalar loop — multi-cycle writeback makes the RTL state
+        diverge per sample, so there is nothing to share.
+        """
+        if rngs is None:
+            rngs = [as_generator(None) for _ in samples]
+        if len(rngs) != len(samples):
+            raise EvaluationError("run_batch needs one rng per sample")
+        records: List[Optional[SampleRecord]] = [None] * len(samples)
+        if getattr(self.spec.technique, "impact_cycles", 1) != 1:
+            for i, (sample, rng) in enumerate(zip(samples, rngs)):
+                records[i] = self.run_sample(sample, rng)
+            return records  # type: ignore[return-value]
+
+        context = self.context
+        hits_before, misses_before = self._cache_hits, self._cache_misses
+        groups: "OrderedDict[int, List[int]]" = OrderedDict()
+        for i, sample in enumerate(samples):
+            injection_cycle = context.target_cycle - sample.t
+            if injection_cycle < 0 or injection_cycle >= context.n_cycles:
+                records[i] = SampleRecord(
+                    sample=sample,
+                    e=0,
+                    category=OutcomeCategory.OUT_OF_RANGE,
+                    flipped_bits=frozenset(),
+                    injection_cycle=injection_cycle,
+                )
+                continue
+            groups.setdefault(injection_cycle, []).append(i)
+
+        for injection_cycle, indices in groups.items():
+            entry, post_step, baseline = self._cycle_state(
+                injection_cycle, registry
+            )
+            clock.lap("restart")
+            injections = [
+                self.spec.build_injection(
+                    context.placement, samples[i], rngs[i]
+                )
+                for i in indices
+            ]
+            results = self.transient_sim.simulate_cycle_batch(
+                entry.inputs, entry.state, injections, baseline=baseline
+            )
+            clock.lap("transient")
+            for i, result in zip(indices, results):
+                start = time.perf_counter() if registry is not None else 0.0
+                records[i] = self._classify_batched(
+                    samples[i], injection_cycle, result, post_step, clock
+                )
+                if registry is not None:
+                    observe_batched_sample(
+                        registry, records[i], time.perf_counter() - start
+                    )
+        if registry is not None:
+            observe_batch(
+                registry,
+                [len(indices) for indices in groups.values()],
+                self._cache_hits - hits_before,
+                self._cache_misses - misses_before,
+            )
+        return records  # type: ignore[return-value]
+
+    def _cycle_state(
+        self, injection_cycle: int, registry: Optional[MetricsRegistry]
+    ):
+        """The shared per-cycle state: trace entry, snapshot, baseline.
+
+        A miss restarts the RTL from the nearest golden checkpoint, steps
+        through the injection cycle recording the MPU trace, snapshots the
+        post-step state (so faulty samples can resume without repeating
+        the restart), and evaluates the golden gate-level baseline.
+        """
+        cached = self._cycle_cache.get(injection_cycle)
+        if cached is not None:
+            self._cycle_cache.move_to_end(injection_cycle)
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        context = self.context
+        simulator = context.simulator
+        soc = context.soc
+        simulator.restart_from(context.golden, injection_cycle)
+        soc.record_mpu_trace = True
+        soc.mpu_trace = []
+        simulator.step()
+        soc.record_mpu_trace = False
+        entry = soc.mpu_trace[-1]
+        post_step = Checkpoint.capture(soc, simulator.cycle)
+        baseline = self.transient_sim.make_baseline(entry.inputs, entry.state)
+        state = (entry, post_step, baseline)
+        self._cycle_cache[injection_cycle] = state
+        while len(self._cycle_cache) > self.config.baseline_cache_size:
+            self._cycle_cache.popitem(last=False)
+        return state
+
+    def _classify_batched(
+        self,
+        sample: AttackSample,
+        injection_cycle: int,
+        result,
+        post_step: Checkpoint,
+        clock=NULL_CLOCK,
+    ) -> SampleRecord:
+        """Classification tail of run_sample, from a batched gate result."""
+        flipped = frozenset(result.flipped_bits)
+        n_injected = result.n_pulses_injected
+        n_latched = result.n_pulses_latched
+        if not flipped:
+            return SampleRecord(
+                sample=sample,
+                e=0,
+                category=OutcomeCategory.MASKED,
+                flipped_bits=flipped,
+                injection_cycle=injection_cycle,
+                n_pulses_injected=n_injected,
+                n_pulses_latched=n_latched,
+            )
+
+        memory_only = self._all_memory_type(flipped)
+        clock.lap("classify")
+        category = (
+            OutcomeCategory.MEMORY_ONLY if memory_only else OutcomeCategory.NEEDS_RTL
+        )
+        if (
+            memory_only
+            and self.config.analytical_memory_eval
+            and self._analytical is not None
+        ):
+            e = self._analytical.evaluate(flipped, injection_cycle)
+            clock.lap("analytical")
+            return SampleRecord(
+                sample=sample,
+                e=e,
+                category=category,
+                flipped_bits=flipped,
+                injection_cycle=injection_cycle,
+                n_pulses_injected=n_injected,
+                n_pulses_latched=n_latched,
+                analytical=True,
+            )
+
+        # Resume from the shared post-step snapshot: equivalent to the
+        # scalar restart+step (the snapshot is complete), minus the cost.
+        context = self.context
+        simulator = context.simulator
+        post_step.restore(context.soc)
+        simulator.cycle = post_step.cycle
+        masks: Dict[str, int] = {}
+        for register, bit in flipped:
+            masks[register] = masks.get(register, 0) | (1 << bit)
+        simulator.inject_bit_errors(masks)
+        clock.lap("writeback")
+        simulator.run_to(context.n_cycles)
+        clock.lap("rtl_resume")
+        e = 1 if context.benchmark.attack_succeeded(context.soc) else 0
+        clock.lap("compare")
+        return SampleRecord(
+            sample=sample,
+            e=e,
+            category=category,
+            flipped_bits=flipped,
+            injection_cycle=injection_cycle,
+            n_pulses_injected=n_injected,
+            n_pulses_latched=n_latched,
+        )
+
+    # ------------------------------------------------------------------
     # campaigns
     # ------------------------------------------------------------------
     def evaluate(
@@ -241,6 +459,14 @@ class CrossLevelEngine:
         if n_samples <= 0:
             raise EvaluationError("n_samples must be positive")
         per_sample_base = seed if isinstance(seed, np.random.SeedSequence) else None
+        if (
+            self.config.batch
+            and per_sample_base is not None
+            and getattr(self.spec.technique, "impact_cycles", 1) == 1
+        ):
+            return self._evaluate_batched(
+                sampler, n_samples, per_sample_base, progress
+            )
         rng = None if per_sample_base is not None else as_generator(seed)
         estimator = SsfEstimator(record_history=True)
         records = []
@@ -281,6 +507,63 @@ class CrossLevelEngine:
         return CampaignResult(
             strategy=sampler.name,
             records=records,
+            estimator=estimator,
+            wall_time_s=wall,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
+
+    def _evaluate_batched(
+        self,
+        sampler: Sampler,
+        n_samples: int,
+        base: np.random.SeedSequence,
+        progress: Optional[Callable[[int, SsfEstimator], None]],
+    ) -> CampaignResult:
+        """Batched campaign body: draw everything, dispatch run_batch.
+
+        Bit-identical to the scalar loop: each sample's independent RNG
+        stream sees the same draw-then-inject call sequence, and the
+        estimator consumes outcomes in original sample order (Welford
+        updates are order-sensitive in float).  An engine-level
+        convergence stop truncates the returned records at the same
+        boundary the scalar loop would — the already-computed tail is
+        simply discarded.
+        """
+        estimator = SsfEstimator(record_history=True)
+        registry = MetricsRegistry() if self.observe else None
+        tracer = self.tracer
+        observing = registry is not None or tracer.enabled
+        start = time.perf_counter()
+        clock = StageClock() if observing else NULL_CLOCK
+        rngs = [
+            as_generator(sample_seed_sequence(base, i))
+            for i in range(n_samples)
+        ]
+        samples = [sampler.sample(rng) for rng in rngs]
+        clock.lap("draw")
+        records = self.run_batch(samples, rngs, registry=registry, clock=clock)
+        if registry is not None:
+            observe_batch_timing(
+                registry, clock.stage_totals(), clock.total_seconds(), n_samples
+            )
+        if tracer.enabled:
+            tracer.add_laps(clock.laps, sample=0)
+        kept: List[SampleRecord] = []
+        for i, record in enumerate(records):
+            if registry is not None:
+                observe_record(registry, record)
+            estimator.push(samples[i], record.e)
+            kept.append(record)
+            if progress is not None:
+                progress(i, estimator)
+            if self.config.stop_on_convergence and estimator.converged(
+                self.config.convergence_rel_tol, self.config.min_samples
+            ):
+                break
+        wall = time.perf_counter() - start
+        return CampaignResult(
+            strategy=sampler.name,
+            records=kept,
             estimator=estimator,
             wall_time_s=wall,
             metrics=registry.snapshot() if registry is not None else None,

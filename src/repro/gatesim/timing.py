@@ -9,7 +9,9 @@ a pulse loses a fixed width per logic stage and dies below a minimum width.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence
+
+import numpy as np
 
 from repro.errors import AttackModelError
 from repro.netlist.cells import CELL_LIBRARY, GateKind
@@ -64,6 +66,21 @@ class TimingModel:
         """Pulse width after traversing one gate; <= 0 means filtered out."""
         remaining = width_ps - self.attenuation_ps
         return remaining if remaining >= self.min_pulse_ps else 0.0
+
+    def latch_hits(
+        self, starts_ps: Sequence[float], widths_ps: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized latch-window classification for a batch of pulses.
+
+        Element ``i`` is True iff the pulse ``[starts[i], starts[i] +
+        widths[i])`` overlaps :attr:`latch_window` — the same float64
+        comparisons as :meth:`~repro.gatesim.transient.Pulse.overlaps`,
+        so a batched check is bit-identical to the scalar one.
+        """
+        starts = np.asarray(starts_ps, dtype=np.float64)
+        widths = np.asarray(widths_ps, dtype=np.float64)
+        lo, hi = self.latch_window
+        return (starts < hi) & (starts + widths > lo)
 
 
 def for_netlist(netlist, slack_fraction: float = 0.25, **overrides) -> TimingModel:

@@ -20,11 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.gatesim.logic import LogicEvaluator, NodeValues
 from repro.gatesim.timing import TimingModel
 from repro.netlist.cells import GateKind, gate_sensitized
 from repro.netlist.graph import Netlist
+
+#: Samples per lane word in the batched kernel (one uint64 = 64 lanes).
+_LANE_BITS = 64
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,26 @@ class TransientResult:
         return {reg for reg, _bit in self.flipped_bits}
 
 
+@dataclass
+class CycleBaseline:
+    """Sample-independent gate-level state of one injection cycle.
+
+    Everything here is a pure function of ``(inputs, state)`` — the golden
+    stimulus of the cycle — and therefore shared by every sample injected
+    into that cycle: the settled node values, the fault-free next state,
+    and a lazily-filled memo of per-(node, pin) sensitization verdicts
+    (logical masking depends only on the baseline side-input values, never
+    on the injected pulses).  Built once per (injection cycle, cone) by
+    :meth:`TransientSimulator.make_baseline` and cached at the engine
+    level, so batched evaluation computes golden logic values once per
+    cycle instead of once per sample.
+    """
+
+    values: NodeValues
+    golden_next: Dict[str, int]
+    sensitized: Dict[Tuple[int, int], bool] = field(default_factory=dict)
+
+
 class TransientSimulator:
     """Propagates transients through one clock cycle of a netlist."""
 
@@ -92,6 +117,7 @@ class TransientSimulator:
         self.evaluator = LogicEvaluator(netlist)
         self.max_pulses_per_node = max_pulses_per_node
         self._arrival = self._compute_arrival_times()
+        self._dffs = [n for n in netlist.nodes if n.is_dff and n.fanins]
 
     def _compute_arrival_times(self) -> List[float]:
         """Static settle time of each node output within a cycle."""
@@ -127,7 +153,64 @@ class TransientSimulator:
         n_injected = sum(len(p) for p in pulses.values())
         self._propagate(values, pulses)
         flipped, n_latched = self._latch(values, pulses)
+        return self._finish_cycle(
+            injection, flipped, golden_next, n_injected, n_latched
+        )
 
+    def make_baseline(
+        self, inputs: Mapping[str, int], state: Mapping[str, int]
+    ) -> CycleBaseline:
+        """Evaluate the golden logic of one cycle for reuse across samples."""
+        values = self.evaluator.evaluate(inputs, state)
+        return CycleBaseline(
+            values=values, golden_next=self.evaluator.next_state(values)
+        )
+
+    def simulate_cycle_batch(
+        self,
+        inputs: Mapping[str, int],
+        state: Mapping[str, int],
+        injections: Sequence[TransientInjection],
+        baseline: Optional[CycleBaseline] = None,
+    ) -> List[TransientResult]:
+        """Run the injection cycle for a batch of same-cycle samples.
+
+        Bit-identical to calling :meth:`simulate_cycle` once per
+        injection, but the shared work is done once: the golden evaluation
+        and sensitization verdicts come from ``baseline`` (built here when
+        not supplied), a ``uint64`` lane-reachability pre-pass prunes each
+        sample's propagation to the nodes its pulses can actually reach,
+        and latch-window classification is one vectorized check over every
+        surviving D-pin pulse in the batch.
+        """
+        if baseline is None:
+            baseline = self.make_baseline(inputs, state)
+        per_sample = [self._seed_pulses(inj) for inj in injections]
+        n_injected = [sum(len(p) for p in ps.values()) for ps in per_sample]
+        reached = self._reachable_by_sample(baseline, per_sample)
+        for pulses, topo_reached in zip(per_sample, reached):
+            if pulses:
+                self._propagate_pruned(baseline, pulses, topo_reached)
+        flipped_sets, latched_counts = self._latch_batch(per_sample)
+        return [
+            self._finish_cycle(
+                inj,
+                flipped_sets[b],
+                baseline.golden_next,
+                n_injected[b],
+                latched_counts[b],
+            )
+            for b, inj in enumerate(injections)
+        ]
+
+    def _finish_cycle(
+        self,
+        injection: TransientInjection,
+        flipped: Set[Tuple[str, int]],
+        golden_next: Dict[str, int],
+        n_injected: int,
+        n_latched: int,
+    ) -> TransientResult:
         # Direct strikes on flip-flops flip the bit the flop will hold next
         # cycle (the strike corrupts the storage node).
         for dff_id in injection.struck_dffs:
@@ -194,6 +277,136 @@ class TransientSimulator:
                 pulses[nid] = _merge_pulses(existing + merged)[
                     : self.max_pulses_per_node
                 ]
+
+    def _pin_sensitized(self, baseline: CycleBaseline, node, pin: int) -> bool:
+        """Memoized :func:`gate_sensitized` on the baseline node values."""
+        key = (node.nid, pin)
+        verdict = baseline.sensitized.get(key)
+        if verdict is None:
+            in_vals = [int(baseline.values[x]) for x in node.fanins]
+            verdict = gate_sensitized(node.kind, in_vals, pin)
+            baseline.sensitized[key] = verdict
+        return verdict
+
+    def _reachable_by_sample(
+        self,
+        baseline: CycleBaseline,
+        per_sample: Sequence[Dict[int, List[Pulse]]],
+    ) -> List[List[int]]:
+        """Per-sample pulse-reachable node lists, in topological order.
+
+        Packs the batch into ``uint64`` lane words (sample ``b`` is bit
+        ``b % 64`` of word ``b // 64``) and ORs the words through every
+        sensitized pin in one topological sweep.  Attenuation is ignored,
+        so the result is a sound over-approximation of where each sample's
+        pulses can live: restricting the exact scalar propagation to a
+        sample's reached nodes cannot change its outcome.
+        """
+        reached: List[List[int]] = [[] for _ in per_sample]
+        n_words = (len(per_sample) + _LANE_BITS - 1) // _LANE_BITS
+        lanes = np.zeros((len(self.netlist), n_words), dtype=np.uint64)
+        seeded = False
+        for b, pulses in enumerate(per_sample):
+            if not pulses:
+                continue
+            seeded = True
+            word, bit = divmod(b, _LANE_BITS)
+            mask = np.uint64(1 << bit)
+            for nid in pulses:
+                lanes[nid, word] |= mask
+        if not seeded:
+            return reached
+        for nid in self.netlist.topo_order():
+            node = self.netlist.node(nid)
+            acc = None
+            for pin, f in enumerate(node.fanins):
+                words = lanes[f]
+                if not words.any():
+                    continue
+                if not self._pin_sensitized(baseline, node, pin):
+                    continue  # logical masking kills every lane at this pin
+                acc = words if acc is None else (acc | words)
+            if acc is not None:
+                lanes[nid] |= acc
+            row = lanes[nid]
+            if row.any():
+                packed = int.from_bytes(row.tobytes(), "little")
+                while packed:
+                    low = packed & -packed
+                    reached[low.bit_length() - 1].append(nid)
+                    packed ^= low
+        return reached
+
+    def _propagate_pruned(
+        self,
+        baseline: CycleBaseline,
+        pulses: Dict[int, List[Pulse]],
+        topo_reached: List[int],
+    ) -> None:
+        """Exact scalar propagation restricted to one sample's reached nodes.
+
+        The per-node body replicates :meth:`_propagate` exactly — same
+        (pin, fanin) order, attenuation, merge, and truncation — so the
+        resulting pulse sets are bit-identical to the unpruned sweep.
+        """
+        for nid in topo_reached:
+            node = self.netlist.node(nid)
+            incoming: List[Pulse] = []
+            for pin, f in enumerate(node.fanins):
+                if f not in pulses:
+                    continue
+                if not self._pin_sensitized(baseline, node, pin):
+                    continue  # logical masking
+                delay = self.timing.gate_delay(node.kind)
+                for pulse in pulses[f]:
+                    width = self.timing.attenuate(pulse.width_ps)
+                    if width <= 0:
+                        continue  # electrical masking
+                    incoming.append(Pulse(pulse.start_ps + delay, width))
+            if incoming:
+                merged = _merge_pulses(incoming)
+                existing = pulses.get(nid, [])
+                pulses[nid] = _merge_pulses(existing + merged)[
+                    : self.max_pulses_per_node
+                ]
+
+    def _latch_batch(
+        self, per_sample: Sequence[Dict[int, List[Pulse]]]
+    ) -> Tuple[List[Set[Tuple[str, int]]], List[int]]:
+        """Batched latch-window classification across every sample.
+
+        Flattens all surviving D-pin pulses into one array pair and makes
+        a single vectorized :meth:`TimingModel.latch_hits` call; a DFF
+        counts as latched for a sample when any of that sample's pulses
+        at its D pin hits the window — exactly :meth:`_latch`.
+        """
+        flipped: List[Set[Tuple[str, int]]] = [set() for _ in per_sample]
+        latched = [0] * len(per_sample)
+        starts: List[float] = []
+        widths: List[float] = []
+        owners: List[Tuple[int, int]] = []
+        for b, pulses in enumerate(per_sample):
+            if not pulses:
+                continue
+            for di, node in enumerate(self._dffs):
+                for pulse in pulses.get(node.fanins[0], ()):
+                    starts.append(pulse.start_ps)
+                    widths.append(pulse.width_ps)
+                    owners.append((b, di))
+        if starts:
+            hits = self.timing.latch_hits(starts, widths)
+            seen: Set[Tuple[int, int]] = set()
+            for i in np.nonzero(hits)[0]:
+                owner = owners[i]
+                if owner in seen:
+                    continue  # one latch per (sample, DFF), like _latch
+                seen.add(owner)
+                b, di = owner
+                latched[b] += 1
+                node = self._dffs[di]
+                if node.register is not None and node.bit is not None:
+                    flipped[b].add((node.register, node.bit))
+        return flipped, latched
 
     def _latch(
         self, values: NodeValues, pulses: Dict[int, List[Pulse]]

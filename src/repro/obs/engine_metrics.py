@@ -28,7 +28,19 @@ in ``docs/architecture.md``):
 ``engine_stage_seconds{stage}``           histogram  per-stage wall time
 ``engine_sample_seconds``                 histogram  whole-sample wall time
 ``engine_slowest_samples``                topk       slowest samples with attrs
+``engine_batch_size``                     histogram  samples per dispatched batch
+``engine_batch_fill``                     histogram  uint64 lane occupancy per batch
+``engine_baseline_cache_total{outcome}``  counter    cycle-baseline cache hit/miss
+``engine_baseline_cache_hit_ratio``       gauge      lifetime cache hit ratio
+``engine_batch_seconds``                  histogram  whole-batch wall time
 ========================================  =========  ==============================
+
+The batch/cache metrics describe *how* the batched kernel executed, not
+*what* it computed: batch composition depends on chunk boundaries and the
+cache on engine lifetime (worker count), so all of them are flagged
+non-deterministic and excluded from the deterministic view — which is
+exactly why a batched and a scalar run of the same spec still compare
+equal on :func:`~repro.obs.metrics.deterministic_view`.
 """
 
 from __future__ import annotations
@@ -68,6 +80,14 @@ STAGES: Tuple[str, ...] = (
 )
 
 SLOWEST_SAMPLES_K = 10
+
+#: Edges for per-dispatch batch sizes (integer-valued observations).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5, 128.5, 256.5,
+)
+
+#: Edges for uint64 lane occupancy (size / (64 * words), in (0, 1]).
+BATCH_FILL_BUCKETS: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 def observe_record(registry: MetricsRegistry, record: SampleRecord) -> None:
@@ -136,6 +156,90 @@ def observe_timing(
         radius_um=record.sample.radius_um,
         category=record.category.value,
     )
+
+
+def observe_batch(
+    registry: MetricsRegistry,
+    group_sizes: Iterable[int],
+    cache_hits: int,
+    cache_misses: int,
+) -> None:
+    """Record how one run_batch call decomposed into cycle groups.
+
+    ``cache_hits`` / ``cache_misses`` are the deltas this call produced
+    (counters sum cleanly across chunks; the ratio gauge reflects the
+    registry's running totals).  Everything here depends on chunk
+    boundaries and engine lifetime, so it is non-deterministic by
+    contract (see the module docstring).
+    """
+    for size in group_sizes:
+        words = (size + 63) // 64
+        registry.histogram(
+            "engine_batch_size", BATCH_SIZE_BUCKETS, deterministic=False
+        ).observe(size)
+        registry.histogram(
+            "engine_batch_fill", BATCH_FILL_BUCKETS, deterministic=False
+        ).observe(size / (64.0 * words))
+    hits = registry.counter(
+        "engine_baseline_cache_total", deterministic=False, outcome="hit"
+    )
+    misses = registry.counter(
+        "engine_baseline_cache_total", deterministic=False, outcome="miss"
+    )
+    hits.inc(cache_hits)
+    misses.inc(cache_misses)
+    total = hits.value + misses.value
+    if total:
+        registry.gauge(
+            "engine_baseline_cache_hit_ratio", deterministic=False
+        ).set(hits.value / total)
+
+
+def observe_batched_sample(
+    registry: MetricsRegistry, record: SampleRecord, seconds: float
+) -> None:
+    """Offer one batched sample's per-sample wall time to the top-k.
+
+    In the batched regime the draw/restart/transient stages are amortized
+    (see :func:`observe_batch_timing`); the classify/resume tail is the
+    only genuinely per-sample cost — and it is what makes a sample slow —
+    so it is what the slowest-samples table ranks on.
+    """
+    registry.topk(
+        "engine_slowest_samples", k=SLOWEST_SAMPLES_K, deterministic=False
+    ).offer(
+        seconds,
+        t=record.sample.t,
+        centre=record.sample.centre,
+        radius_um=record.sample.radius_um,
+        category=record.category.value,
+    )
+
+
+def observe_batch_timing(
+    registry: MetricsRegistry,
+    stage_totals: Dict[str, float],
+    batch_seconds: float,
+    batch_size: int,
+) -> None:
+    """Record the wall-clock metrics of one batched evaluate call.
+
+    Stage histograms get one coarse observation per batch (the batched
+    kernel amortizes stages across samples, so per-sample laps do not
+    exist); ``engine_sample_seconds`` records the amortized per-sample
+    cost so throughput reporting keeps working on batched runs.
+    """
+    for stage, seconds in stage_totals.items():
+        registry.histogram(
+            "engine_stage_seconds", SECONDS_BUCKETS, stage=stage
+        ).observe(seconds)
+    registry.histogram("engine_batch_seconds", SECONDS_BUCKETS).observe(
+        batch_seconds
+    )
+    if batch_size > 0:
+        registry.histogram("engine_sample_seconds", SECONDS_BUCKETS).observe(
+            batch_seconds / batch_size
+        )
 
 
 def metrics_from_records(

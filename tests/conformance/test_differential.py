@@ -20,6 +20,7 @@ from repro.conformance import (
     get_design,
     run_design,
 )
+from repro.core.engine import EngineConfig
 
 FAST_CONFIG = DifferentialConfig(epsilon=0.06, max_samples=4000, seed=7)
 
@@ -77,6 +78,31 @@ class TestDifferentialFast:
         assert len(payload["verdicts"]) == 2
         for verdict in payload["verdicts"]:
             assert {"sampler", "ssf", "ci_low", "ci_high", "passed"} <= set(verdict)
+
+
+class TestDifferentialBatchedKernel:
+    """The oracle gate also covers the batched kernel (PR 5)."""
+
+    def test_default_engine_is_batched(self, small_context):
+        built = get_design("write-cfg").build(small_context)
+        assert built.engine.config.batch
+
+    def test_batched_and_scalar_harness_agree(self, small_context):
+        """Same design, same seed tree: the differential harness must
+        produce identical verdicts whichever kernel runs underneath —
+        the strongest end-to-end statement of run_batch bit-identity."""
+        config = DifferentialConfig(epsilon=0.09, max_samples=1500, seed=11)
+        design = get_design("write-cfg")
+        batched = run_design(design, config, context=small_context)
+        scalar = run_design(
+            design, config, context=small_context,
+            engine_config=EngineConfig(batch=False),
+        )
+        assert batched.passed and scalar.passed
+        assert batched.exact_ssf == scalar.exact_ssf
+        assert [v.to_dict() for v in batched.verdicts] == [
+            v.to_dict() for v in scalar.verdicts
+        ]
 
 
 @pytest.mark.skipif(

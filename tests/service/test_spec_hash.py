@@ -146,10 +146,24 @@ class TestSemanticFields:
             CampaignSpec(charac_cache="/tmp/c.json")
         ) == spec_hash(CampaignSpec())
 
+    def test_batch_is_not_semantic(self):
+        """The batched kernel is bit-identical to the scalar path, so
+        batched and scalar runs of one spec share a cache entry."""
+        assert spec_hash(CampaignSpec(batch=False)) == spec_hash(
+            CampaignSpec(batch=True)
+        )
+
+    def test_batch_off_still_matches_the_golden_pin(self):
+        # PR 5 introduced ``batch`` without a schema bump: hashes from
+        # before the field existed must keep resolving (cached results
+        # stay valid), including with the escape hatch flipped.
+        assert spec_hash(CampaignSpec(batch=False)) == GOLDEN_DEFAULT
+
     def test_canonical_dict_drops_non_semantic_fields(self):
         data = canonical_spec_dict(CampaignSpec(trace=True))
         assert "trace" not in data
         assert "charac_cache" not in data
+        assert "batch" not in data
 
     def test_canonical_json_is_minified_and_sorted(self):
         text = canonical_spec_json(CampaignSpec())

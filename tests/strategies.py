@@ -167,6 +167,7 @@ def campaign_specs(draw):
         seed=draw(st.integers(0, 2**31 - 1)),
         chunk_size=draw(st.integers(1, 500)),
         trace=draw(st.booleans()),
+        batch=draw(st.booleans()),
         stopping=draw(stopping_configs()),
     )
 
