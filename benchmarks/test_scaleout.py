@@ -1,0 +1,128 @@
+"""Fleet scale-out throughput guard (PR 6 tentpole acceptance).
+
+Runs the same campaign through the fleet dispatcher with 1, 2, and 4
+workers and measures end-to-end samples/sec (submit → terminal).  The
+stub engine sleeps a fixed interval per chunk, so the workload is
+GIL-free and the ceiling is the coordinator's lease/accept path — which
+is exactly what this benchmark is guarding.
+
+Acceptance (fails the build): ≥3× samples/sec at 4 workers vs 1.  The
+run results must also be identical across worker counts — scale-out is
+not allowed to change the estimate.
+
+Results go to ``benchmarks/results/BENCH_scaleout.json`` so CI can
+archive and trend them.  ``REPRO_BENCH_QUICK=1`` shrinks the budget for
+the CI smoke job.
+"""
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:  # for `tests.fleet.helpers`
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.campaign import CampaignSpec, StoppingConfig  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+from tests.fleet.helpers import (  # noqa: E402
+    fleet_server,
+    slow_stub_factory,
+    wait_terminal,
+    workers,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+CHUNK_SIZE = 25
+N_CHUNKS = 32 if QUICK else 64
+CHUNK_DELAY_S = 0.06        # per-chunk sleep: the simulated evaluation cost
+WORKER_COUNTS = (1, 2, 4)
+MIN_SPEEDUP_AT_4 = 3.0      # acceptance bar: near-linear to 4 workers
+
+SPEC = CampaignSpec(
+    seed=606,
+    chunk_size=CHUNK_SIZE,
+    stopping=StoppingConfig(n_samples=CHUNK_SIZE * N_CHUNKS),
+)
+
+
+def _run_fleet(tmp_path, n_workers):
+    """One fleet campaign with ``n_workers``; returns (wall_s, result)."""
+    with fleet_server(
+        tmp_path, lease_ttl_s=30.0, name=f"runs-{n_workers}w"
+    ) as server:
+        server.service.fleet.sweep_interval_s = 0.05
+        client = ServiceClient(server.url)
+        with workers(
+            server.url,
+            n_workers,
+            engine_factory=slow_stub_factory(CHUNK_DELAY_S),
+            poll_s=0.02,
+        ):
+            start = time.perf_counter()
+            response = client.submit(SPEC)
+            wait_terminal(server.service, response["job_id"], timeout_s=300)
+            wall_s = time.perf_counter() - start
+        job = server.service.get_job(response["job_id"])
+        assert job.state == "done", job.error
+        return wall_s, server.service.job_result(job.job_id)
+
+
+def test_fleet_scaleout(tmp_path, emit):
+    rows = []
+    for n_workers in WORKER_COUNTS:
+        wall_s, result = _run_fleet(tmp_path, n_workers)
+        rows.append(
+            {
+                "workers": n_workers,
+                "n_samples": result["n_samples"],
+                "wall_s": round(wall_s, 3),
+                "samples_per_s": round(result["n_samples"] / wall_s, 1),
+                "ssf": result["ssf"],
+            }
+        )
+
+    base = rows[0]
+    for row in rows:
+        row["speedup_vs_1"] = round(
+            row["samples_per_s"] / base["samples_per_s"], 2
+        )
+        # Scale-out must not change the answer, only the wall clock.
+        assert row["ssf"] == base["ssf"], row
+        assert row["n_samples"] == SPEC.stopping.n_samples, row
+
+    payload = {
+        "bench": "scaleout",
+        "quick": QUICK,
+        "chunk_size": CHUNK_SIZE,
+        "n_chunks": N_CHUNKS,
+        "chunk_delay_s": CHUNK_DELAY_S,
+        "rows": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scaleout.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"Fleet scale-out ({N_CHUNKS} chunks x {CHUNK_SIZE} samples, "
+        f"{CHUNK_DELAY_S}s/chunk{', quick' if QUICK else ''})"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['workers']} worker(s): {row['samples_per_s']:>8}/s"
+            f"  wall {row['wall_s']:>7}s"
+            f"  speedup {row['speedup_vs_1']:>5}x"
+        )
+    emit("scaleout", "\n".join(lines))
+
+    at_4 = next(r for r in rows if r["workers"] == 4)
+    assert at_4["speedup_vs_1"] >= MIN_SPEEDUP_AT_4, (
+        f"4-worker speedup {at_4['speedup_vs_1']}x below the "
+        f"{MIN_SPEEDUP_AT_4}x acceptance bar: {rows}"
+    )

@@ -72,11 +72,17 @@ class CampaignRunner:
         poll_interval_s: float = 0.5,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        scheduler=None,
     ):
         self.spec = spec
         self.store = store
         self.hooks = hooks or CampaignHooks()
         self.n_workers = n_workers
+        # Injected scheduler (e.g. a fleet lease scheduler) replacing the
+        # default in-process work-stealing pool.  Anything with the same
+        # ``run(chunks, on_chunk, start_index)`` contract fits; the
+        # deterministic consumption path below is shared either way.
+        self.scheduler = scheduler
         self.checkpoint_every = max(1, checkpoint_every)
         self.poll_interval_s = poll_interval_s
         self._engine = engine
@@ -184,15 +190,17 @@ class CampaignRunner:
     # scheduling loop
     # ------------------------------------------------------------------
     def _drive(self, chunks, next_index, rule, estimator, records) -> StopDecision:
-        scheduler = WorkStealingScheduler(
-            self._engine,
-            self._sampler,
-            seed=self.spec.seed,
-            n_workers=self.n_workers,
-            poll_interval_s=self.poll_interval_s,
-            tracer=self.tracer,
-            metrics=self.metrics,
-        )
+        scheduler = self.scheduler
+        if scheduler is None:
+            scheduler = WorkStealingScheduler(
+                self._engine,
+                self._sampler,
+                seed=self.spec.seed,
+                n_workers=self.n_workers,
+                poll_interval_s=self.poll_interval_s,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         hooks = self._hook_chain
         pending: Dict[int, ChunkResult] = {}
         state = {"next": next_index, "decision": None, "since_ckpt": 0}

@@ -511,29 +511,128 @@ def cmd_campaign_status(args) -> int:
 # service verbs
 # ----------------------------------------------------------------------
 def cmd_serve(args) -> int:
+    import subprocess
     import time
 
-    from repro.service import EvaluationService, ServiceServer
+    from repro.service import (
+        AsyncServiceServer,
+        DISPATCH_FLEET,
+        DISPATCH_LOCAL,
+        EvaluationService,
+        ServiceServer,
+    )
 
     service = EvaluationService(
         args.runs_dir,
         max_concurrency=args.jobs,
         campaign_workers=args.workers,
+        dispatch=DISPATCH_FLEET if args.fleet else DISPATCH_LOCAL,
+        lease_ttl_s=args.lease_ttl,
     )
-    server = ServiceServer(service, host=args.host, port=args.port)
+    server_cls = AsyncServiceServer if args.async_io else ServiceServer
+    server = server_cls(service, host=args.host, port=args.port)
     server.start()
+    mode = "fleet" if args.fleet else "local"
     print(
         f"repro service listening on {server.url} "
-        f"(runs dir: {args.runs_dir})",
+        f"(runs dir: {args.runs_dir}, dispatch: {mode})",
         file=sys.stderr,
     )
+    workers = []
+    if args.spawn_workers:
+        if not args.fleet:
+            print("--spawn-workers requires --fleet", file=sys.stderr)
+            server.stop()
+            return 2
+        for i in range(args.spawn_workers):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--attach",
+                        server.url,
+                        "--worker-id",
+                        f"local-{i}",
+                    ]
+                )
+            )
+        print(f"spawned {len(workers)} local workers", file=sys.stderr)
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
         server.stop()
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.fleet import FleetWorker
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.attach, timeout_s=args.timeout)
+    worker = FleetWorker(
+        client,
+        worker_id=args.worker_id,
+        poll_s=args.poll,
+        max_chunks=args.max_chunks,
+    )
+    print(
+        f"worker {worker.worker_id} attached to {args.attach}",
+        file=sys.stderr,
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"worker {worker.worker_id}: {worker.chunks_completed} chunks "
+        f"completed, {worker.chunks_rejected} rejected",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_fleet_status(args) -> int:
+    payload = _service_client(args).fleet_status()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"dispatch: {payload['dispatch']}")
+    worker_rows = [
+        [w["worker"], w["chunks_completed"], w["samples_total"],
+         f"{w['samples_per_s']:.1f}", f"{w['last_seen_s']:.1f}s"]
+        for w in payload.get("workers", [])
+    ]
+    if worker_rows:
+        print(format_table(
+            ["worker", "chunks", "samples", "samples/s", "last seen"],
+            worker_rows, title="Fleet workers",
+        ))
+    else:
+        print("no workers attached")
+    run_rows = [
+        [r["job_id"], r["run_id"], r["chunks"]["done"],
+         r["chunks"]["leased"], r["chunks"]["pending"],
+         r["chunks"]["total"]]
+        for r in payload.get("runs", [])
+    ]
+    if run_rows:
+        print(format_table(
+            ["job", "run", "done", "leased", "pending", "total"],
+            run_rows, title="Active fleet runs",
+        ))
     return 0
 
 
@@ -957,7 +1056,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaigns executed concurrently")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes per campaign (fork platforms)")
+    p.add_argument("--fleet", action="store_true",
+                   help="dispatch chunks to attached fleet workers over "
+                   "HTTP instead of evaluating in-process")
+    p.add_argument("--lease-ttl", type=float, default=10.0,
+                   help="fleet chunk lease TTL in seconds (heartbeats "
+                   "renew it; expired leases are re-issued)")
+    p.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                   help="launch N local fleet workers attached to this "
+                   "coordinator (requires --fleet)")
+    p.add_argument("--async-io", action="store_true",
+                   help="serve with the asyncio front-end (cheap SSE "
+                   "streaming for many watchers)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a fleet worker: lease chunks from a coordinator, "
+        "evaluate them, stream results back",
+    )
+    p.add_argument("--attach", required=True, metavar="URL",
+                   help="base URL of the coordinator (`repro serve --fleet`)")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker name (default: host-pid-random)")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="idle poll interval in seconds")
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="exit after serving this many chunks (testing)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser("fleet", help="fleet introspection verbs")
+    fleet_sub = p.add_subparsers(dest="fleet_cmd", required=True)
+    pf = fleet_sub.add_parser(
+        "status", help="workers, leases, and chunk progress"
+    )
+    pf.add_argument("--url", default="http://127.0.0.1:8321",
+                    help="base URL of a running `repro serve`")
+    pf.add_argument("--json", action="store_true",
+                    help="emit the response as JSON on stdout")
+    pf.set_defaults(func=cmd_fleet_status)
 
     def _client_flags(pc, with_json=True):
         pc.add_argument("--url", default="http://127.0.0.1:8321",

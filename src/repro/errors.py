@@ -52,3 +52,19 @@ class ServiceError(ReproError):
     def __init__(self, message: str, status: int = 0):
         super().__init__(message)
         self.status = status  # HTTP status code, 0 for transport errors
+
+
+class JobCancelled(ReproError):
+    """Raised inside a service worker to unwind a cancelled campaign."""
+
+
+class LeaseGone(ServiceError):
+    """A fleet chunk lease is unknown, expired, or superseded.
+
+    Workers holding a gone lease must discard their in-flight chunk —
+    the coordinator has (or will) re-issue it, and because chunks are
+    SeedSequence-seeded the replacement evaluation is bit-identical.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=410)

@@ -1,0 +1,33 @@
+"""Distributed worker fleet: chunk leasing, heartbeats, progress events.
+
+The fleet layer turns the evaluation service into a coordinator that
+many worker *processes* (local or remote) pull campaign chunks from over
+HTTP.  Determinism is preserved end-to-end: chunks are SeedSequence-
+seeded pure functions of (campaign seed, chunk index), leases guarantee
+each chunk is merged exactly once, and the coordinator consumes results
+through the same reorder-buffer path as a single-node run — so a fleet
+run (including one that lost workers or the coordinator mid-flight) is
+bit-identical to running the campaign locally.
+"""
+
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetScheduler,
+    WorkerInfo,
+)
+from repro.fleet.events import EVENT_END, EventBus
+from repro.fleet.ledger import ChunkLedger, LEDGER_FILE, Lease
+from repro.fleet.worker import FleetWorker, default_worker_id
+
+__all__ = [
+    "ChunkLedger",
+    "EVENT_END",
+    "EventBus",
+    "FleetCoordinator",
+    "FleetScheduler",
+    "FleetWorker",
+    "LEDGER_FILE",
+    "Lease",
+    "WorkerInfo",
+    "default_worker_id",
+]

@@ -1,0 +1,119 @@
+"""In-process event bus powering live campaign progress streaming.
+
+One :class:`EventBus` instance lives inside the evaluation service.
+Publishers (job state transitions, campaign progress hooks, the fleet
+coordinator) append JSON-able event dicts to a per-topic ring buffer;
+subscribers (SSE handlers, long-poll requests, the CLI) read events
+*after* a sequence number they already hold, so a reconnecting client
+never misses or re-reads an event that is still in the buffer.
+
+The bus is thread-first (publishers run on service worker and HTTP
+handler threads) but async-capable: :meth:`EventBus.wait_async` parks an
+``asyncio`` task without pinning a thread, woken via
+``loop.call_soon_threadsafe`` from whichever thread publishes next —
+this is what lets the asyncio front-end fan one run's progress out to
+many concurrent SSE watchers cheaply.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Event appended after a job's final state so streams know to close.
+EVENT_END = "end"
+
+SeqEvent = Tuple[int, dict]
+
+
+class EventBus:
+    """Per-topic sequence-numbered event ring buffer with blocking and
+    async waits."""
+
+    def __init__(self, history: int = 1024):
+        self.history = max(1, history)
+        self._cond = threading.Condition()
+        self._events: Dict[str, Deque[SeqEvent]] = {}
+        self._next_seq: Dict[str, int] = {}
+        # (loop, asyncio.Event) pairs parked in wait_async; woken on any
+        # publish (waiters re-filter by topic, which keeps publish O(w)).
+        self._async_waiters: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, topic: str, event: dict) -> int:
+        """Append ``event`` to ``topic``; returns its sequence number."""
+        with self._cond:
+            seq = self._next_seq.get(topic, 0)
+            self._next_seq[topic] = seq + 1
+            buffer = self._events.setdefault(
+                topic, deque(maxlen=self.history)
+            )
+            buffer.append((seq, dict(event)))
+            self._cond.notify_all()
+            waiters, self._async_waiters = self._async_waiters, []
+        for loop, flag in waiters:
+            try:
+                loop.call_soon_threadsafe(flag.set)
+            except RuntimeError:
+                pass  # loop already closed; the waiter is gone anyway
+        return seq
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def last_seq(self, topic: str) -> int:
+        """Sequence number the next event on ``topic`` will get."""
+        with self._cond:
+            return self._next_seq.get(topic, 0)
+
+    def events_after(self, topic: str, after: int) -> List[SeqEvent]:
+        """Buffered ``(seq, event)`` pairs with ``seq >= after``."""
+        with self._cond:
+            buffer = self._events.get(topic)
+            if not buffer:
+                return []
+            return [(seq, event) for seq, event in buffer if seq >= after]
+
+    def wait(
+        self, topic: str, after: int, timeout_s: Optional[float] = None
+    ) -> List[SeqEvent]:
+        """Block until ``topic`` has events at/after ``after`` (or
+        timeout); returns them ([] on timeout)."""
+        with self._cond:
+            ready = self._events_after_locked(topic, after)
+            if ready or timeout_s == 0:
+                return ready
+            self._cond.wait(timeout=timeout_s)
+            return self._events_after_locked(topic, after)
+
+    def _events_after_locked(self, topic: str, after: int) -> List[SeqEvent]:
+        buffer = self._events.get(topic)
+        if not buffer:
+            return []
+        return [(seq, event) for seq, event in buffer if seq >= after]
+
+    async def wait_async(
+        self, topic: str, after: int, timeout_s: Optional[float] = None
+    ) -> List[SeqEvent]:
+        """Async counterpart of :meth:`wait`: parks the task, not a
+        thread, until a publisher wakes it."""
+        import asyncio
+
+        loop = asyncio.get_event_loop()
+        while True:
+            flag = asyncio.Event()
+            with self._cond:
+                ready = self._events_after_locked(topic, after)
+                if ready:
+                    return ready
+                self._async_waiters.append((loop, flag))
+            try:
+                await asyncio.wait_for(flag.wait(), timeout=timeout_s)
+            except asyncio.TimeoutError:
+                with self._cond:
+                    if (loop, flag) in self._async_waiters:
+                        self._async_waiters.remove((loop, flag))
+                return self._events_after_locked(topic, after)

@@ -1,0 +1,221 @@
+"""Fleet worker: lease chunks over HTTP, evaluate, stream results back.
+
+A :class:`FleetWorker` is a long-lived process (``repro worker --attach
+<url>``) that repeatedly
+
+1. asks the coordinator for a lease (``POST /v1/lease``) — backing off
+   while the service is idle or unreachable;
+2. builds (and caches, keyed by spec hash) the evaluation runtime for
+   the leased campaign spec;
+3. evaluates the chunk under its SeedSequence stream — identical to what
+   the in-process scheduler would compute, because
+   :func:`~repro.campaign.scheduler.chunk_seed_sequence` is a pure
+   function of (campaign seed, chunk index);
+4. keeps the lease alive with heartbeats (``POST /v1/heartbeat``) from a
+   side thread while the evaluation runs;
+5. posts the serialized :class:`~repro.campaign.scheduler.ChunkResult`
+   (``POST /v1/chunks``).
+
+A rejected result (lease expired while we evaluated — e.g. the process
+was suspended, or the chunk was re-issued and finished elsewhere) is a
+*normal* outcome: the worker logs it and moves on.  Workers are
+stateless and disposable — kill one mid-chunk and the coordinator
+re-leases its chunk after one TTL with no effect on the final estimate.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import os
+import threading
+import time
+import uuid
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.campaign.scheduler import Chunk, _run_chunk
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import record_to_dict
+from repro.errors import ServiceError
+
+logger = logging.getLogger(__name__)
+
+#: ``engine_factory(spec) -> (engine, sampler)``; tests and benchmarks
+#: inject stubs, production workers build the spec's real runtime.
+EngineFactory = Callable[[CampaignSpec], Tuple[object, object]]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class _Heartbeat:
+    """Background lease renewal while a chunk evaluates.
+
+    Renews at a third of the TTL so two consecutive failures still leave
+    slack before expiry.  A renewal rejected with 410 (lease gone) sets
+    :attr:`lost` — the worker checks it before posting the result and
+    drops the chunk without the round-trip.
+    """
+
+    def __init__(self, client, lease_id: str, ttl_s: float):
+        self.client = client
+        self.lease_id = lease_id
+        self.interval_s = max(0.05, ttl_s / 3.0)
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{lease_id}", daemon=True
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.client.heartbeat(self.lease_id)
+            except ServiceError as exc:
+                if exc.status == 410:
+                    self.lost = True
+                    return
+                # Transport blip: keep trying, the lease has slack.
+                logger.debug(
+                    "heartbeat for %s failed: %s", self.lease_id, exc
+                )
+
+
+class FleetWorker:
+    """One attached worker's lease → evaluate → post loop."""
+
+    def __init__(
+        self,
+        client,
+        worker_id: Optional[str] = None,
+        poll_s: float = 0.5,
+        engine_factory: Optional[EngineFactory] = None,
+        max_chunks: Optional[int] = None,
+    ):
+        self.client = client
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        self.engine_factory = engine_factory
+        self.max_chunks = max_chunks
+        self.chunks_completed = 0
+        self.chunks_rejected = 0
+        self._stop = threading.Event()
+        # Runtime cache: workers serve many chunks of the same campaign,
+        # so the (expensive) context build happens once per distinct spec.
+        self._runtimes: Dict[str, Tuple[object, object]] = {}
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Lease-and-evaluate until stopped (or ``max_chunks`` served)."""
+        backoff = self.poll_s
+        while not self._stop.is_set():
+            if (
+                self.max_chunks is not None
+                and self.chunks_completed + self.chunks_rejected
+                >= self.max_chunks
+            ):
+                return
+            try:
+                grant = self.client.lease(self.worker_id)
+            except ServiceError as exc:
+                # Coordinator down or restarting: linger and retry —
+                # workers must survive coordinator crashes.
+                logger.debug("lease request failed: %s", exc)
+                self._sleep(backoff)
+                backoff = min(backoff * 2, 5.0)
+                continue
+            backoff = self.poll_s
+            if grant.get("idle"):
+                self._sleep(float(grant.get("retry_after_s") or self.poll_s))
+                continue
+            self._serve(grant)
+
+    def _sleep(self, seconds: float) -> None:
+        self._stop.wait(seconds)
+
+    # ------------------------------------------------------------------
+    # one lease
+    # ------------------------------------------------------------------
+    def _serve(self, grant: dict) -> None:
+        lease_id = grant["lease_id"]
+        chunk = Chunk(int(grant["chunk"]), int(grant["n_samples"]))
+        ttl_s = float(grant.get("ttl_s") or 10.0)
+        try:
+            engine, sampler, spec = self._runtime_for(grant)
+        except Exception as exc:  # noqa: BLE001 - keep the worker alive
+            logger.error(
+                "cannot build runtime for chunk %d: %s", chunk.index, exc
+            )
+            self.chunks_rejected += 1
+            self._sleep(self.poll_s)
+            return
+
+        started = time.perf_counter()
+        with _Heartbeat(self.client, lease_id, ttl_s) as heartbeat:
+            result = _run_chunk(engine, sampler, spec.seed, chunk)
+        duration_s = time.perf_counter() - started
+        if heartbeat.lost:
+            logger.info(
+                "lease %s lost during chunk %d; dropping result",
+                lease_id,
+                chunk.index,
+            )
+            self.chunks_rejected += 1
+            return
+
+        payload = {
+            "lease_id": lease_id,
+            "worker": self.worker_id,
+            "chunk": result.index,
+            "records": [record_to_dict(r) for r in result.records],
+            "metrics": result.metrics,
+            "duration_s": duration_s,
+        }
+        try:
+            outcome = self.client.post_chunk(payload)
+        except ServiceError as exc:
+            logger.warning(
+                "posting chunk %d failed: %s", chunk.index, exc
+            )
+            self.chunks_rejected += 1
+            return
+        if outcome.get("accepted"):
+            self.chunks_completed += 1
+        else:
+            # Late result: the lease expired and the chunk was (or will
+            # be) re-evaluated elsewhere, bit-identically.
+            logger.info(
+                "chunk %d discarded by coordinator: %s",
+                chunk.index,
+                outcome.get("reason"),
+            )
+            self.chunks_rejected += 1
+
+    def _runtime_for(self, grant: dict):
+        from repro.campaign.spec_hash import spec_hash
+
+        spec = CampaignSpec.from_dict(grant["spec"])
+        digest = spec_hash(spec)
+        cached = self._runtimes.get(digest)
+        if cached is None:
+            if self.engine_factory is not None:
+                cached = self.engine_factory(spec)
+            else:
+                cached = spec.build_runtime()
+            self._runtimes[digest] = cached
+        engine, sampler = cached
+        return engine, sampler, spec

@@ -1,0 +1,62 @@
+"""Fleet-level metrics: lease lifecycle, reassignments, worker rates.
+
+The fleet coordinator (:mod:`repro.fleet.coordinator`) publishes its
+operational state into the service's
+:class:`~repro.obs.metrics.MetricsRegistry`, so ``GET /v1/metrics``
+exposes one coherent Prometheus surface covering queue, cache, and
+fleet.  Everything here is flagged non-deterministic — lease traffic
+depends on worker arrival order and wall-clock TTLs, not on the Monte
+Carlo sample stream.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+FLEET_WORKERS = "fleet_workers"
+FLEET_LEASES_GRANTED = "fleet_leases_granted_total"
+FLEET_LEASE_RENEWALS = "fleet_lease_renewals_total"
+FLEET_LEASES_EXPIRED = "fleet_leases_expired_total"
+FLEET_CHUNKS_REASSIGNED = "fleet_chunks_reassigned_total"
+FLEET_CHUNKS_ACCEPTED = "fleet_chunks_accepted_total"
+FLEET_RESULTS_DISCARDED = "fleet_late_results_discarded_total"
+FLEET_WORKER_RATE = "fleet_worker_samples_per_second"
+
+
+def record_lease_granted(
+    registry: MetricsRegistry, reassigned: bool = False
+) -> None:
+    registry.counter(FLEET_LEASES_GRANTED, deterministic=False).inc()
+    if reassigned:
+        registry.counter(FLEET_CHUNKS_REASSIGNED, deterministic=False).inc()
+
+
+def record_lease_renewed(registry: MetricsRegistry) -> None:
+    registry.counter(FLEET_LEASE_RENEWALS, deterministic=False).inc()
+
+
+def record_leases_expired(registry: MetricsRegistry, n: int) -> None:
+    if n:
+        registry.counter(FLEET_LEASES_EXPIRED, deterministic=False).inc(n)
+
+
+def record_chunk_accepted(registry: MetricsRegistry) -> None:
+    registry.counter(FLEET_CHUNKS_ACCEPTED, deterministic=False).inc()
+
+
+def record_result_discarded(registry: MetricsRegistry) -> None:
+    registry.counter(FLEET_RESULTS_DISCARDED, deterministic=False).inc()
+
+
+def update_fleet_depth(registry: MetricsRegistry, n_workers: int) -> None:
+    """Gauge of workers seen alive within the liveness window."""
+    registry.gauge(FLEET_WORKERS, deterministic=False).set(n_workers)
+
+
+def update_worker_rate(
+    registry: MetricsRegistry, worker: str, samples_per_s: float
+) -> None:
+    """Per-worker sustained evaluation throughput (samples/sec)."""
+    registry.gauge(
+        FLEET_WORKER_RATE, deterministic=False, worker=worker
+    ).set(samples_per_s)

@@ -13,10 +13,14 @@ live status, and observability reports over HTTP.
   directories, with partial-run reuse via ``campaign resume``;
 * :mod:`repro.service.service` — :class:`EvaluationService`: submit /
   dedup / worker pool / cancel / metrics;
-* :mod:`repro.service.server` — stdlib HTTP API (``POST /v1/campaigns``
-  and friends);
+* :mod:`repro.service.router` — transport-agnostic route table shared
+  by both HTTP front-ends (campaign API + fleet protocol + SSE);
+* :mod:`repro.service.server` — threaded stdlib HTTP API
+  (``POST /v1/campaigns`` and friends);
+* :mod:`repro.service.async_server` — asyncio front-end with cheap
+  SSE progress streaming (one task per watcher, not one thread);
 * :mod:`repro.service.client` — thin client used by the CLI verbs
-  ``repro submit|status|result|cancel``.
+  ``repro submit|status|result|cancel`` and by fleet workers.
 """
 
 from repro.campaign.spec_hash import (
@@ -40,12 +44,25 @@ from repro.service.jobs import (
     STATE_RUNNING,
     TERMINAL_STATES,
 )
+from repro.service.async_server import AsyncServiceServer
+from repro.service.router import ApiRequest, ApiResponse, ApiRouter
 from repro.service.server import ServiceHTTPServer, ServiceServer
-from repro.service.service import EvaluationService, JobCancelled
+from repro.service.service import (
+    DISPATCH_FLEET,
+    DISPATCH_LOCAL,
+    EvaluationService,
+    JobCancelled,
+)
 
 __all__ = [
     "ACTIVE_STATES",
+    "ApiRequest",
+    "ApiResponse",
+    "ApiRouter",
+    "AsyncServiceServer",
     "CacheHit",
+    "DISPATCH_FLEET",
+    "DISPATCH_LOCAL",
     "EvaluationService",
     "JOB_STATES",
     "Job",

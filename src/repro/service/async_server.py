@@ -1,0 +1,244 @@
+"""Asyncio HTTP front-end for the evaluation service (stdlib only).
+
+Same API surface as the threaded :mod:`repro.service.server` — both
+delegate every route to the shared
+:class:`~repro.service.router.ApiRouter` — but connections are served by
+one ``asyncio.start_server`` loop instead of one thread each.  The
+payoff is progress streaming at scale: an SSE watcher on
+``GET /v1/campaigns/<id>/events`` parks an asyncio *task* in
+:meth:`~repro.fleet.events.EventBus.wait_async` (woken from publisher
+threads via ``call_soon_threadsafe``), so hundreds of live dashboards
+cost no threads.  Ordinary routes still execute service code that takes
+locks and does fsyncs, so they run in the default executor rather than
+on the loop.
+
+The event loop runs on a dedicated daemon thread, giving this server
+the same synchronous ``start()`` / ``stop()`` / ``url`` contract as
+:class:`~repro.service.server.ServiceServer` — the CLI and tests switch
+front-ends with one flag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs.logging import get_logger
+from repro.service.router import (
+    ApiRequest,
+    ApiResponse,
+    ApiRouter,
+    EventStreamResponse,
+    KEEPALIVE_FRAME,
+    format_sse,
+    is_end_event,
+)
+from repro.service.service import EvaluationService
+
+logger = get_logger("service.async_http")
+
+#: Hard caps keeping one misbehaving client from exhausting the loop.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    410: "Gone",
+    500: "Internal Server Error",
+}
+
+
+def _status_line(status: int) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    return f"HTTP/1.1 {status} {reason}\r\n".encode("ascii")
+
+
+class AsyncServiceServer:
+    """Service + asyncio HTTP listener with the sync start/stop contract."""
+
+    def __init__(
+        self,
+        service: EvaluationService,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+    ):
+        self.service = service
+        self.router = ApiRouter(service)
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise ServiceError("async server is not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-async", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"async server failed to start: {self._startup_error}"
+            )
+        if self._address is None:
+            raise ServiceError("async server did not come up in time")
+
+    def stop(self, cancel_running: bool = False) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown(), loop
+            ).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.service.stop(wait=True, cancel_running=cancel_running)
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._serve, self.host, self.port)
+            )
+            sock = self._server.sockets[0]
+            self._address = sock.getsockname()[:2]
+        except BaseException as exc:  # noqa: BLE001 - report to starter
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                outcome = await asyncio.get_event_loop().run_in_executor(
+                    None, self.router.handle, request
+                )
+                if isinstance(outcome, EventStreamResponse):
+                    await self._stream_events(writer, outcome)
+                    return  # streams own the connection until close
+                await self._write_response(writer, outcome)
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - connection must not kill loop
+            logger.debug("connection error: %s", exc)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[ApiRequest]:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None  # client closed between requests
+        except asyncio.LimitOverrunError:
+            raise ServiceError("request header too large", status=400)
+        if len(header_blob) > MAX_HEADER_BYTES:
+            raise ServiceError("request header too large", status=400)
+        lines = header_blob.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None  # not HTTP; drop the connection
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=400)
+        body = await reader.readexactly(length) if length else b""
+        return ApiRequest.from_target(method, target, body)
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: ApiResponse
+    ) -> None:
+        writer.write(_status_line(response.status))
+        writer.write(
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            "\r\n".encode("latin-1")
+        )
+        writer.write(response.body)
+        await writer.drain()
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, stream: EventStreamResponse
+    ) -> None:
+        """SSE relay as an asyncio task — no thread pinned per watcher."""
+        writer.write(_status_line(200))
+        writer.write(
+            f"Content-Type: {stream.content_type}\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        bus = self.service.events
+        after = stream.after
+        while True:
+            events = await bus.wait_async(
+                stream.topic, after, timeout_s=stream.keepalive_s
+            )
+            if not events:
+                writer.write(KEEPALIVE_FRAME)
+                await writer.drain()
+                continue
+            for seq, event in events:
+                writer.write(format_sse(seq, event))
+                after = seq + 1
+                if is_end_event(event):
+                    await writer.drain()
+                    return
+            await writer.drain()

@@ -1,9 +1,17 @@
 """Thin HTTP client for the evaluation service (stdlib ``urllib``).
 
-Used by the ``repro submit|status|result|cancel`` CLI verbs and by
-tests; any HTTP or transport failure surfaces as
+Used by the ``repro submit|status|result|cancel`` CLI verbs, by fleet
+workers (``lease`` / ``heartbeat`` / ``post_chunk``), and by tests; any
+HTTP or transport failure surfaces as
 :class:`~repro.errors.ServiceError` carrying the status code, so
 callers never touch ``urllib`` exceptions directly.
+
+Transport failures (connection refused, timeouts — *not* HTTP error
+statuses) on **GET** requests are retried with exponential backoff:
+GETs here are idempotent, and a service restarting under a poll loop
+shouldn't fail its clients.  Non-idempotent verbs never retry at this
+layer — submitting twice could enqueue twice — callers that can retry
+safely (the fleet worker's lease loop) do it themselves.
 """
 
 from __future__ import annotations
@@ -20,16 +28,49 @@ from repro.service.jobs import TERMINAL_STATES
 
 
 class ServiceClient:
-    """Talk to a running ``repro serve`` instance."""
+    """Talk to a running ``repro serve`` instance.
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    ``retries`` / ``retry_backoff_s`` shape the idempotent-GET retry
+    policy: attempt ``retries`` extra times after a transport failure,
+    sleeping ``retry_backoff_s * 2**attempt`` between tries.  Defaults
+    keep the worst case under a second so "service is down" still fails
+    fast.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.1,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        as_text: bool = False,
+    ):
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body, as_text)
+            except ServiceError as exc:
+                # status == 0 marks a transport failure; HTTP errors
+                # (4xx/5xx) are real answers and never retried.
+                if exc.status != 0 or attempt == attempts - 1:
+                    raise
+                time.sleep(self.retry_backoff_s * (2 ** attempt))
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -104,6 +145,35 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         return self._request("GET", "/v1/metrics", as_text=True)
+
+    # ------------------------------------------------------------------
+    # fleet protocol
+    # ------------------------------------------------------------------
+    def lease(self, worker: str) -> dict:
+        """Ask the coordinator for a chunk lease (or an idle notice)."""
+        return self._request("POST", "/v1/lease", body={"worker": worker})
+
+    def heartbeat(self, lease_id: str) -> dict:
+        return self._request(
+            "POST", "/v1/heartbeat", body={"lease_id": lease_id}
+        )
+
+    def post_chunk(self, payload: dict) -> dict:
+        """Stream one completed chunk result back to the coordinator."""
+        return self._request("POST", "/v1/chunks", body=payload)
+
+    def fleet_status(self) -> dict:
+        return self._request("GET", "/v1/fleet")
+
+    def events(
+        self, job_id: str, after: int = 0, timeout_s: float = 10.0
+    ) -> dict:
+        """One long-poll turn of the job's progress event stream."""
+        return self._request(
+            "GET",
+            f"/v1/campaigns/{job_id}/events"
+            f"?poll=1&after={int(after)}&timeout={timeout_s:g}",
+        )
 
     # ------------------------------------------------------------------
     # convenience

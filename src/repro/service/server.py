@@ -1,40 +1,38 @@
-"""HTTP front-end for the evaluation service (stdlib only).
+"""Threaded HTTP front-end for the evaluation service (stdlib only).
 
-A thin JSON layer over :class:`~repro.service.service.EvaluationService`
-on :class:`http.server.ThreadingHTTPServer` — no framework, no new
-dependencies.  Routes (all under ``/v1``)::
-
-    POST   /v1/campaigns            submit a CampaignSpec (JSON body)
-    GET    /v1/campaigns            list jobs
-    GET    /v1/campaigns/{id}         job status + live sample count
-    GET    /v1/campaigns/{id}/result  SSF + Wilson CI (when done)
-    GET    /v1/campaigns/{id}/report  rendered obs report (text/plain)
-    DELETE /v1/campaigns/{id}         cancel
-    GET    /v1/healthz              liveness + job state counts
-    GET    /v1/metrics              Prometheus text exposition
-
-The submit body is either a bare spec document or ``{"spec": {...},
-"priority": N}``.  Errors come back as ``{"error": "..."}`` with 400
-(bad spec), 404 (unknown job), or 409 (result not ready / job failed).
+A thin transport over :class:`~repro.service.router.ApiRouter` on
+:class:`http.server.ThreadingHTTPServer` — no framework, no new
+dependencies.  All routing, validation, and error shaping lives in the
+router (shared with the asyncio front-end,
+:mod:`repro.service.async_server`); this module only parses requests,
+serializes responses, and drives SSE streams: an ``text/event-stream``
+subscription pins one handler thread that blocks on the service event
+bus and relays frames until the job ends or the client disconnects.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.campaign.spec import CampaignSpec
-from repro.errors import ReproError, ServiceError
 from repro.obs.logging import get_logger
+from repro.service.router import (
+    ApiRequest,
+    ApiResponse,
+    ApiRouter,
+    EventStreamResponse,
+    KEEPALIVE_FRAME,
+    format_sse,
+    is_end_event,
+)
 from repro.service.service import EvaluationService
 
-API_PREFIX = "/v1"
+API_PREFIX = "/v1"  # re-exported for backwards compatibility
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service for its handlers."""
+    """ThreadingHTTPServer carrying the service + router for handlers."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -42,6 +40,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, service: EvaluationService):
         super().__init__(address, ServiceRequestHandler)
         self.service = service
+        self.router = ApiRouter(service)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -55,130 +54,69 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> EvaluationService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def router(self) -> ApiRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         get_logger("service.http").debug(format, *args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_json(self, status: int, payload) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._send(status, body, "application/json")
-
-    def _send_text(self, status: int, text: str) -> None:
-        self._send(status, text.encode("utf-8"), "text/plain; charset=utf-8")
-
-    def _read_json(self) -> dict:
+    def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            raise ServiceError("empty request body", status=400)
-        try:
-            payload = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ServiceError(f"invalid JSON body: {exc}", status=400)
-        if not isinstance(payload, dict):
-            raise ServiceError("request body must be a JSON object",
-                               status=400)
-        return payload
+        return self.rfile.read(length) if length else b""
 
-    def _job_path(self) -> Tuple[Optional[str], Optional[str]]:
-        """``(job_id, subresource)`` from ``/v1/campaigns/...``."""
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
-        # parts == ["v1", "campaigns", <id>?, <sub>?]
-        job_id = parts[2] if len(parts) > 2 else None
-        sub = parts[3] if len(parts) > 3 else None
-        return job_id, sub
+    def _send_response(self, response: ApiResponse) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
 
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
     def _dispatch(self, method: str) -> None:
-        try:
-            path = self.path.split("?")[0].rstrip("/")
-            if not path.startswith(API_PREFIX):
-                raise ServiceError(f"unknown path {path!r}", status=404)
-            self._route(method, path)
-        except ServiceError as exc:
-            self._send_json(exc.status or 500, {"error": str(exc)})
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # noqa: BLE001 - handler must answer
-            self._send_json(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
-
-    # ------------------------------------------------------------------
-    # routing
-    # ------------------------------------------------------------------
-    def _route(self, method: str, path: str) -> None:
-        service = self.service
-        if path == f"{API_PREFIX}/healthz" and method == "GET":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "jobs": service.state_counts(),
-                    "queue_depth": service.queue.depth(),
-                },
-            )
-            return
-        if path == f"{API_PREFIX}/metrics" and method == "GET":
-            self._send_text(200, service.metrics_text())
-            return
-        if path == f"{API_PREFIX}/campaigns":
-            if method == "POST":
-                self._submit()
-                return
-            if method == "GET":
-                self._send_json(200, {"jobs": service.list_jobs()})
-                return
-        if path.startswith(f"{API_PREFIX}/campaigns/"):
-            job_id, sub = self._job_path()
-            if job_id:
-                self._job_route(method, job_id, sub)
-                return
-        raise ServiceError(f"unknown route {method} {path!r}", status=404)
-
-    def _submit(self) -> None:
-        payload = self._read_json()
-        spec_data = payload.get("spec", payload)
-        priority = int(payload.get("priority", 0)) if "spec" in payload else 0
-        try:
-            spec = CampaignSpec.from_dict(spec_data)
-        except (ReproError, TypeError) as exc:
-            raise ServiceError(f"invalid campaign spec: {exc}", status=400)
-        job, cache_hit = self.service.submit(spec, priority=priority)
-        self._send_json(
-            202 if job.state == "queued" else 200,
-            {
-                "job_id": job.job_id,
-                "run_id": job.run_id,
-                "spec_hash": job.spec_hash,
-                "state": job.state,
-                "cache_hit": cache_hit,
-            },
-        )
-
-    def _job_route(self, method: str, job_id: str, sub: Optional[str]) -> None:
-        service = self.service
-        if method == "DELETE" and sub is None:
-            job = service.cancel(job_id)
-            self._send_json(200, {"job_id": job.job_id, "state": job.state})
-            return
-        if method != "GET":
-            raise ServiceError(
-                f"unsupported method {method} for job {job_id}", status=404
-            )
-        if sub is None:
-            self._send_json(200, service.job_status(job_id))
-        elif sub == "result":
-            self._send_json(200, service.job_result(job_id))
-        elif sub == "report":
-            self._send_text(200, service.job_report(job_id))
+        request = ApiRequest.from_target(method, self.path, self._read_body())
+        outcome = self.router.handle(request)
+        if isinstance(outcome, EventStreamResponse):
+            self._stream_events(outcome)
         else:
-            raise ServiceError(f"unknown subresource {sub!r}", status=404)
+            self._send_response(outcome)
+
+    def _stream_events(self, stream: EventStreamResponse) -> None:
+        """Relay bus events as SSE frames until end or disconnect.
+
+        This pins the handler thread for the stream's lifetime — fine
+        for the threaded front-end's scale; the asyncio front-end parks
+        a task instead.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("Cache-Control", "no-cache")
+        # Stream until close: no Content-Length, so the connection ends
+        # the response.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        bus = self.service.events
+        after = stream.after
+        try:
+            while True:
+                events = bus.wait(
+                    stream.topic, after, timeout_s=stream.keepalive_s
+                )
+                if not events:
+                    self.wfile.write(KEEPALIVE_FRAME)
+                    self.wfile.flush()
+                    continue
+                for seq, event in events:
+                    self.wfile.write(format_sse(seq, event))
+                    after = seq + 1
+                    if is_end_event(event):
+                        self.wfile.flush()
+                        return
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
 
     # ------------------------------------------------------------------
     # verb entry points

@@ -36,12 +36,14 @@ import pathlib
 import threading
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.campaign.hooks import CampaignHooks
+from repro.campaign.hooks import CampaignHooks, HookChain
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.spec_hash import spec_hash
 from repro.campaign.store import RunStore, SPEC_FILE
-from repro.errors import ReproError, ServiceError
+from repro.errors import JobCancelled, ReproError, ServiceError
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.events import EVENT_END, EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import render_report
 from repro.obs.service_metrics import (
@@ -67,9 +69,39 @@ from repro.service.jobs import (
 #: ``engine_factory(spec) -> (engine, sampler)``; tests inject stubs here.
 EngineFactory = Callable[[CampaignSpec], Tuple[object, object]]
 
+#: How jobs are executed: in-process fork pool vs. distributed fleet.
+DISPATCH_LOCAL = "local"
+DISPATCH_FLEET = "fleet"
 
-class JobCancelled(ReproError):
-    """Raised inside a worker to unwind a cancelled campaign."""
+
+class _JobEventHook(CampaignHooks):
+    """Streams campaign progress onto the service event bus.
+
+    Every consumed chunk publishes a ``progress`` event on the job's
+    topic; SSE / long-poll subscribers on
+    ``GET /v1/campaigns/<id>/events`` see them live.
+    """
+
+    def __init__(self, bus: EventBus, job_id: str):
+        self.bus = bus
+        self.job_id = job_id
+
+    def on_batch(self, chunk_index, n_new, estimator, decision=None) -> None:
+        self.bus.publish(
+            self.job_id,
+            {
+                "type": "progress",
+                "job_id": self.job_id,
+                "chunk": chunk_index,
+                "n_samples": estimator.n_samples,
+                "ssf": estimator.ssf,
+            },
+        )
+
+    def on_checkpoint(self, snapshot: dict) -> None:
+        event = {"type": "checkpoint", "job_id": self.job_id}
+        event.update(snapshot)
+        self.bus.publish(self.job_id, event)
 
 
 class _CancelHook(CampaignHooks):
@@ -100,7 +132,11 @@ class EvaluationService:
         checkpoint_every: int = 5,
         engine_factory: Optional[EngineFactory] = None,
         metrics: Optional[MetricsRegistry] = None,
+        dispatch: str = DISPATCH_LOCAL,
+        lease_ttl_s: float = 10.0,
     ):
+        if dispatch not in (DISPATCH_LOCAL, DISPATCH_FLEET):
+            raise ServiceError(f"unknown dispatch mode {dispatch!r}")
         self.runs_dir = pathlib.Path(runs_dir)
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self.store = JobStore(
@@ -112,6 +148,13 @@ class EvaluationService:
         self.checkpoint_every = checkpoint_every
         self.engine_factory = engine_factory
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.dispatch = dispatch
+        self.events = EventBus()
+        self.fleet: Optional[FleetCoordinator] = (
+            FleetCoordinator(metrics=self.metrics, lease_ttl_s=lease_ttl_s)
+            if dispatch == DISPATCH_FLEET
+            else None
+        )
         self.queue = JobQueue()
         self._lock = threading.RLock()
         self._threads: list = []
@@ -146,6 +189,8 @@ class EvaluationService:
         with self._lock:
             if self._threads:
                 return
+            if self.fleet is not None:
+                self.fleet.start()
             for i in range(self.max_concurrency):
                 thread = threading.Thread(
                     target=self._worker_loop,
@@ -172,6 +217,8 @@ class EvaluationService:
         if wait:
             for thread in self._threads:
                 thread.join()
+        if self.fleet is not None:
+            self.fleet.stop()
         self._threads = []
 
     # ------------------------------------------------------------------
@@ -236,6 +283,15 @@ class EvaluationService:
             self.jobs[job.job_id] = job
             self.queue.push(job)
             self._refresh_gauges()
+            self.events.publish(
+                job.job_id,
+                {
+                    "type": "state",
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "error": None,
+                },
+            )
             return job, False
 
     def _find_job(self, digest: str, states) -> Optional[Job]:
@@ -337,12 +393,13 @@ class EvaluationService:
     # worker pool
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
+        # Blocking pop: workers park on the queue's Condition while idle
+        # (zero CPU) instead of waking twice a second to poll.  ``None``
+        # only comes back once the queue is closed and drained.
         while True:
-            job = self.queue.pop(timeout=0.5)
+            job = self.queue.pop()
             if job is None:
-                if self._stopping.is_set():
-                    return
-                continue
+                return
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
@@ -361,17 +418,27 @@ class EvaluationService:
                 store = RunStore(run_path)
             else:
                 store = RunStore.create(self.runs_dir, spec, run_id=job.run_id)
-            engine = sampler = None
-            if self.engine_factory is not None:
+            engine = sampler = scheduler = None
+            if self.fleet is not None:
+                # Fleet dispatch: chunks are evaluated by remote workers,
+                # so the coordinator never builds the (expensive) real
+                # runtime — the runner only consumes posted results.
+                engine, sampler = FleetCoordinator.placeholder_runtime(spec)
+                scheduler = self.fleet.scheduler_for(job, store, spec)
+            elif self.engine_factory is not None:
                 engine, sampler = self.engine_factory(spec)
             runner = CampaignRunner(
                 spec,
                 store=store,
-                hooks=_CancelHook(job),
+                hooks=HookChain(
+                    _CancelHook(job),
+                    _JobEventHook(self.events, job.job_id),
+                ),
                 engine=engine,
                 sampler=sampler,
                 n_workers=self.campaign_workers,
                 checkpoint_every=self.checkpoint_every,
+                scheduler=scheduler,
             )
             runner.run(resume=resume)
             self._update(
@@ -398,6 +465,26 @@ class EvaluationService:
             for key, value in fields.items():
                 setattr(job, key, value)
             self._refresh_gauges()
+        if "state" in fields:
+            self.events.publish(
+                job.job_id,
+                {
+                    "type": "state",
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "error": job.error,
+                },
+            )
+            if job.terminal:
+                # Sentinel so event streams know the topic is finished.
+                self.events.publish(
+                    job.job_id,
+                    {
+                        "type": EVENT_END,
+                        "job_id": job.job_id,
+                        "state": job.state,
+                    },
+                )
 
     def _refresh_gauges(self) -> None:
         update_job_gauges(
@@ -409,3 +496,34 @@ class EvaluationService:
         with self._lock:
             self._refresh_gauges()
             return self.metrics.to_prometheus()
+
+    # ------------------------------------------------------------------
+    # fleet facade
+    # ------------------------------------------------------------------
+    def fleet_status(self) -> dict:
+        """Fleet snapshot for ``GET /v1/fleet``; meaningful in any
+        dispatch mode (a local service just reports no workers)."""
+        payload = {"dispatch": self.dispatch}
+        if self.fleet is not None:
+            payload.update(self.fleet.status())
+        else:
+            payload.update({"workers": [], "runs": []})
+        return payload
+
+    def _require_fleet(self) -> FleetCoordinator:
+        if self.fleet is None:
+            raise ServiceError(
+                "service is not running in fleet dispatch mode "
+                "(start it with --fleet)",
+                status=409,
+            )
+        return self.fleet
+
+    def fleet_lease(self, worker: str) -> dict:
+        return self._require_fleet().lease(worker)
+
+    def fleet_heartbeat(self, lease_id: str) -> dict:
+        return self._require_fleet().heartbeat(lease_id)
+
+    def fleet_submit_chunk(self, payload: dict) -> dict:
+        return self._require_fleet().submit_chunk(payload)

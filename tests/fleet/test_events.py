@@ -1,0 +1,90 @@
+"""EventBus semantics: sequencing, ring buffer, blocking + async waits."""
+
+import asyncio
+import threading
+import time
+
+from repro.fleet import EventBus
+from repro.fleet.events import EVENT_END
+
+
+class TestPublishRead:
+    def test_sequence_numbers_are_per_topic_and_monotonic(self):
+        bus = EventBus()
+        assert bus.publish("a", {"n": 0}) == 0
+        assert bus.publish("a", {"n": 1}) == 1
+        assert bus.publish("b", {"n": 0}) == 0
+        assert bus.last_seq("a") == 2
+        assert bus.last_seq("missing") == 0
+
+    def test_events_after_is_inclusive_and_filtered(self):
+        bus = EventBus()
+        for n in range(5):
+            bus.publish("t", {"n": n})
+        got = bus.events_after("t", 3)
+        assert [(seq, e["n"]) for seq, e in got] == [(3, 3), (4, 4)]
+        assert bus.events_after("t", 99) == []
+        assert bus.events_after("other", 0) == []
+
+    def test_ring_buffer_drops_oldest(self):
+        bus = EventBus(history=3)
+        for n in range(10):
+            bus.publish("t", {"n": n})
+        got = bus.events_after("t", 0)
+        # Only the last 3 survive, with their original sequence numbers.
+        assert [seq for seq, _ in got] == [7, 8, 9]
+
+    def test_published_event_is_copied(self):
+        bus = EventBus()
+        event = {"n": 1}
+        bus.publish("t", event)
+        event["n"] = 999
+        assert bus.events_after("t", 0)[0][1]["n"] == 1
+
+
+class TestBlockingWait:
+    def test_wait_returns_immediately_when_buffered(self):
+        bus = EventBus()
+        bus.publish("t", {"n": 0})
+        start = time.monotonic()
+        got = bus.wait("t", 0, timeout_s=5)
+        assert time.monotonic() - start < 1
+        assert len(got) == 1
+
+    def test_wait_times_out_empty(self):
+        bus = EventBus()
+        assert bus.wait("t", 0, timeout_s=0.05) == []
+
+    def test_wait_woken_by_cross_thread_publish(self):
+        bus = EventBus()
+        def publish_later():
+            time.sleep(0.05)
+            bus.publish("t", {"n": 1})
+        threading.Thread(target=publish_later).start()
+        got = bus.wait("t", 0, timeout_s=5)
+        assert [e["n"] for _, e in got] == [1]
+
+
+class TestAsyncWait:
+    def test_wait_async_woken_from_publisher_thread(self):
+        bus = EventBus()
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            def publish_later():
+                time.sleep(0.05)
+                bus.publish("t", {"type": EVENT_END})
+            loop.run_in_executor(None, publish_later)
+            return await bus.wait_async("t", 0, timeout_s=5)
+
+        got = asyncio.new_event_loop().run_until_complete(scenario())
+        assert [e["type"] for _, e in got] == [EVENT_END]
+
+    def test_wait_async_timeout(self):
+        bus = EventBus()
+
+        async def scenario():
+            return await bus.wait_async("t", 0, timeout_s=0.05)
+
+        got = asyncio.new_event_loop().run_until_complete(scenario())
+        assert got == []

@@ -1,0 +1,180 @@
+"""Fleet end-to-end over real HTTP: distributed runs are bit-identical
+to single-node runs, workers are disposable, and progress streams live.
+
+The decisive property (mirroring the campaign/service crash-resume
+suites): for a fixed spec, the fleet-dispatched campaign must produce
+the same SSF, the same durable chunk log (record for record), and the
+same deterministic metric view as the in-process single-node run — for
+any worker count, and even when a worker dies mid-chunk and its lease
+is re-issued.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignSpec, StoppingConfig
+from repro.service import ServiceClient
+
+from tests.fleet.helpers import (
+    assert_bit_identical,
+    fleet_server,
+    run_local_baseline,
+    slow_stub_factory,
+    wait_terminal,
+    workers,
+)
+
+SPEC = CampaignSpec(
+    seed=41, chunk_size=25, stopping=StoppingConfig(n_samples=150)
+)
+
+
+def submit_and_wait(server, spec=SPEC, n_workers=2, timeout_s=60.0,
+                    engine_kw=None):
+    client = ServiceClient(server.url)
+    response = client.submit(spec)
+    with workers(server.url, n_workers, **(engine_kw or {})):
+        wait_terminal(server.service, response["job_id"], timeout_s)
+    return response["job_id"]
+
+
+class TestBitIdentical:
+    def test_one_worker_matches_single_node(self, tmp_path):
+        local_service, local_job = run_local_baseline(tmp_path, SPEC)
+        with fleet_server(tmp_path) as server:
+            job_id = submit_and_wait(server, n_workers=1)
+            fleet_job = server.service.get_job(job_id)
+            assert fleet_job.state == "done"
+            assert_bit_identical(
+                local_service, local_job, server.service, fleet_job
+            )
+
+    def test_four_workers_match_single_node(self, tmp_path):
+        local_service, local_job = run_local_baseline(tmp_path, SPEC)
+        with fleet_server(tmp_path) as server:
+            job_id = submit_and_wait(server, n_workers=4)
+            fleet_job = server.service.get_job(job_id)
+            assert fleet_job.state == "done"
+            assert_bit_identical(
+                local_service, local_job, server.service, fleet_job
+            )
+
+    def test_kill_a_worker_mid_run_stays_bit_identical(self, tmp_path):
+        """A worker that leases a chunk and dies silently (no heartbeat,
+        no result) must not change the final estimate: its lease expires
+        and the chunk re-runs elsewhere, bit-identically."""
+        local_service, local_job = run_local_baseline(tmp_path, SPEC)
+        with fleet_server(tmp_path, lease_ttl_s=0.4) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            # "doomed" takes the first chunk and is never heard from
+            # again — exactly what SIGKILL on a worker host looks like
+            # from the coordinator's side.
+            deadline = time.monotonic() + 30
+            grant = client.lease("doomed")
+            while grant.get("idle") and time.monotonic() < deadline:
+                time.sleep(0.05)
+                grant = client.lease("doomed")
+            assert not grant.get("idle"), "never got a lease"
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            fleet_job = server.service.get_job(response["job_id"])
+            assert fleet_job.state == "done"
+            assert_bit_identical(
+                local_service, local_job, server.service, fleet_job
+            )
+            # The death was observed: the chunk was re-issued.
+            text = client.metrics_text()
+            assert "fleet_leases_expired_total" in text
+            assert "fleet_chunks_reassigned_total" in text
+
+
+class TestFleetVisibility:
+    def test_fleet_status_reports_workers_and_progress(self, tmp_path):
+        with fleet_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            assert client.fleet_status()["workers"] == []
+            job_id = submit_and_wait(server, n_workers=2)
+            status = client.fleet_status()
+            assert status["dispatch"] == "fleet"
+            names = {w["worker"] for w in status["workers"]}
+            assert names == {"w0", "w1"}
+            assert all(
+                w["samples_total"] >= 0 for w in status["workers"]
+            )
+            # Finished run: no active fleet runs left.
+            assert status["runs"] == []
+            assert server.service.get_job(job_id).state == "done"
+
+    def test_worker_throughput_gauge_exported(self, tmp_path):
+        with fleet_server(tmp_path) as server:
+            submit_and_wait(
+                server,
+                n_workers=1,
+                engine_kw={"engine_factory": slow_stub_factory(0.01)},
+            )
+            text = ServiceClient(server.url).metrics_text()
+            assert "fleet_worker_samples_per_second" in text
+            assert "fleet_chunks_accepted_total" in text
+            assert "fleet_workers" in text
+
+
+class TestProgressEvents:
+    def test_long_poll_streams_progress_to_end(self, tmp_path):
+        with fleet_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            job_id = response["job_id"]
+            seen = []
+            after = 0
+            deadline = time.monotonic() + 60
+            with workers(server.url, 2):
+                while time.monotonic() < deadline:
+                    page = client.events(job_id, after=after, timeout_s=2)
+                    seen.extend(e["event"] for e in page["events"])
+                    after = page["next_after"]
+                    if page["end"]:
+                        break
+            types = [e["type"] for e in seen]
+            assert types[0] == "state"          # queued at submit
+            assert "progress" in types
+            assert types[-1] == "end"
+            progress = [e for e in seen if e["type"] == "progress"]
+            counts = [e["n_samples"] for e in progress]
+            assert counts == sorted(counts)
+            assert counts[-1] == 150
+            states = [e["state"] for e in seen if e["type"] == "state"]
+            assert states[-1] == "done"
+
+    def test_sse_stream_over_raw_http(self, tmp_path):
+        with fleet_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            job_id = response["job_id"]
+            url = f"{server.url}/v1/campaigns/{job_id}/events"
+            with workers(server.url, 2):
+                with urllib.request.urlopen(url, timeout=30) as stream:
+                    assert stream.headers["Content-Type"] == (
+                        "text/event-stream"
+                    )
+                    events = []
+                    for raw in stream:
+                        line = raw.decode().strip()
+                        if line.startswith("data: "):
+                            events.append(json.loads(line[len("data: "):]))
+                            if events[-1]["type"] == "end":
+                                break
+            assert any(e["type"] == "progress" for e in events)
+            assert events[-1]["type"] == "end"
+            assert events[-1]["state"] == "done"
+
+    def test_events_unknown_job_404(self, tmp_path):
+        with fleet_server(tmp_path) as server:
+            from repro.errors import ServiceError
+
+            with pytest.raises(ServiceError) as err:
+                ServiceClient(server.url).events("nope")
+            assert err.value.status == 404

@@ -1,0 +1,273 @@
+"""Lease-expiry edge cases over the real HTTP protocol, plus the
+coordinator-SIGKILL crash-resume test (fleet mirror of the PR 3/4
+crash suites).
+
+Covered here:
+
+* a worker dies mid-chunk → its lease expires and the chunk is
+  re-issued (and the estimate is unaffected);
+* a worker completes a chunk *after* its lease expired → the late
+  result is discarded, never double-counted;
+* the coordinator is SIGKILLed with live leases outstanding → a fresh
+  coordinator over the same directories re-adopts the ledger, the
+  surviving workers reattach, and the finished run is bit-identical to
+  a single-node run that was never interrupted.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, StoppingConfig
+from repro.campaign.scheduler import Chunk, _run_chunk
+from repro.campaign.store import record_to_dict
+from repro.service import ServiceClient
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+from tests.fleet.helpers import (
+    chunk_log_dicts,
+    det_metric_view,
+    fleet_server,
+    slow_stub_factory,
+    wait_terminal,
+    workers,
+)
+
+SPEC = CampaignSpec(
+    seed=77, chunk_size=25, stopping=StoppingConfig(n_samples=75)
+)
+
+#: Spec for the SIGKILL test: enough chunks that the kill lands mid-run.
+FLEET_SPEC = CampaignSpec(
+    seed=101, chunk_size=40, stopping=StoppingConfig(n_samples=1600)
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def lease_until_granted(client, worker, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    grant = client.lease(worker)
+    while grant.get("idle") and time.monotonic() < deadline:
+        time.sleep(0.05)
+        grant = client.lease(worker)
+    assert not grant.get("idle"), "never got a lease"
+    return grant
+
+
+def evaluate_grant(grant):
+    """Do exactly what a worker would: evaluate the leased chunk."""
+    chunk = Chunk(int(grant["chunk"]), int(grant["n_samples"]))
+    result = _run_chunk(
+        BernoulliEngine(p=0.3), StubSampler(), grant["seed"], chunk
+    )
+    return {
+        "lease_id": grant["lease_id"],
+        "worker": grant["worker"],
+        "chunk": result.index,
+        "records": [record_to_dict(r) for r in result.records],
+        "metrics": result.metrics,
+        "duration_s": 0.1,
+    }
+
+
+class TestLateResults:
+    def test_late_result_discarded_not_double_counted(self, tmp_path):
+        """The slowpoke's result lands after its lease expired and before
+        anyone re-ran the chunk: rejected, chunk re-issued, final sample
+        count exact."""
+        with fleet_server(tmp_path, lease_ttl_s=0.4) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            grant = lease_until_granted(client, "slowpoke")
+            payload = evaluate_grant(grant)
+            time.sleep(1.2)  # TTL is 0.4s: the lease is long dead
+            outcome = client.post_chunk(payload)
+            assert outcome["accepted"] is False
+            assert "expired" in outcome["reason"] or "unknown" in (
+                outcome["reason"]
+            )
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            assert job.state == "done"
+            result = server.service.job_result(job.job_id)
+            # Exactly the spec's samples: the discarded result did not
+            # also get merged.
+            assert result["n_samples"] == 75
+            log = chunk_log_dicts(server.service.runs_dir, job.run_id)
+            assert [index for index, _ in log] == [0, 1, 2]
+            text = client.metrics_text()
+            assert "fleet_late_results_discarded_total 1" in text
+
+    def test_result_after_chunk_completed_elsewhere_rejected(self, tmp_path):
+        """The chunk was re-leased and finished by another worker while
+        the slowpoke evaluated; its eventual post must bounce."""
+        with fleet_server(tmp_path, lease_ttl_s=0.4) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            grant = lease_until_granted(client, "slowpoke")
+            payload = evaluate_grant(grant)
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            result_before = server.service.job_result(job.job_id)
+            outcome = client.post_chunk(payload)
+            assert outcome["accepted"] is False
+            # Nothing about the finished run changed.
+            assert server.service.job_result(job.job_id) == result_before
+
+    def test_dead_worker_chunk_is_reissued(self, tmp_path):
+        """Worker dies mid-chunk (lease taken, never completed): the
+        sweeper returns the chunk to the pool within one TTL."""
+        with fleet_server(tmp_path, lease_ttl_s=0.3) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            grant = lease_until_granted(client, "victim")
+            index = grant["chunk"]
+            with workers(server.url, 1):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            assert job.state == "done"
+            # The victim's chunk is in the final log exactly once, via
+            # the surviving worker.
+            log = chunk_log_dicts(server.service.runs_dir, job.run_id)
+            assert [i for i, _ in log].count(index) == 1
+            text = client.metrics_text()
+            assert "fleet_chunks_reassigned_total 1" in text
+
+
+CHILD_SCRIPT = """
+import pathlib, sys, time
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from repro.service import (
+    DISPATCH_FLEET, EvaluationService, ServiceServer,
+)
+from tests.fleet.test_lease_expiry import FLEET_SPEC
+
+service = EvaluationService(
+    {runs_dir!r},
+    dispatch=DISPATCH_FLEET,
+    lease_ttl_s=1.0,
+    checkpoint_every=2,
+)
+service.fleet.sweep_interval_s = 0.1
+server = ServiceServer(service, port={port})
+if {submit}:
+    job, cache_hit = service.submit(FLEET_SPEC)
+    assert not cache_hit
+server.start()
+pathlib.Path({url_file!r}).write_text(server.url)
+while True:
+    time.sleep(3600)
+"""
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX SIGKILL"
+)
+class TestCoordinatorCrash:
+    def _spawn_coordinator(self, runs_dir, url_file, port, submit):
+        script = CHILD_SCRIPT.format(
+            src=str(REPO_ROOT / "src"),
+            root=str(REPO_ROOT),
+            runs_dir=str(runs_dir),
+            port=port,
+            submit=submit,
+            url_file=str(url_file),
+        )
+        child = subprocess.Popen([sys.executable, "-c", script])
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if url_file.exists() and url_file.read_text().startswith("http"):
+                return child, url_file.read_text().strip()
+            if child.poll() is not None:
+                raise AssertionError("coordinator child died on startup")
+            time.sleep(0.05)
+        raise AssertionError("coordinator never published its URL")
+
+    def test_sigkill_coordinator_with_live_leases_resumes_bit_identical(
+        self, tmp_path
+    ):
+        baseline = CampaignRunner(
+            FLEET_SPEC,
+            engine=BernoulliEngine(p=0.3),
+            sampler=StubSampler(),
+            n_workers=1,
+        ).run()
+
+        runs_dir = tmp_path / "runs"
+        child, url = self._spawn_coordinator(
+            runs_dir, tmp_path / "url1.txt", port=0, submit=True
+        )
+        port = int(url.rsplit(":", 1)[1])
+        try:
+            with workers(
+                url, 2, engine_factory=slow_stub_factory(0.15), poll_s=0.1
+            ):
+                # Let the run get properly underway (chunks logged,
+                # leases live), then SIGKILL the coordinator.
+                run_dirs = []
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline and not run_dirs:
+                    if runs_dir.exists():
+                        run_dirs = [
+                            p for p in runs_dir.iterdir()
+                            if (p / "spec.json").exists()
+                        ]
+                    time.sleep(0.05)
+                assert run_dirs, "coordinator never created a run"
+                run_path = run_dirs[0]
+                log = run_path / "log.jsonl"
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if log.exists() and len(
+                        [l for l in log.read_text().splitlines() if l]
+                    ) >= 2:
+                        break
+                    time.sleep(0.05)
+                os.kill(child.pid, signal.SIGKILL)
+                child.wait(timeout=30)
+                assert child.returncode == -signal.SIGKILL
+                assert (run_path / "ledger.jsonl").exists()
+
+                # Mid-run: some chunks consumed, not all.
+                logged = [
+                    l for l in log.read_text().splitlines() if l
+                ]
+                assert 0 < len(logged) < len(FLEET_SPEC.chunk_sizes())
+
+                # Restart over the same directories and port; the
+                # workers' retry loops reattach on their own.
+                child2, url2 = self._spawn_coordinator(
+                    runs_dir, tmp_path / "url2.txt", port=port,
+                    submit=False,
+                )
+                try:
+                    client = ServiceClient(url2, retries=5)
+                    jobs = client.list_jobs()["jobs"]
+                    assert len(jobs) == 1
+                    job_id = jobs[0]["job_id"]
+                    status = client.wait(job_id, timeout_s=180)
+                    assert status["state"] == "done"
+                    result = client.result(job_id)
+                finally:
+                    child2.terminate()
+                    child2.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+        # Bit-identical to the never-interrupted single-node run.
+        assert result["n_samples"] == baseline.n_samples
+        assert result["ssf"] == baseline.ssf
+        # Chunk log: contiguous prefix covering the whole plan.
+        indices = [i for i, _ in chunk_log_dicts(runs_dir, run_path.name)]
+        assert indices == list(range(len(FLEET_SPEC.chunk_sizes())))
+        assert det_metric_view(runs_dir, run_path.name)  # exported + merged

@@ -1,0 +1,171 @@
+"""ChunkLedger: lease lifecycle, expiry, late-result rejection, replay."""
+
+import json
+
+import pytest
+
+from repro.campaign.scheduler import Chunk
+from repro.errors import LeaseGone
+from repro.fleet import ChunkLedger
+
+CHUNKS = [Chunk(0, 10), Chunk(1, 10), Chunk(2, 5)]
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_ledger(tmp_path, clock, **kw):
+    kw.setdefault("ttl_s", 10.0)
+    return ChunkLedger(
+        tmp_path / "ledger.jsonl", CHUNKS, clock=clock, **kw
+    )
+
+
+class TestLeaseLifecycle:
+    def test_grants_lowest_pending_chunk_first(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock)
+        assert ledger.lease("w1").chunk.index == 0
+        assert ledger.lease("w2").chunk.index == 1
+        assert ledger.lease("w1").chunk.index == 2
+        assert ledger.lease("w1") is None  # everything out on lease
+
+    def test_complete_retires_lease_and_marks_done(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock)
+        lease = ledger.lease("w1")
+        chunk = ledger.complete(lease.lease_id, 0)
+        assert chunk.n_samples == 10
+        assert ledger.counts()["done"] == 1
+        assert not ledger.all_done
+        for _ in range(2):
+            lease = ledger.lease("w1")
+            ledger.complete(lease.lease_id, lease.chunk.index)
+        assert ledger.all_done
+
+    def test_renew_extends_expiry(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=10)
+        lease = ledger.lease("w1")
+        clock.advance(8)
+        ledger.renew(lease.lease_id)
+        clock.advance(8)  # 16s after grant: would be dead without renewal
+        assert ledger.complete(lease.lease_id, 0).index == 0
+
+    def test_complete_wrong_index_rejected(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock)
+        lease = ledger.lease("w1")
+        with pytest.raises(LeaseGone):
+            ledger.complete(lease.lease_id, 2)
+
+    def test_unknown_lease_rejected(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock)
+        with pytest.raises(LeaseGone):
+            ledger.complete("deadbeef", 0)
+
+
+class TestExpiry:
+    def test_expired_lease_returns_chunk_to_pending(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=5)
+        first = ledger.lease("w1")
+        clock.advance(6)
+        due = ledger.expire_due()
+        assert [l.lease_id for l in due] == [first.lease_id]
+        # Chunk 0 is pending again and re-issues before chunk 1.
+        second = ledger.lease("w2")
+        assert second.chunk.index == 0
+        assert second.reassigned is True
+
+    def test_late_result_after_expiry_is_rejected(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=5)
+        lease = ledger.lease("w1")
+        clock.advance(6)
+        # Even without a sweeper pass, completion checks the deadline.
+        with pytest.raises(LeaseGone):
+            ledger.complete(lease.lease_id, 0)
+        # The replacement lease completes normally: no double-count path.
+        replacement = ledger.lease("w2")
+        assert replacement.chunk.index == 0
+        assert ledger.complete(replacement.lease_id, 0).index == 0
+        assert ledger.counts()["done"] == 1
+
+    def test_late_heartbeat_is_rejected(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=5)
+        lease = ledger.lease("w1")
+        clock.advance(6)
+        with pytest.raises(LeaseGone):
+            ledger.renew(lease.lease_id)
+
+    def test_completed_chunk_never_goes_back_to_pending(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=5)
+        lease = ledger.lease("w1")
+        ledger.complete(lease.lease_id, 0)
+        clock.advance(100)
+        ledger.expire_due()
+        counts = ledger.counts()
+        assert counts["done"] == 1
+        assert counts["pending"] == 2  # chunks 1 and 2 only
+
+
+class TestReplay:
+    def test_restart_readopts_unexpired_leases(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=100)
+        live = ledger.lease("w1")
+        # A second coordinator instance over the same log (crash restart).
+        reborn = make_ledger(tmp_path, clock, ttl_s=100)
+        adopted = reborn.get_lease(live.lease_id)
+        assert adopted is not None
+        assert adopted.worker == "w1"
+        assert adopted.chunk.index == 0
+        # The surviving worker's result is accepted as if nothing happened.
+        assert reborn.complete(live.lease_id, 0).index == 0
+
+    def test_restart_drops_expired_leases(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=5)
+        stale = ledger.lease("w1")
+        clock.advance(6)
+        reborn = make_ledger(tmp_path, clock, ttl_s=5)
+        assert reborn.get_lease(stale.lease_id) is None
+        assert reborn.lease("w2").chunk.index == 0
+
+    def test_restart_ignores_consumed_chunks(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=100)
+        lease = ledger.lease("w1")
+        ledger.complete(lease.lease_id, 0)
+        # Chunk 0 was consumed into the run log before the restart.
+        reborn = ChunkLedger(
+            tmp_path / "ledger.jsonl", CHUNKS, start_index=1, clock=clock
+        )
+        counts = reborn.counts()
+        assert counts["total"] == 2
+        assert counts["pending"] == 2
+
+    def test_replay_tolerates_torn_final_line(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock, ttl_s=100)
+        ledger.lease("w1")
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(path.read_text() + '{"event": "lea')
+        reborn = make_ledger(tmp_path, clock, ttl_s=100)
+        assert reborn.counts()["leased"] == 1
+
+    def test_ledger_is_fsynced_jsonl(self, tmp_path, clock):
+        ledger = make_ledger(tmp_path, clock)
+        lease = ledger.lease("w1")
+        ledger.renew(lease.lease_id)
+        ledger.complete(lease.lease_id, 0)
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "ledger.jsonl").read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == ["lease", "renew", "release"]
+        assert events[2]["reason"] == "complete"

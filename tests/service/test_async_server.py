@@ -1,0 +1,132 @@
+"""The asyncio front-end must be a drop-in for the threaded one: same
+router, same protocol, plus task-parked SSE streaming."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignSpec, StoppingConfig
+from repro.service import (
+    AsyncServiceServer,
+    DISPATCH_FLEET,
+    EvaluationService,
+    ServiceClient,
+)
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+from tests.fleet.helpers import wait_terminal, workers
+
+SPEC = CampaignSpec(
+    seed=13, chunk_size=20, stopping=StoppingConfig(n_samples=60)
+)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = EvaluationService(
+        tmp_path / "runs",
+        engine_factory=lambda spec: (BernoulliEngine(p=0.3), StubSampler()),
+    )
+    srv = AsyncServiceServer(service, port=0)
+    srv.start()
+    yield srv
+    srv.stop(cancel_running=True)
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestAsyncFrontend:
+    def test_submit_wait_result(self, client):
+        response = client.submit(SPEC)
+        assert response["state"] == "queued"
+        status = client.wait(response["job_id"], timeout_s=30)
+        assert status["state"] == "done"
+        result = client.result(response["job_id"])
+        assert result["n_samples"] == 60
+        assert result["ci_low"] <= result["ssf"] <= result["ci_high"]
+
+    def test_async_and_threaded_agree_on_results(self, tmp_path, client):
+        from repro.service import ServiceServer
+
+        response = client.submit(SPEC)
+        client.wait(response["job_id"], timeout_s=30)
+        async_result = client.result(response["job_id"])
+
+        service = EvaluationService(
+            tmp_path / "runs-threaded",
+            engine_factory=lambda spec: (
+                BernoulliEngine(p=0.3), StubSampler()
+            ),
+        )
+        threaded = ServiceServer(service, port=0)
+        threaded.start()
+        try:
+            threaded_client = ServiceClient(threaded.url)
+            job = threaded_client.submit(SPEC)
+            threaded_client.wait(job["job_id"], timeout_s=30)
+            threaded_result = threaded_client.result(job["job_id"])
+        finally:
+            threaded.stop()
+        assert threaded_result["ssf"] == async_result["ssf"]
+        assert threaded_result["n_samples"] == async_result["n_samples"]
+
+    def test_errors_shape_identical(self, client):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError) as err:
+            client.status("nope")
+        assert err.value.status == 404
+
+    def test_healthz_metrics_and_listing(self, client):
+        assert client.healthz()["status"] == "ok"
+        job = client.submit(SPEC)
+        client.wait(job["job_id"], timeout_s=30)
+        assert "service_queue_depth" in client.metrics_text()
+        listing = client.list_jobs()
+        assert any(j["job_id"] == job["job_id"] for j in listing["jobs"])
+
+    def test_sse_stream_over_asyncio(self, client, server):
+        response = client.submit(SPEC)
+        job_id = response["job_id"]
+        url = f"{server.url}/v1/campaigns/{job_id}/events"
+        with urllib.request.urlopen(url, timeout=30) as stream:
+            assert stream.headers["Content-Type"] == "text/event-stream"
+            events = []
+            for raw in stream:
+                line = raw.decode().strip()
+                if line.startswith("data: "):
+                    events.append(json.loads(line[len("data: "):]))
+                    if events[-1]["type"] == "end":
+                        break
+        assert any(e["type"] == "progress" for e in events)
+        assert events[-1]["type"] == "end"
+        assert events[-1]["state"] == "done"
+
+
+class TestAsyncFleet:
+    def test_fleet_protocol_over_asyncio(self, tmp_path):
+        service = EvaluationService(
+            tmp_path / "runs",
+            dispatch=DISPATCH_FLEET,
+            lease_ttl_s=5.0,
+        )
+        service.fleet.sweep_interval_s = 0.1
+        srv = AsyncServiceServer(service, port=0)
+        srv.start()
+        try:
+            client = ServiceClient(srv.url)
+            response = client.submit(SPEC)
+            with workers(srv.url, 2):
+                wait_terminal(service, response["job_id"])
+            job = service.get_job(response["job_id"])
+            assert job.state == "done"
+            result = client.result(job.job_id)
+            assert result["n_samples"] == 60
+            status = client.fleet_status()
+            assert {w["worker"] for w in status["workers"]} == {"w0", "w1"}
+        finally:
+            srv.stop(cancel_running=True)

@@ -1,0 +1,120 @@
+"""ServiceClient transport-retry policy: idempotent GETs retry with
+exponential backoff on connection failures; everything else fails fast.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import EvaluationService, ServiceClient, ServiceServer
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = EvaluationService(tmp_path / "runs")
+    srv = ServiceServer(service, port=0)
+    srv.start()
+    yield srv
+    srv.stop(cancel_running=True)
+
+
+class TestGetRetry:
+    def test_get_retries_transport_failures_with_backoff(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=3, retry_backoff_s=0.01
+        )
+        attempts = []
+        sleeps = []
+
+        def failing(method, path, body=None, as_text=False):
+            attempts.append(method)
+            raise ServiceError("cannot reach service", status=0)
+
+        monkeypatch.setattr(client, "_request_once", failing)
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        assert len(attempts) == 4  # 1 initial + 3 retries
+        assert sleeps == [0.01, 0.02, 0.04]  # exponential
+
+    def test_get_succeeds_after_transient_failure(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=2, retry_backoff_s=0.001
+        )
+        calls = {"n": 0}
+
+        def flaky(method, path, body=None, as_text=False):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceError("cannot reach service", status=0)
+            return {"status": "ok"}
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client.healthz() == {"status": "ok"}
+        assert calls["n"] == 3
+
+    def test_post_never_retries_transport_failures(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=5, retry_backoff_s=0.001
+        )
+        attempts = []
+
+        def failing(method, path, body=None, as_text=False):
+            attempts.append(method)
+            raise ServiceError("cannot reach service", status=0)
+
+        monkeypatch.setattr(client, "_request_once", failing)
+        with pytest.raises(ServiceError):
+            client.lease("w1")
+        assert attempts == ["POST"]  # submitting twice could queue twice
+
+    def test_http_errors_never_retry(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=5, retry_backoff_s=0.001
+        )
+        attempts = []
+
+        def not_found(method, path, body=None, as_text=False):
+            attempts.append(method)
+            raise ServiceError("no such job", status=404)
+
+        monkeypatch.setattr(client, "_request_once", not_found)
+        with pytest.raises(ServiceError):
+            client.status("nope")
+        assert len(attempts) == 1  # a 404 is an answer, not an outage
+
+    def test_retry_rides_out_a_service_restart(self, tmp_path, server):
+        """A GET issued while the service is briefly down succeeds once
+        it comes back on the same port."""
+        host, port = server.address
+        client = ServiceClient(
+            server.url, retries=8, retry_backoff_s=0.05
+        )
+        assert client.healthz()["status"] == "ok"
+        server.stop()
+
+        def restart():
+            time.sleep(0.3)
+            service = EvaluationService(tmp_path / "runs2")
+            srv = ServiceServer(service, host=host, port=port)
+            srv.start()
+            restart.server = srv
+
+        thread = threading.Thread(target=restart)
+        thread.start()
+        try:
+            assert client.healthz()["status"] == "ok"
+        finally:
+            thread.join()
+            restart.server.stop()
+
+    def test_unreachable_still_fails_fast_by_default(self):
+        # The default policy keeps worst-case latency well under a
+        # second, so CLI verbs against a dead service stay snappy.
+        client = ServiceClient("http://127.0.0.1:1", timeout_s=1)
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        assert time.monotonic() - start < 5

@@ -1,0 +1,57 @@
+"""Regression: idle service workers must park on the queue Condition,
+not wake up on short timeouts to poll (the old loop popped with
+``timeout=0.5``, costing two wakeups per second per worker forever).
+"""
+
+import time
+
+from repro.campaign import CampaignSpec, StoppingConfig
+from repro.service import EvaluationService
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+
+def test_idle_workers_burn_no_cpu(tmp_path):
+    service = EvaluationService(
+        tmp_path / "runs",
+        max_concurrency=4,
+        engine_factory=lambda spec: (BernoulliEngine(), StubSampler()),
+    )
+    service.start()
+    try:
+        # Settle, then measure process CPU across an idle window.  Four
+        # polling workers would accumulate real CPU here; four workers
+        # blocked in Condition.wait() accumulate none.
+        time.sleep(0.1)
+        cpu_before = time.process_time()
+        time.sleep(1.0)
+        cpu_spent = time.process_time() - cpu_before
+        assert cpu_spent < 0.25, (
+            f"idle service burned {cpu_spent:.3f}s CPU in 1s wall — "
+            "workers are polling instead of blocking"
+        )
+    finally:
+        service.stop()
+
+
+def test_blocking_pop_still_executes_and_stops_cleanly(tmp_path):
+    """The blocking loop must not cost liveness: jobs submitted after
+    start still run, and stop() unblocks parked workers promptly."""
+    service = EvaluationService(
+        tmp_path / "runs",
+        engine_factory=lambda spec: (BernoulliEngine(), StubSampler()),
+    )
+    service.start()
+    time.sleep(0.2)  # worker is parked in the blocking pop by now
+    job, _ = service.submit(
+        CampaignSpec(seed=5, chunk_size=20,
+                     stopping=StoppingConfig(n_samples=40))
+    )
+    deadline = time.monotonic() + 30
+    while not service.get_job(job.job_id).terminal:
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    assert service.get_job(job.job_id).state == "done"
+    start = time.monotonic()
+    service.stop()
+    assert time.monotonic() - start < 5
