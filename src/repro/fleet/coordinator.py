@@ -29,7 +29,7 @@ from __future__ import annotations
 import queue as queue_mod
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.scheduler import Chunk, ChunkResult
 from repro.campaign.store import RunStore, record_from_dict
@@ -41,6 +41,7 @@ from repro.obs.fleet_metrics import (
     record_lease_renewed,
     record_leases_expired,
     record_result_discarded,
+    remove_worker_rate,
     update_fleet_depth,
     update_worker_rate,
 )
@@ -166,8 +167,11 @@ class FleetScheduler:
     # ------------------------------------------------------------------
     # coordinator-facing entry points (called under the coordinator lock)
     # ------------------------------------------------------------------
-    def try_lease(self, worker: str) -> Optional[dict]:
-        """Grant the next pending chunk of this run, as a wire payload."""
+    def try_lease(self, worker: str) -> Optional[Tuple[dict, bool]]:
+        """Grant the next pending chunk of this run.
+
+        Returns ``(wire payload, reassigned)``, or ``None`` when nothing
+        is pending."""
         if self._closed or self.ledger is None:
             return None
         lease = self.ledger.lease(worker)
@@ -198,14 +202,29 @@ class FleetScheduler:
             raise LeaseGone(
                 f"job {self.job.job_id} is no longer accepting results"
             )
-        chunk = self.ledger.complete(lease_id, chunk_index)
-        decoded = [record_from_dict(r) for r in records]
-        if len(decoded) != chunk.n_samples:
+        # Decode and validate BEFORE retiring the lease: if the payload
+        # is malformed, the chunk must stay leased (it expires and is
+        # re-issued), never done-but-unconsumed — that would strand one
+        # queued-result slot and hang :meth:`run` forever.
+        lease = self.ledger.get_lease(lease_id)
+        if lease is None:
+            raise LeaseGone(
+                f"lease {lease_id} is unknown or already retired"
+            )
+        try:
+            decoded = [record_from_dict(r) for r in records]
+        except Exception as exc:
             raise ServiceError(
-                f"chunk {chunk_index} result carries {len(decoded)} "
-                f"records, expected {chunk.n_samples}",
+                f"chunk {chunk_index} result is malformed: {exc}",
                 status=400,
             )
+        if len(decoded) != lease.chunk.n_samples:
+            raise ServiceError(
+                f"chunk {chunk_index} result carries {len(decoded)} "
+                f"records, expected {lease.chunk.n_samples}",
+                status=400,
+            )
+        chunk = self.ledger.complete(lease_id, chunk_index)
         self._results.put(ChunkResult(chunk_index, decoded, metrics))
         return chunk
 
@@ -216,6 +235,13 @@ class FleetCoordinator:
     #: A worker counts toward the fleet-depth gauge if it talked to the
     #: coordinator within this window.
     liveness_window_s = 30.0
+
+    #: A worker silent this long is evicted from the registry and its
+    #: per-worker rate gauge dropped — default worker ids embed
+    #: pid+uuid, so without eviction every restarted worker would add a
+    #: permanent WorkerInfo entry and Prometheus series to a long-lived
+    #: coordinator.
+    worker_eviction_s = 10 * liveness_window_s
 
     def __init__(
         self,
@@ -425,7 +451,9 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
     def sweep(self) -> int:
         """Expire overdue leases across every active run (returns how
-        many expired).  Called by the background sweeper and by tests."""
+        many expired).  Called by the background sweeper and by tests.
+        Also evicts long-silent workers so the registry and the
+        per-worker gauge series stay bounded."""
         expired = 0
         with self._lock:
             for scheduler in list(self._runs.values()):
@@ -436,7 +464,16 @@ class FleetCoordinator:
                     self._lease_to_job.pop(lease.lease_id, None)
                 expired += len(due)
             record_leases_expired(self.metrics, expired)
-            self._refresh_depth(time.time())
+            now = time.time()
+            cutoff = now - self.worker_eviction_s
+            for worker_id in [
+                worker_id
+                for worker_id, info in self._workers.items()
+                if info.last_seen < cutoff
+            ]:
+                del self._workers[worker_id]
+                remove_worker_rate(self.metrics, worker_id)
+            self._refresh_depth(now)
         return expired
 
     def _sweep_loop(self) -> None:

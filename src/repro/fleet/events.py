@@ -18,6 +18,7 @@ many concurrent SSE watchers cheaply.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -81,13 +82,27 @@ class EventBus:
         self, topic: str, after: int, timeout_s: Optional[float] = None
     ) -> List[SeqEvent]:
         """Block until ``topic`` has events at/after ``after`` (or
-        timeout); returns them ([] on timeout)."""
+        timeout); returns them ([] on timeout).
+
+        Publishes notify every waiter regardless of topic, so a single
+        ``cond.wait`` would return empty as soon as *any* topic
+        publishes — loop against an absolute deadline instead.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
         with self._cond:
-            ready = self._events_after_locked(topic, after)
-            if ready or timeout_s == 0:
-                return ready
-            self._cond.wait(timeout=timeout_s)
-            return self._events_after_locked(topic, after)
+            while True:
+                ready = self._events_after_locked(topic, after)
+                if ready:
+                    return ready
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(timeout=remaining)
 
     def _events_after_locked(self, topic: str, after: int) -> List[SeqEvent]:
         buffer = self._events.get(topic)

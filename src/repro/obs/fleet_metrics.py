@@ -60,3 +60,10 @@ def update_worker_rate(
     registry.gauge(
         FLEET_WORKER_RATE, deterministic=False, worker=worker
     ).set(samples_per_s)
+
+
+def remove_worker_rate(registry: MetricsRegistry, worker: str) -> None:
+    """Drop an evicted worker's rate series — worker ids embed pid+uuid,
+    so retaining series for departed workers grows the exposition
+    without bound."""
+    registry.remove(FLEET_WORKER_RATE, worker=worker)

@@ -253,6 +253,11 @@ class MetricsRegistry:
             return None
         return metric.value
 
+    def remove(self, name: str, **labels) -> bool:
+        """Drop one collector series (e.g. a departed worker's gauge);
+        returns whether it existed."""
+        return self._metrics.pop((name, _label_items(labels)), None) is not None
+
     def __len__(self) -> int:
         return len(self._metrics)
 

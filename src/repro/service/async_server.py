@@ -152,7 +152,20 @@ class AsyncServiceServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except ServiceError as exc:
+                    # Oversized header/body: answer with a real HTTP
+                    # error instead of a bare connection reset.  The
+                    # request framing is unrecoverable (the offending
+                    # bytes were never drained), so close afterwards.
+                    await self._write_response(
+                        writer,
+                        ApiResponse.json(
+                            exc.status or 400, {"error": str(exc)}
+                        ),
+                    )
+                    return
                 if request is None:
                     return
                 outcome = await asyncio.get_event_loop().run_in_executor(

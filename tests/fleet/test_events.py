@@ -64,6 +64,48 @@ class TestBlockingWait:
         got = bus.wait("t", 0, timeout_s=5)
         assert [e["n"] for _, e in got] == [1]
 
+    def test_wait_not_cut_short_by_other_topic_publishes(self):
+        """publish() notifies every waiter; a waiter on topic A must
+        keep waiting through topic-B traffic instead of returning empty
+        on the first wakeup."""
+        bus = EventBus()
+        stop = threading.Event()
+        def noisy_neighbor():
+            while not stop.is_set():
+                bus.publish("other", {"n": 0})
+                time.sleep(0.01)
+        def publish_later():
+            time.sleep(0.2)
+            bus.publish("t", {"n": 1})
+        noisy = threading.Thread(target=noisy_neighbor)
+        noisy.start()
+        threading.Thread(target=publish_later).start()
+        try:
+            got = bus.wait("t", 0, timeout_s=5)
+        finally:
+            stop.set()
+            noisy.join()
+        assert [e["n"] for _, e in got] == [1]
+
+    def test_wait_timeout_honored_despite_other_topic_publishes(self):
+        bus = EventBus()
+        stop = threading.Event()
+        def noisy_neighbor():
+            while not stop.is_set():
+                bus.publish("other", {"n": 0})
+                time.sleep(0.01)
+        noisy = threading.Thread(target=noisy_neighbor)
+        noisy.start()
+        try:
+            start = time.monotonic()
+            got = bus.wait("t", 0, timeout_s=0.3)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            noisy.join()
+        assert got == []
+        assert elapsed >= 0.25
+
 
 class TestAsyncWait:
     def test_wait_async_woken_from_publisher_thread(self):

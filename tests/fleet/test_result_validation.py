@@ -1,0 +1,120 @@
+"""Coordinator hygiene: malformed result payloads must never corrupt or
+hang a run, and departed workers must not accumulate forever.
+
+Regression context: ``FleetScheduler.accept`` used to retire the lease
+(``ledger.complete``) *before* decoding the posted records — a payload
+with undecodable records or a wrong record count then left the chunk
+done-but-unconsumed, so ``FleetScheduler.run`` waited for a result that
+would never arrive and the job hung until a coordinator restart.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.fleet.coordinator import FleetCoordinator
+from repro.obs.fleet_metrics import FLEET_WORKER_RATE, update_worker_rate
+from repro.service import ServiceClient
+
+from tests.fleet.helpers import fleet_server, wait_terminal, workers
+from tests.fleet.test_lease_expiry import (
+    SPEC,
+    evaluate_grant,
+    lease_until_granted,
+)
+
+
+class TestMalformedResults:
+    def test_wrong_record_count_is_400_and_chunk_not_stranded(self, tmp_path):
+        """A truncated payload gets a 400, the chunk stays leased (not
+        done), and honest workers still finish the whole campaign."""
+        with fleet_server(tmp_path, lease_ttl_s=0.4) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            grant = lease_until_granted(client, "liar")
+            payload = evaluate_grant(grant)
+            truncated = dict(payload)
+            truncated["records"] = payload["records"][:-1]
+            with pytest.raises(ServiceError) as err:
+                client.post_chunk(truncated)
+            assert err.value.status == 400
+            # The chunk was not marked done: the full plan completes.
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            assert job.state == "done"
+            result = server.service.job_result(job.job_id)
+            assert result["n_samples"] == 75
+
+    def test_undecodable_records_are_400_and_chunk_not_stranded(
+        self, tmp_path
+    ):
+        with fleet_server(tmp_path, lease_ttl_s=0.4) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            grant = lease_until_granted(client, "liar")
+            payload = evaluate_grant(grant)
+            garbage = dict(payload)
+            garbage["records"] = [{"garbage": True}] * len(
+                payload["records"]
+            )
+            with pytest.raises(ServiceError) as err:
+                client.post_chunk(garbage)
+            assert err.value.status == 400
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            assert job.state == "done"
+            result = server.service.job_result(job.job_id)
+            assert result["n_samples"] == 75
+
+    def test_honest_retry_on_same_lease_still_accepted(self, tmp_path):
+        """A 400 leaves the lease live: the same worker can re-post a
+        correct payload on it without waiting for expiry."""
+        with fleet_server(tmp_path, lease_ttl_s=5.0) as server:
+            client = ServiceClient(server.url)
+            client.submit(SPEC)
+            grant = lease_until_granted(client, "flaky")
+            payload = evaluate_grant(grant)
+            truncated = dict(payload)
+            truncated["records"] = payload["records"][:-1]
+            with pytest.raises(ServiceError):
+                client.post_chunk(truncated)
+            outcome = client.post_chunk(payload)
+            assert outcome["accepted"] is True
+
+
+class TestWorkerEviction:
+    def test_silent_workers_evicted_with_their_gauge_series(self):
+        coordinator = FleetCoordinator()
+        coordinator.worker_eviction_s = 0.05
+        with coordinator._lock:
+            coordinator._touch("ghost")
+        update_worker_rate(coordinator.metrics, "ghost", 123.0)
+        assert (
+            coordinator.metrics.value(FLEET_WORKER_RATE, worker="ghost")
+            == 123.0
+        )
+        time.sleep(0.1)
+        with coordinator._lock:
+            coordinator._touch("alive")
+        coordinator.sweep()
+        assert "ghost" not in coordinator._workers
+        assert "alive" in coordinator._workers
+        assert (
+            coordinator.metrics.value(FLEET_WORKER_RATE, worker="ghost")
+            is None
+        )
+
+    def test_recently_seen_workers_survive_sweep(self):
+        coordinator = FleetCoordinator()
+        with coordinator._lock:
+            coordinator._touch("steady")
+        update_worker_rate(coordinator.metrics, "steady", 10.0)
+        coordinator.sweep()
+        assert "steady" in coordinator._workers
+        assert (
+            coordinator.metrics.value(FLEET_WORKER_RATE, worker="steady")
+            == 10.0
+        )

@@ -81,6 +81,29 @@ class TestAsyncFrontend:
             client.status("nope")
         assert err.value.status == 404
 
+    def test_oversized_body_answered_with_400_not_reset(self, server):
+        """A Content-Length past the cap must get a real HTTP 400, not a
+        bare connection close."""
+        import socket
+
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/chunks HTTP/1.1\r\n"
+                b"Content-Length: 999999999999\r\n"
+                b"\r\n"
+            )
+            sock.settimeout(10)
+            chunks = []
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+        response = b"".join(chunks)
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"request body too large" in response
+
     def test_healthz_metrics_and_listing(self, client):
         assert client.healthz()["status"] == "ok"
         job = client.submit(SPEC)
