@@ -89,7 +89,7 @@ class CampaignRunner:
         self._sampler = sampler
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if tracer is None and getattr(spec, "trace", False):
-            tracer = Tracer()
+            tracer = Tracer(metrics=self.metrics)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # Runner-owned obs hook: first in the chain, also fed during
         # replay, so campaign progress metrics are deterministic.
@@ -201,6 +201,11 @@ class CampaignRunner:
                 tracer=self.tracer,
                 metrics=self.metrics,
             )
+        elif hasattr(scheduler, "bind_obs"):
+            # Injected schedulers (the fleet lease scheduler) get the
+            # runner's registry and tracer so shipped worker telemetry
+            # lands in the same metrics.jsonl / merged-trace exports.
+            scheduler.bind_obs(self.metrics, self.tracer)
         hooks = self._hook_chain
         pending: Dict[int, ChunkResult] = {}
         state = {"next": next_index, "decision": None, "since_ckpt": 0}

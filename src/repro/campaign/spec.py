@@ -79,6 +79,7 @@ class CampaignSpec:
     charac_cache: Optional[str] = None  # pre-characterization JSON to reuse
     trace: bool = False               # record spans → runs/<id>/trace.json
     batch: bool = True                # batched sampling kernel (--no-batch off)
+    telemetry: bool = True            # fleet workers ship spans/metrics/logs
     stopping: StoppingConfig = field(default_factory=StoppingConfig)
 
     def __post_init__(self) -> None:

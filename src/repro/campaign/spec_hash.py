@@ -17,9 +17,12 @@ Canonicalization rules (pinned by golden-hash tests):
 * pure observability/performance knobs that cannot change the estimate
   are *excluded*: ``trace`` (span recording), ``charac_cache`` (a
   memoized pre-characterization is derived deterministically from the
-  benchmark + variant, the path only skips recomputation), and ``batch``
+  benchmark + variant, the path only skips recomputation), ``batch``
   (the batched kernel is bit-identical to the scalar path, so batched
-  and scalar runs of one spec share a cache entry);
+  and scalar runs of one spec share a cache entry), and ``telemetry``
+  (fleet workers' shipped spans/metrics/logs are forced
+  non-deterministic on ingest and can never reach the estimator or the
+  deterministic metric view);
 * everything else — including ``seed`` and ``chunk_size``, both of which
   select the per-chunk seed streams and therefore the exact sample
   sequence — is part of the identity.
@@ -40,7 +43,7 @@ from repro.campaign.spec import CampaignSpec
 HASH_SCHEMA_VERSION = 1
 
 #: Spec fields that cannot affect the campaign's estimate.
-NON_SEMANTIC_FIELDS = ("trace", "charac_cache", "batch")
+NON_SEMANTIC_FIELDS = ("trace", "charac_cache", "batch", "telemetry")
 
 
 def code_version_salt() -> str:

@@ -44,6 +44,8 @@ CHECKPOINT_FILE = "checkpoint.json"
 METRICS_FILE = "metrics.jsonl"
 PROM_FILE = "metrics.prom"
 TRACE_FILE = "trace.json"
+EVENTS_FILE = "events.jsonl"
+FLEET_TRACE_FILE = "trace_fleet.json"
 
 STATUS_RUNNING = "running"
 STATUS_COMPLETE = "complete"
@@ -274,3 +276,54 @@ class RunStore:
         self._atomic_write(
             TRACE_FILE, json.dumps(tracer.to_chrome(), sort_keys=True)
         )
+
+    def write_fleet_trace(self, trace: dict) -> None:
+        """Export the merged coordinator+workers Chrome trace.
+
+        Kept separate from ``trace.json`` — the runner rewrites that one
+        from its own (coordinator-side) tracer at every checkpoint, and
+        the merged trace exists only for fleet runs.
+        """
+        self._atomic_write(
+            FLEET_TRACE_FILE, json.dumps(trace, sort_keys=True)
+        )
+
+    def read_fleet_trace(self) -> dict:
+        """The merged fleet trace (``{}`` when the run never wrote one)."""
+        target = self.path / FLEET_TRACE_FILE
+        if not target.exists():
+            return {}
+        return json.loads(target.read_text())
+
+    # ------------------------------------------------------------------
+    # operational event log (fleet telemetry; advisory, append-only)
+    # ------------------------------------------------------------------
+    def append_event(self, event: dict) -> None:
+        """Append one operational event (lease lifecycle, shipped worker
+        log record, straggler flag) to ``events.jsonl``.
+
+        Advisory telemetry: plain buffered appends, no fsync — losing a
+        tail of events in a crash costs debuggability, never
+        correctness.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        with open(self.path / EVENTS_FILE, "a") as fh:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def read_events(self) -> List[dict]:
+        """All operational events ([] when the run shipped none); a torn
+        final line is dropped."""
+        target = self.path / EVENTS_FILE
+        if not target.exists():
+            return []
+        out = []
+        with open(target) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+        return out

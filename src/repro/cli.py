@@ -587,6 +587,7 @@ def cmd_worker(args) -> int:
         worker_id=args.worker_id,
         poll_s=args.poll,
         max_chunks=args.max_chunks,
+        telemetry=not args.no_telemetry,
     )
     print(
         f"worker {worker.worker_id} attached to {args.attach}",
@@ -634,6 +635,23 @@ def cmd_fleet_status(args) -> int:
             run_rows, title="Active fleet runs",
         ))
     return 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import TopApp
+
+    app = TopApp(
+        _service_client(args),
+        args.job_id,
+        interval_s=args.interval,
+        ansi=False if args.plain else None,
+    )
+    try:
+        state = app.run()
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+        return 130
+    return 0 if state.state == "done" else 1
 
 
 def _service_client(args):
@@ -1085,6 +1103,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after serving this many chunks (testing)")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-request HTTP timeout in seconds")
+    p.add_argument("--no-telemetry", action="store_true",
+                   dest="no_telemetry",
+                   help="do not ship spans/metrics/logs with chunk "
+                   "results (shipping is always non-semantic: the "
+                   "estimate is identical either way)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("fleet", help="fleet introspection verbs")
@@ -1097,6 +1120,19 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--json", action="store_true",
                     help="emit the response as JSON on stdout")
     pf.set_defaults(func=cmd_fleet_status)
+
+    p = sub.add_parser(
+        "top", help="live dashboard for a running fleet campaign"
+    )
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="base URL of a running `repro serve`")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds")
+    p.add_argument("--plain", action="store_true",
+                   help="append one status line per tick instead of "
+                   "repainting (automatic when stdout is not a TTY)")
+    p.set_defaults(func=cmd_top)
 
     def _client_flags(pc, with_json=True):
         pc.add_argument("--url", default="http://127.0.0.1:8321",

@@ -29,22 +29,30 @@ from __future__ import annotations
 import queue as queue_mod
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+import uuid
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.campaign.scheduler import Chunk, ChunkResult
 from repro.campaign.store import RunStore, record_from_dict
 from repro.errors import LeaseGone, JobCancelled, ServiceError
 from repro.fleet.ledger import ChunkLedger, LEDGER_FILE
+from repro.fleet.telemetry import RunTelemetry
 from repro.obs.fleet_metrics import (
+    observe_lease_wait,
+    observe_queue_wait,
+    observe_roundtrip,
     record_chunk_accepted,
     record_lease_granted,
     record_lease_renewed,
     record_leases_expired,
     record_result_discarded,
-    remove_worker_rate,
+    record_straggler,
+    remove_worker_series,
     update_fleet_depth,
     update_worker_rate,
 )
+from repro.obs.logging import warn_once
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -119,10 +127,26 @@ class FleetScheduler:
         self._results: "queue_mod.Queue" = queue_mod.Queue()
         self._workers_seen: set = set()
         self._closed = False
+        #: Correlation id carried by every grant, span, and event of
+        #: this run — what lets a merged trace be joined back to logs.
+        self.trace_id = uuid.uuid4().hex[:16]
+        self.telemetry: Optional[RunTelemetry] = None
+        self._bound_metrics: Optional[MetricsRegistry] = None
+        self._bound_tracer = None
 
     @property
     def n_workers_used(self) -> int:
         return max(1, len(self._workers_seen))
+
+    def bind_obs(self, metrics: MetricsRegistry, tracer) -> None:
+        """Receive the runner's merged registry and tracer (called by
+        :meth:`CampaignRunner._drive` before :meth:`run`).
+
+        Shipped worker metrics are folded into ``metrics`` only after
+        the consumption loop finishes — the runner's deterministic
+        chunk-order merging must never race telemetry ingest."""
+        self._bound_metrics = metrics
+        self._bound_tracer = tracer
 
     # ------------------------------------------------------------------
     # runner-facing contract (mirrors WorkStealingScheduler.run)
@@ -136,6 +160,16 @@ class FleetScheduler:
             chunks,
             start_index=start_index,
             ttl_s=self.coordinator.lease_ttl_s,
+        )
+        self.telemetry = RunTelemetry(
+            self.store, self.trace_id, metrics=self.coordinator.metrics
+        )
+        self.telemetry.record_event(
+            "run_started",
+            run_id=self.store.run_id,
+            job_id=self.job.job_id,
+            n_chunks=len(remaining),
+            start_index=start_index,
         )
         self.coordinator._attach(self)
         try:
@@ -159,10 +193,34 @@ class FleetScheduler:
                 if not on_chunk(result):
                     return
         finally:
-            self._closed = True
-            self.coordinator._detach(self)
-            if self.ledger is not None:
-                self.ledger.release_all()
+            # Close under the coordinator lock: accept()/ingest run on
+            # HTTP handler threads holding it, so after this block no
+            # telemetry can mutate state we are about to export.
+            with self.coordinator._lock:
+                self._closed = True
+                self.coordinator._detach(self)
+                if self.ledger is not None:
+                    self.ledger.release_all()
+                self._export_telemetry()
+
+    def _export_telemetry(self) -> None:
+        """Fold shipped worker metrics into the runner's registry and
+        write the merged fleet trace (run close, lock held).
+
+        Runs after the consumption loop, so the runner's final
+        ``_export_obs`` (which rewrites ``metrics.jsonl``) sees the
+        shipped series; they are all non-deterministic, so the
+        deterministic view — the fleet-vs-local parity surface — is
+        untouched.
+        """
+        if self.telemetry is None:
+            return
+        self.telemetry.record_event("run_closed", run_id=self.store.run_id)
+        if self._bound_metrics is not None:
+            self._bound_metrics.merge_snapshot(
+                self.telemetry.shipped.snapshot()
+            )
+        self.telemetry.export(self._bound_tracer)
 
     # ------------------------------------------------------------------
     # coordinator-facing entry points (called under the coordinator lock)
@@ -177,6 +235,7 @@ class FleetScheduler:
         lease = self.ledger.lease(worker)
         if lease is None:
             return None
+        reassigned = bool(getattr(lease, "reassigned", False))
         grant = lease.to_grant()
         grant.update(
             {
@@ -185,9 +244,26 @@ class FleetScheduler:
                 "seed": self.spec.seed,
                 "spec": self.spec.to_dict(),
                 "ttl_s": self.coordinator.lease_ttl_s,
+                "trace_id": self.trace_id,
             }
         )
-        return grant, bool(getattr(lease, "reassigned", False))
+        observe_queue_wait(self.coordinator.metrics, lease.queue_wait_s)
+        if self.telemetry is not None:
+            self.telemetry.record_event(
+                "lease_granted",
+                lease_id=lease.lease_id,
+                chunk=lease.chunk.index,
+                worker=worker,
+                reassigned=reassigned,
+                queue_wait_s=round(lease.queue_wait_s, 6),
+            )
+            self.telemetry.add_instant(
+                "lease.reissue" if reassigned else "lease.grant",
+                worker=worker,
+                chunk=lease.chunk.index,
+                lease_id=lease.lease_id,
+            )
+        return grant, reassigned
 
     def accept(
         self,
@@ -195,6 +271,7 @@ class FleetScheduler:
         chunk_index: int,
         records: List[dict],
         metrics: Optional[List[dict]],
+        telemetry: Optional[dict] = None,
     ) -> Chunk:
         """Validate a posted result against the ledger and queue it for
         consumption.  Raises :class:`LeaseGone` on discard."""
@@ -225,6 +302,44 @@ class FleetScheduler:
                 status=400,
             )
         chunk = self.ledger.complete(lease_id, chunk_index)
+        worker = lease.worker
+        roundtrip_s = (
+            time.time() - lease.granted_at if lease.granted_at else None
+        )
+        if roundtrip_s is not None:
+            self.coordinator._note_roundtrip(
+                worker, roundtrip_s, self.job.job_id, self.telemetry
+            )
+        if self.telemetry is not None:
+            # Best-effort: the lease is already retired, so a telemetry
+            # failure past this point must never abort the post — that
+            # would strand the chunk done-but-unconsumed and hang run().
+            try:
+                if telemetry is not None:
+                    self.telemetry.ingest(worker, telemetry)
+                self.telemetry.record_event(
+                    "chunk_accepted",
+                    lease_id=lease_id,
+                    chunk=chunk_index,
+                    worker=worker,
+                    roundtrip_s=(
+                        round(roundtrip_s, 6)
+                        if roundtrip_s is not None
+                        else None
+                    ),
+                )
+                self.telemetry.add_instant(
+                    "chunk.accepted",
+                    worker=worker,
+                    chunk=chunk_index,
+                    lease_id=lease_id,
+                )
+            except Exception as exc:
+                warn_once(
+                    f"fleet-telemetry-ingest-{self.job.job_id}",
+                    f"telemetry ingest failed for chunk {chunk_index} "
+                    f"from {worker}: {exc}",
+                )
         self._results.put(ChunkResult(chunk_index, decoded, metrics))
         return chunk
 
@@ -243,20 +358,34 @@ class FleetCoordinator:
     #: coordinator.
     worker_eviction_s = 10 * liveness_window_s
 
+    #: A chunk round-trip this many times the rolling fleet median flags
+    #: its worker as a straggler (warn-once + EventBus event + counter).
+    straggler_factor = 3.0
+
+    #: Round-trips observed before the straggler detector arms — the
+    #: median of a couple of samples is noise, not a baseline.
+    straggler_min_samples = 5
+
     def __init__(
         self,
         metrics: Optional[MetricsRegistry] = None,
         lease_ttl_s: float = 10.0,
         sweep_interval_s: float = 1.0,
+        events=None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.lease_ttl_s = float(lease_ttl_s)
         self.sweep_interval_s = float(sweep_interval_s)
+        #: Optional :class:`~repro.fleet.events.EventBus` — straggler
+        #: flags are published to the job's topic so live dashboards
+        #: (``repro top``) see them on the same stream as progress.
+        self.events = events
         self._lock = threading.RLock()
         self._runs: Dict[str, FleetScheduler] = {}       # job_id -> scheduler
         self._order: List[str] = []                      # lease fairness order
         self._lease_to_job: Dict[str, str] = {}
         self._workers: Dict[str, WorkerInfo] = {}
+        self._roundtrips: Deque[float] = deque(maxlen=64)
         self._sweeper: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -341,6 +470,13 @@ class FleetCoordinator:
             lease = scheduler.ledger.renew(lease_id)
             self._touch(lease.worker)
             record_lease_renewed(self.metrics)
+            if scheduler.telemetry is not None:
+                scheduler.telemetry.add_instant(
+                    "lease.heartbeat",
+                    worker=lease.worker,
+                    chunk=lease.chunk.index,
+                    lease_id=lease_id,
+                )
             return {"lease_id": lease_id, "expires_at": lease.expires_at}
 
     def submit_chunk(self, payload: dict) -> dict:
@@ -355,6 +491,7 @@ class FleetCoordinator:
         chunk_index = int(payload.get("chunk", -1))
         with self._lock:
             self._touch(worker)
+            scheduler = None
             try:
                 scheduler = self._scheduler_for_lease(lease_id)
                 chunk = scheduler.accept(
@@ -362,9 +499,21 @@ class FleetCoordinator:
                     chunk_index,
                     payload.get("records") or [],
                     payload.get("metrics"),
+                    telemetry=payload.get("telemetry"),
                 )
             except LeaseGone as exc:
                 record_result_discarded(self.metrics)
+                if (
+                    scheduler is not None
+                    and scheduler.telemetry is not None
+                ):
+                    scheduler.telemetry.record_event(
+                        "result_discarded",
+                        lease_id=lease_id,
+                        chunk=chunk_index,
+                        worker=worker,
+                        reason=str(exc),
+                    )
                 return {
                     "accepted": False,
                     "chunk": chunk_index,
@@ -380,6 +529,81 @@ class FleetCoordinator:
             if info.busy_s > 0:
                 update_worker_rate(self.metrics, worker, info.samples_per_s)
             return {"accepted": True, "chunk": chunk_index}
+
+    def post_telemetry(self, payload: dict) -> dict:
+        """Accept an out-of-band telemetry bundle (``POST /v1/telemetry``).
+
+        Used by workers whose lease is gone (expired mid-chunk, runtime
+        build failure) and for end-of-loop span flushes — the spans and
+        log records still matter for the merged trace even though no
+        chunk result rides along.  Always best-effort: an unknown job is
+        a polite no, never an error.
+        """
+        worker = str(payload.get("worker") or "?")
+        job_id = payload.get("job_id")
+        with self._lock:
+            self._touch(worker)
+            scheduler = self._runs.get(job_id) if job_id else None
+            if scheduler is None or scheduler.telemetry is None:
+                return {
+                    "accepted": False,
+                    "reason": f"no active run for job {job_id!r}",
+                }
+            telemetry = payload.get("telemetry")
+            if isinstance(telemetry, dict):
+                try:
+                    scheduler.telemetry.ingest(worker, telemetry)
+                except Exception as exc:
+                    return {"accepted": False, "reason": str(exc)}
+            return {"accepted": True}
+
+    def _note_roundtrip(
+        self,
+        worker: str,
+        seconds: float,
+        job_id: str,
+        telemetry: Optional[RunTelemetry],
+    ) -> None:
+        """Observe one chunk round-trip and flag stragglers (lock held).
+
+        A worker whose round-trip exceeds ``straggler_factor`` × the
+        rolling fleet median warns once, bumps the straggler counter,
+        lands in ``events.jsonl``, and is published on the job's event
+        topic so live dashboards can badge it.
+        """
+        observe_roundtrip(self.metrics, worker, seconds)
+        history = self._roundtrips
+        if len(history) >= self.straggler_min_samples:
+            ordered = sorted(history)
+            median = ordered[len(ordered) // 2]
+            if median > 0 and seconds > self.straggler_factor * median:
+                record_straggler(self.metrics, worker)
+                warn_once(
+                    f"fleet-straggler-{worker}",
+                    f"fleet worker {worker} is straggling: chunk "
+                    f"round-trip {seconds:.3f}s exceeds "
+                    f"{self.straggler_factor:g}x the fleet median "
+                    f"({median:.3f}s)",
+                )
+                if telemetry is not None:
+                    telemetry.record_event(
+                        "straggler",
+                        worker=worker,
+                        roundtrip_s=round(seconds, 6),
+                        fleet_median_s=round(median, 6),
+                        factor=self.straggler_factor,
+                    )
+                if self.events is not None:
+                    self.events.publish(
+                        job_id,
+                        {
+                            "type": "straggler",
+                            "worker": worker,
+                            "roundtrip_s": round(seconds, 6),
+                            "fleet_median_s": round(median, 6),
+                        },
+                    )
+        history.append(seconds)
 
     def _scheduler_for_lease(self, lease_id: Optional[str]) -> FleetScheduler:
         if not lease_id:
@@ -462,6 +686,19 @@ class FleetCoordinator:
                 due = scheduler.ledger.expire_due()
                 for lease in due:
                     self._lease_to_job.pop(lease.lease_id, None)
+                    if scheduler.telemetry is not None:
+                        scheduler.telemetry.record_event(
+                            "lease_expired",
+                            lease_id=lease.lease_id,
+                            chunk=lease.chunk.index,
+                            worker=lease.worker,
+                        )
+                        scheduler.telemetry.add_instant(
+                            "lease.expired",
+                            worker=lease.worker,
+                            chunk=lease.chunk.index,
+                            lease_id=lease.lease_id,
+                        )
                 expired += len(due)
             record_leases_expired(self.metrics, expired)
             now = time.time()
@@ -472,7 +709,7 @@ class FleetCoordinator:
                 if info.last_seen < cutoff
             ]:
                 del self._workers[worker_id]
-                remove_worker_rate(self.metrics, worker_id)
+                remove_worker_series(self.metrics, worker_id)
             self._refresh_depth(now)
         return expired
 

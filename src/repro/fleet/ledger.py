@@ -74,6 +74,8 @@ class Lease:
     chunk: Chunk
     worker: str
     expires_at: float  # unix wall-clock, comparable across restarts
+    granted_at: float = 0.0  # wall-clock grant time (SLO round-trips)
+    queue_wait_s: float = 0.0  # how long the chunk sat pending
 
     def to_grant(self) -> dict:
         """The worker-facing slice of the lease (protocol payload)."""
@@ -116,6 +118,11 @@ class ChunkLedger:
         self._chunk_lease: Dict[int, str] = {}     # chunk -> active lease
         self._done: Set[int] = set()
         self._ever_leased: Set[int] = set()
+        # When each pending chunk became pending (queue-wait SLO).
+        now = self._clock()
+        self._pending_since: Dict[int, float] = {
+            index: now for index in self._pending
+        }
         self._replay()
 
     # ------------------------------------------------------------------
@@ -164,6 +171,8 @@ class ChunkLedger:
                     chunk=chunk,
                     worker=payload["worker"],
                     expires_at=float(payload["expires_at"]),
+                    # Older ledgers predate grant-time tracking.
+                    granted_at=float(payload.get("granted_at", 0.0)),
                 )
             elif event == EVENT_RENEW:
                 lease = leases.get(payload["lease_id"])
@@ -206,11 +215,16 @@ class ChunkLedger:
             if not self._pending:
                 return None
             index = self._pending.pop(0)
+            now = self._clock()
             lease = Lease(
                 lease_id=new_lease_id(),
                 chunk=self._chunks[index],
                 worker=worker,
-                expires_at=self._clock() + (ttl_s or self.ttl_s),
+                expires_at=now + (ttl_s or self.ttl_s),
+                granted_at=now,
+                queue_wait_s=max(
+                    0.0, now - self._pending_since.pop(index, now)
+                ),
             )
             self._append(
                 {
@@ -220,6 +234,7 @@ class ChunkLedger:
                     "n_samples": lease.chunk.n_samples,
                     "worker": worker,
                     "expires_at": lease.expires_at,
+                    "granted_at": lease.granted_at,
                 }
             )
             self._leases[lease.lease_id] = lease
@@ -292,6 +307,7 @@ class ChunkLedger:
             import bisect
 
             bisect.insort(self._pending, index)
+            self._pending_since[index] = self._clock()
 
     # ------------------------------------------------------------------
     # sweeping and introspection

@@ -22,7 +22,12 @@ from repro.obs.engine_metrics import (
     observe_record,
     observe_timing,
 )
-from repro.obs.logging import get_logger, reset_warn_once, warn_once
+from repro.obs.logging import (
+    LogBuffer,
+    get_logger,
+    reset_warn_once,
+    warn_once,
+)
 from repro.obs.metrics import (
     BIT_COUNT_BUCKETS,
     Counter,
@@ -63,6 +68,7 @@ __all__ = [
     "FUNNEL_STAGES",
     "Gauge",
     "Histogram",
+    "LogBuffer",
     "MetricsRegistry",
     "NULL_CLOCK",
     "NULL_TRACER",

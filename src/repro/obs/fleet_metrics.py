@@ -1,4 +1,4 @@
-"""Fleet-level metrics: lease lifecycle, reassignments, worker rates.
+"""Fleet-level metrics: lease lifecycle, reassignments, worker SLOs.
 
 The fleet coordinator (:mod:`repro.fleet.coordinator`) publishes its
 operational state into the service's
@@ -7,11 +7,20 @@ exposes one coherent Prometheus surface covering queue, cache, and
 fleet.  Everything here is flagged non-deterministic — lease traffic
 depends on worker arrival order and wall-clock TTLs, not on the Monte
 Carlo sample stream.
+
+The SLO layer tracks three latency distributions: *lease wait* (how
+long a worker idled between finishing one chunk and being granted the
+next — measured worker-side and shipped with telemetry), *queue wait*
+(how long a chunk sat pending before being leased — measured
+coordinator-side from the ledger) and *chunk round-trip* (lease grant
+to accepted result, per worker).  Prometheus's text format has no
+quantiles, so p50/p99 are published as explicit gauges refreshed on
+every observation via :meth:`~repro.obs.metrics.Histogram.quantile`.
 """
 
 from __future__ import annotations
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, SECONDS_BUCKETS
 
 FLEET_WORKERS = "fleet_workers"
 FLEET_LEASES_GRANTED = "fleet_leases_granted_total"
@@ -21,6 +30,20 @@ FLEET_CHUNKS_REASSIGNED = "fleet_chunks_reassigned_total"
 FLEET_CHUNKS_ACCEPTED = "fleet_chunks_accepted_total"
 FLEET_RESULTS_DISCARDED = "fleet_late_results_discarded_total"
 FLEET_WORKER_RATE = "fleet_worker_samples_per_second"
+
+# SLO histograms (+ derived quantile gauges, suffixed _p50/_p99).
+FLEET_LEASE_WAIT = "fleet_lease_wait_seconds"
+FLEET_QUEUE_WAIT = "fleet_queue_wait_seconds"
+FLEET_ROUNDTRIP = "fleet_chunk_roundtrip_seconds"
+FLEET_STRAGGLERS = "fleet_stragglers_detected_total"
+
+# Telemetry-shipping accounting.
+FLEET_SPANS_SHIPPED = "fleet_telemetry_spans_total"
+FLEET_LOGS_SHIPPED = "fleet_telemetry_log_records_total"
+
+#: Wider than SECONDS_BUCKETS at the top — fleet round-trips include
+#: whole chunks of work, which can take minutes on slow benchmarks.
+ROUNDTRIP_BUCKETS = SECONDS_BUCKETS + (30.0, 60.0, 300.0)
 
 
 def record_lease_granted(
@@ -67,3 +90,69 @@ def remove_worker_rate(registry: MetricsRegistry, worker: str) -> None:
     so retaining series for departed workers grows the exposition
     without bound."""
     registry.remove(FLEET_WORKER_RATE, worker=worker)
+
+
+# ----------------------------------------------------------------------
+# SLO layer
+# ----------------------------------------------------------------------
+def _observe_with_quantiles(
+    registry: MetricsRegistry, name: str, value: float, **labels
+) -> None:
+    edges = ROUNDTRIP_BUCKETS if name == FLEET_ROUNDTRIP else SECONDS_BUCKETS
+    hist = registry.histogram(name, edges, deterministic=False, **labels)
+    hist.observe(value)
+    for q, suffix in ((0.5, "_p50"), (0.99, "_p99")):
+        registry.gauge(name + suffix, deterministic=False, **labels).set(
+            hist.quantile(q)
+        )
+
+
+def observe_lease_wait(
+    registry: MetricsRegistry, worker: str, seconds: float
+) -> None:
+    """Worker-side idle time between chunks (shipped via telemetry)."""
+    _observe_with_quantiles(registry, FLEET_LEASE_WAIT, seconds, worker=worker)
+
+
+def observe_queue_wait(registry: MetricsRegistry, seconds: float) -> None:
+    """Coordinator-side time a chunk sat pending before being leased."""
+    _observe_with_quantiles(registry, FLEET_QUEUE_WAIT, seconds)
+
+
+def observe_roundtrip(
+    registry: MetricsRegistry, worker: str, seconds: float
+) -> None:
+    """Lease grant to accepted result, per worker."""
+    _observe_with_quantiles(registry, FLEET_ROUNDTRIP, seconds, worker=worker)
+
+
+def record_straggler(registry: MetricsRegistry, worker: str) -> None:
+    registry.counter(
+        FLEET_STRAGGLERS, deterministic=False, worker=worker
+    ).inc()
+
+
+def record_telemetry_shipped(
+    registry: MetricsRegistry, n_spans: int, n_logs: int
+) -> None:
+    if n_spans:
+        registry.counter(FLEET_SPANS_SHIPPED, deterministic=False).inc(n_spans)
+    if n_logs:
+        registry.counter(FLEET_LOGS_SHIPPED, deterministic=False).inc(n_logs)
+
+
+def remove_worker_series(registry: MetricsRegistry, worker: str) -> None:
+    """Drop every per-worker series on eviction (rate, SLO histograms,
+    quantile gauges, straggler counter) so the exposition stays bounded
+    as workers churn."""
+    remove_worker_rate(registry, worker)
+    for name in (
+        FLEET_LEASE_WAIT,
+        FLEET_ROUNDTRIP,
+        FLEET_LEASE_WAIT + "_p50",
+        FLEET_LEASE_WAIT + "_p99",
+        FLEET_ROUNDTRIP + "_p50",
+        FLEET_ROUNDTRIP + "_p99",
+        FLEET_STRAGGLERS,
+    ):
+        registry.remove(name, worker=worker)

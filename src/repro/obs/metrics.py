@@ -139,6 +139,29 @@ class Histogram(_Metric):
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) by linear interpolation
+        within the containing bucket.
+
+        Observations in the overflow bin (above the last edge) clamp to
+        the last edge — with fixed edges that is the honest answer, and
+        it keeps p99 finite for SLO gauges.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts[:-1]):
+            prev = cumulative
+            cumulative += n
+            if cumulative >= rank and n:
+                lo = self.edges[i - 1] if i else 0.0
+                hi = self.edges[i]
+                return lo + (hi - lo) * ((rank - prev) / n)
+        return self.edges[-1]
+
     def to_dict(self) -> dict:
         return {
             **self._head(),

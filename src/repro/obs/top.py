@@ -1,0 +1,271 @@
+"""Live terminal dashboard for a fleet campaign (``repro top <job>``).
+
+Drives the service's existing read surfaces — the long-poll progress
+event stream (``GET /v1/campaigns/<id>/events?poll=1``), the fleet
+snapshot (``GET /v1/fleet``), and the job status document — and renders
+one screenful per tick:
+
+* per-worker throughput, chunk counts, and last-seen age,
+* per-run lease state (done / leased / pending) as a progress bar,
+* the SSF estimate with a Wilson interval, updated as chunks merge,
+* straggler flags raised by the coordinator's round-trip detector.
+
+The module is split so everything interesting is testable without a
+terminal or a service:
+
+* :class:`TopState` folds event/status payloads into plain data,
+* :func:`render` is a pure ``state -> str`` function,
+* :class:`TopApp` owns the loop, with the client, output stream, and
+  clock all injected.
+
+On a real TTY the app repaints in place with ANSI cursor-home + clear;
+when stdout is not a TTY (or ``TERM=dumb``), it degrades to appending a
+plain one-line summary per tick, so piping ``repro top`` into a file or
+running it from CI still yields readable output.  The long-poll wait
+itself provides the pacing: a quiet run costs one parked request per
+tick, not a busy poll.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.utils.stats import wilson_interval
+
+#: Terminal escape: cursor home + clear-to-end (repaint without flicker).
+ANSI_REPAINT = "\x1b[H\x1b[J"
+
+#: Fallback frame period when the long-poll returns instantly.
+DEFAULT_INTERVAL_S = 1.0
+
+
+def supports_ansi(stream) -> bool:
+    """True when ``stream`` is a TTY that understands escape codes."""
+    if os.environ.get("TERM", "") == "dumb":
+        return False
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+class TopState:
+    """Dashboard model: everything :func:`render` needs, as plain data."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        self.run_id: Optional[str] = None
+        self.state: str = "unknown"
+        self.n_samples = 0
+        self.ssf: Optional[float] = None
+        self.chunks: Dict[str, int] = {}
+        self.workers: List[dict] = []
+        self.stragglers: Dict[str, float] = {}
+        self.last_event_seq = 0
+        self.ended = False
+        self.error: Optional[str] = None
+        self.ticks = 0
+
+    # -- fold one payload of each kind --------------------------------
+    def apply_status(self, status: dict) -> None:
+        self.state = status.get("state", self.state)
+        self.run_id = status.get("run_id", self.run_id)
+        self.error = status.get("error") or self.error
+        live = status.get("n_samples_live") or status.get("n_samples")
+        if live:
+            self.n_samples = max(self.n_samples, int(live))
+
+    def apply_fleet(self, fleet: dict) -> None:
+        self.workers = list(fleet.get("workers", ()))
+        for run in fleet.get("runs", ()):
+            if run.get("job_id") == self.job_id:
+                self.chunks = dict(run.get("chunks", {}))
+
+    def apply_events(self, poll: dict) -> None:
+        """Fold one long-poll response (``events`` + ``next_after``)."""
+        for item in poll.get("events", ()):
+            self._apply_event(item.get("event") or {})
+        self.last_event_seq = int(
+            poll.get("next_after", self.last_event_seq)
+        )
+        if poll.get("end"):
+            self.ended = True
+
+    def _apply_event(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "progress":
+            self.n_samples = max(
+                self.n_samples, int(event.get("n_samples", 0))
+            )
+            if event.get("ssf") is not None:
+                self.ssf = float(event["ssf"])
+        elif kind == "state":
+            self.state = event.get("state", self.state)
+        elif kind == "straggler":
+            worker = str(event.get("worker"))
+            self.stragglers[worker] = float(event.get("roundtrip_s", 0.0))
+        elif kind == "end":
+            self.ended = True
+
+    # -- derived ------------------------------------------------------
+    def ci(self, z: float = 1.96):
+        """Wilson interval around the live SSF (display only)."""
+        if self.ssf is None or not self.n_samples:
+            return None
+        successes = round(self.ssf * self.n_samples)
+        return wilson_interval(successes, self.n_samples, z=z)
+
+
+def _progress_bar(done: int, total: int, width: int = 28) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(width * min(done, total) / total)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render(state: TopState, width: int = 78) -> str:
+    """One full dashboard frame as plain text (no escape codes)."""
+    lines = [
+        f"repro top — job {state.job_id}"
+        + (f"  run {state.run_id}" if state.run_id else ""),
+        f"state: {state.state}   samples: {state.n_samples}",
+    ]
+    if state.ssf is not None:
+        ci = state.ci()
+        lines.append(
+            f"SSF: {state.ssf:.5f}"
+            + (f"   95% CI [{ci[0]:.5f}, {ci[1]:.5f}]" if ci else "")
+        )
+    if state.chunks:
+        done = int(state.chunks.get("done", 0))
+        total = int(state.chunks.get("total", 0))
+        lines.append(
+            f"chunks: {_progress_bar(done, total)} "
+            f"{done}/{total} done, "
+            f"{state.chunks.get('leased', 0)} leased, "
+            f"{state.chunks.get('pending', 0)} pending"
+        )
+    lines.append("")
+    if state.workers:
+        lines.append(
+            f"{'worker':<12} {'chunks':>7} {'samples':>9} "
+            f"{'rate/s':>8} {'seen':>6}  flags"
+        )
+        for info in state.workers:
+            name = str(info.get("worker", "?"))
+            flag = ""
+            if name in state.stragglers:
+                flag = f"STRAGGLER ({state.stragglers[name]:.2f}s)"
+            lines.append(
+                f"{name:<12} {info.get('chunks_completed', 0):>7} "
+                f"{info.get('samples_total', 0):>9} "
+                f"{info.get('samples_per_s', 0.0):>8.1f} "
+                f"{info.get('last_seen_s', 0.0):>5.1f}s  {flag}"
+            )
+    else:
+        lines.append("no workers attached")
+    if state.error:
+        lines.append(f"error: {state.error}")
+    return "\n".join(line[:width] for line in lines)
+
+
+def render_plain_line(state: TopState) -> str:
+    """One appended status line for non-TTY (dumb-terminal) mode."""
+    parts = [
+        f"[{state.state}]",
+        f"samples={state.n_samples}",
+    ]
+    if state.ssf is not None:
+        parts.append(f"ssf={state.ssf:.5f}")
+    if state.chunks:
+        parts.append(
+            f"chunks={state.chunks.get('done', 0)}"
+            f"/{state.chunks.get('total', 0)}"
+        )
+    parts.append(f"workers={len(state.workers)}")
+    if state.stragglers:
+        parts.append("stragglers=" + ",".join(sorted(state.stragglers)))
+    return " ".join(parts)
+
+
+class TopApp:
+    """The ``repro top`` loop: poll, fold, render, repeat until done.
+
+    Every collaborator is injected so tests run the full loop against a
+    stub client with zero wall-clock cost: ``client`` needs ``status``,
+    ``fleet_status``, and ``events``; ``sleep`` paces non-TTY mode; the
+    loop exits when the event stream delivers its ``end`` sentinel or
+    the job status turns terminal (belt and braces — a service restart
+    can drop the event buffer, and ``repro top`` must still exit).
+    """
+
+    def __init__(
+        self,
+        client,
+        job_id: str,
+        out=None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        ansi: Optional[bool] = None,
+        sleep=time.sleep,
+        max_ticks: Optional[int] = None,
+    ):
+        self.client = client
+        self.job_id = job_id
+        self.out = out if out is not None else sys.stdout
+        self.interval_s = interval_s
+        self.ansi = supports_ansi(self.out) if ansi is None else ansi
+        self.sleep = sleep
+        self.max_ticks = max_ticks
+        self.state = TopState(job_id)
+
+    # -- one tick -----------------------------------------------------
+    def tick(self) -> None:
+        self.state.apply_status(self.client.status(self.job_id))
+        try:
+            self.state.apply_fleet(self.client.fleet_status())
+        except Exception:
+            # A non-fleet service has no workers to show; the SSF and
+            # chunk progress panels still work off the event stream.
+            pass
+        self.state.apply_events(
+            self.client.events(
+                self.job_id,
+                after=self.state.last_event_seq,
+                timeout_s=self.interval_s,
+            )
+        )
+        if self.state.ended:
+            # The end sentinel arrived after the status fetch above;
+            # refresh once so the final frame shows the terminal state.
+            self.state.apply_status(self.client.status(self.job_id))
+        self.state.ticks += 1
+
+    def _paint(self) -> None:
+        if self.ansi:
+            self.out.write(ANSI_REPAINT + render(self.state) + "\n")
+        else:
+            self.out.write(render_plain_line(self.state) + "\n")
+        flush = getattr(self.out, "flush", None)
+        if flush:
+            flush()
+
+    @property
+    def done(self) -> bool:
+        from repro.service.jobs import TERMINAL_STATES
+
+        return self.state.ended or self.state.state in TERMINAL_STATES
+
+    def run(self) -> TopState:
+        """Loop until the job ends; returns the final state."""
+        while True:
+            self.tick()
+            self._paint()
+            if self.done:
+                return self.state
+            if self.max_ticks and self.state.ticks >= self.max_ticks:
+                return self.state
+            if not self.ansi:
+                # Long-poll already paces a live run; non-TTY mode adds
+                # a floor so a chatty stream can't spam the log.
+                self.sleep(self.interval_s)

@@ -35,6 +35,11 @@ class ServiceClient:
     sleeping ``retry_backoff_s * 2**attempt`` between tries.  Defaults
     keep the worst case under a second so "service is down" still fails
     fast.
+
+    ``sleep`` injects the backoff clock: tests pass a stub and assert
+    the exact sleep sequence without paying wall-clock time (the default
+    resolves ``time.sleep`` at call time, so monkeypatching the module
+    attribute keeps working too).
     """
 
     def __init__(
@@ -43,11 +48,13 @@ class ServiceClient:
         timeout_s: float = 30.0,
         retries: int = 2,
         retry_backoff_s: float = 0.1,
+        sleep=None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
         self.retry_backoff_s = retry_backoff_s
+        self.sleep = sleep
 
     # ------------------------------------------------------------------
     # transport
@@ -68,7 +75,9 @@ class ServiceClient:
                 # (4xx/5xx) are real answers and never retried.
                 if exc.status != 0 or attempt == attempts - 1:
                     raise
-                time.sleep(self.retry_backoff_s * (2 ** attempt))
+                (self.sleep or time.sleep)(
+                    self.retry_backoff_s * (2 ** attempt)
+                )
 
     def _request_once(
         self,
@@ -161,6 +170,10 @@ class ServiceClient:
     def post_chunk(self, payload: dict) -> dict:
         """Stream one completed chunk result back to the coordinator."""
         return self._request("POST", "/v1/chunks", body=payload)
+
+    def post_telemetry(self, payload: dict) -> dict:
+        """Ship an out-of-band telemetry bundle (no result attached)."""
+        return self._request("POST", "/v1/telemetry", body=payload)
 
     def fleet_status(self) -> dict:
         return self._request("GET", "/v1/fleet")

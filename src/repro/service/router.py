@@ -32,6 +32,7 @@ Routes (all under ``/v1``)::
     POST   /v1/lease                  fleet: lease a chunk
     POST   /v1/heartbeat              fleet: renew a lease
     POST   /v1/chunks                 fleet: post a chunk result
+    POST   /v1/telemetry              fleet: out-of-band telemetry bundle
     GET    /v1/fleet                  fleet: workers + runs snapshot
     GET    /v1/healthz                liveness + job state counts
     GET    /v1/metrics                Prometheus text exposition
@@ -217,6 +218,10 @@ class ApiRouter:
         if path == f"{API_PREFIX}/chunks" and method == "POST":
             return ApiResponse.json(
                 200, service.fleet_submit_chunk(request.json())
+            )
+        if path == f"{API_PREFIX}/telemetry" and method == "POST":
+            return ApiResponse.json(
+                200, service.fleet_telemetry(request.json())
             )
         if path == f"{API_PREFIX}/campaigns":
             if method == "POST":

@@ -151,7 +151,11 @@ class EvaluationService:
         self.dispatch = dispatch
         self.events = EventBus()
         self.fleet: Optional[FleetCoordinator] = (
-            FleetCoordinator(metrics=self.metrics, lease_ttl_s=lease_ttl_s)
+            FleetCoordinator(
+                metrics=self.metrics,
+                lease_ttl_s=lease_ttl_s,
+                events=self.events,
+            )
             if dispatch == DISPATCH_FLEET
             else None
         )
@@ -527,3 +531,6 @@ class EvaluationService:
 
     def fleet_submit_chunk(self, payload: dict) -> dict:
         return self._require_fleet().submit_chunk(payload)
+
+    def fleet_telemetry(self, payload: dict) -> dict:
+        return self._require_fleet().post_telemetry(payload)

@@ -84,6 +84,29 @@ class TestMalformedResults:
             outcome = client.post_chunk(payload)
             assert outcome["accepted"] is True
 
+    def test_telemetry_failure_after_lease_retire_cannot_hang_the_run(
+        self, tmp_path, monkeypatch
+    ):
+        """Telemetry folds in *after* the lease is retired, so a bug
+        anywhere in the assembler must degrade to a warning — a raise
+        there would strand the chunk done-but-unconsumed and hang
+        ``run`` exactly like the pre-validation bug above."""
+        from repro.fleet.telemetry import RunTelemetry
+
+        def boom(self, worker, telemetry):
+            raise RuntimeError("poisoned assembler")
+
+        monkeypatch.setattr(RunTelemetry, "ingest", boom)
+        with fleet_server(tmp_path) as server:
+            client = ServiceClient(server.url)
+            response = client.submit(SPEC)
+            with workers(server.url, 2):
+                wait_terminal(server.service, response["job_id"])
+            job = server.service.get_job(response["job_id"])
+            assert job.state == "done"
+            result = server.service.job_result(job.job_id)
+            assert result["n_samples"] == 75
+
 
 class TestWorkerEviction:
     def test_silent_workers_evicted_with_their_gauge_series(self):

@@ -1,0 +1,131 @@
+"""Fleet SLO metric helpers: quantile gauges, per-worker series
+lifecycle, and straggler/telemetry accounting."""
+
+from repro.obs.fleet_metrics import (
+    FLEET_LEASE_WAIT,
+    FLEET_LOGS_SHIPPED,
+    FLEET_QUEUE_WAIT,
+    FLEET_ROUNDTRIP,
+    FLEET_SPANS_SHIPPED,
+    FLEET_STRAGGLERS,
+    observe_lease_wait,
+    observe_queue_wait,
+    observe_roundtrip,
+    record_straggler,
+    record_telemetry_shipped,
+    remove_worker_series,
+    update_worker_rate,
+)
+from repro.obs.metrics import MetricsRegistry, deterministic_view
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        # rank(0.5) = 2 → falls in the (1, 2] bucket.
+        assert 1.0 <= hist.quantile(0.5) <= 2.0
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+
+    def test_empty_histogram_is_zero(self):
+        hist = MetricsRegistry().histogram("h", (1.0, 2.0))
+        assert hist.quantile(0.5) == 0.0
+
+    def test_overflow_clamps_to_last_edge(self):
+        hist = MetricsRegistry().histogram("h", (1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+
+class TestSloObservations:
+    def test_quantile_gauges_track_histogram(self):
+        registry = MetricsRegistry()
+        for seconds in (0.01, 0.02, 0.05):
+            observe_roundtrip(registry, "w0", seconds)
+        text = registry.to_prometheus()
+        assert f"{FLEET_ROUNDTRIP}_p50{{worker=\"w0\"}}" in text
+        assert f"{FLEET_ROUNDTRIP}_p99{{worker=\"w0\"}}" in text
+        p50 = registry.gauge(
+            FLEET_ROUNDTRIP + "_p50", deterministic=False, worker="w0"
+        ).value
+        p99 = registry.gauge(
+            FLEET_ROUNDTRIP + "_p99", deterministic=False, worker="w0"
+        ).value
+        assert 0.0 < p50 <= p99
+
+    def test_lease_wait_is_per_worker(self):
+        registry = MetricsRegistry()
+        observe_lease_wait(registry, "w0", 0.1)
+        observe_lease_wait(registry, "w1", 0.2)
+        text = registry.to_prometheus()
+        assert f"{FLEET_LEASE_WAIT}_p50{{worker=\"w0\"}}" in text
+        assert f"{FLEET_LEASE_WAIT}_p50{{worker=\"w1\"}}" in text
+
+    def test_queue_wait_is_fleet_wide(self):
+        registry = MetricsRegistry()
+        observe_queue_wait(registry, 0.3)
+        text = registry.to_prometheus()
+        assert f"{FLEET_QUEUE_WAIT}_p50 " in text
+        assert "worker=" not in text
+
+    def test_all_slo_series_are_non_deterministic(self):
+        """Wall-clock SLOs can never leak into the parity-checked view."""
+        registry = MetricsRegistry()
+        observe_roundtrip(registry, "w0", 0.5)
+        observe_lease_wait(registry, "w0", 0.1)
+        observe_queue_wait(registry, 0.2)
+        record_straggler(registry, "w0")
+        record_telemetry_shipped(registry, 3, 2)
+        assert deterministic_view(registry.snapshot()) == []
+
+
+class TestWorkerSeriesLifecycle:
+    def test_remove_worker_series_drops_everything(self):
+        registry = MetricsRegistry()
+        update_worker_rate(registry, "w0", 120.0)
+        observe_lease_wait(registry, "w0", 0.1)
+        observe_roundtrip(registry, "w0", 0.5)
+        record_straggler(registry, "w0")
+        assert 'worker="w0"' in registry.to_prometheus()
+        remove_worker_series(registry, "w0")
+        assert 'worker="w0"' not in registry.to_prometheus()
+
+    def test_remove_is_scoped_to_one_worker(self):
+        registry = MetricsRegistry()
+        for worker in ("w0", "w1"):
+            observe_roundtrip(registry, worker, 0.5)
+            record_straggler(registry, worker)
+        remove_worker_series(registry, "w0")
+        text = registry.to_prometheus()
+        assert 'worker="w0"' not in text
+        assert 'worker="w1"' in text
+
+
+class TestTelemetryAccounting:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        record_telemetry_shipped(registry, 3, 2)
+        record_telemetry_shipped(registry, 1, 0)
+        assert registry.counter(
+            FLEET_SPANS_SHIPPED, deterministic=False
+        ).value == 4
+        assert registry.counter(
+            FLEET_LOGS_SHIPPED, deterministic=False
+        ).value == 2
+
+    def test_zero_shipments_create_no_series(self):
+        registry = MetricsRegistry()
+        record_telemetry_shipped(registry, 0, 0)
+        text = registry.to_prometheus()
+        assert FLEET_SPANS_SHIPPED not in text
+        assert FLEET_LOGS_SHIPPED not in text
+
+    def test_straggler_counter_is_monotonic_per_worker(self):
+        registry = MetricsRegistry()
+        record_straggler(registry, "w7")
+        record_straggler(registry, "w7")
+        assert registry.counter(
+            FLEET_STRAGGLERS, deterministic=False, worker="w7"
+        ).value == 2

@@ -1,10 +1,12 @@
-"""One-time warning behaviour of the shared obs logger."""
+"""One-time warning behaviour of the shared obs logger, plus the
+bounded structured-record buffer fleet workers ship telemetry through."""
 
 import logging
+import threading
 
 import pytest
 
-from repro.obs import get_logger, reset_warn_once, warn_once
+from repro.obs import LogBuffer, get_logger, reset_warn_once, warn_once
 
 
 @pytest.fixture(autouse=True)
@@ -35,3 +37,66 @@ class TestWarnOnce:
     def test_logger_namespace(self):
         assert get_logger().name == "repro.obs"
         assert get_logger("engine").name == "repro.obs.engine"
+
+    def test_concurrent_same_key_fires_exactly_once(self):
+        """Racing callers must not both claim the first firing: the
+        check-then-add on the warned-key set is atomic."""
+        fired = []
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            if warn_once("race-key", "concurrent hazard"):
+                fired.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(fired) == 1
+
+
+class TestLogBuffer:
+    def test_records_carry_bound_context(self):
+        buf = LogBuffer()
+        buf.bind(run_id="r1", worker="w0")
+        buf.info("leased", chunk=3)
+        (record,) = buf.records()
+        assert record["message"] == "leased"
+        assert record["level"] == "info"
+        assert record["run_id"] == "r1"
+        assert record["worker"] == "w0"
+        assert record["chunk"] == 3
+        assert record["t"] > 0
+
+    def test_unbind_removes_context(self):
+        buf = LogBuffer()
+        buf.bind(lease_id="L1", chunk=0)
+        buf.unbind("lease_id")
+        buf.warning("lost lease")
+        (record,) = buf.records()
+        assert "lease_id" not in record
+        assert record["chunk"] == 0
+
+    def test_capacity_drops_oldest_and_counts(self):
+        buf = LogBuffer(capacity=2)
+        for i in range(5):
+            buf.info("m", i=i)
+        assert len(buf) == 2
+        assert buf.n_dropped == 3
+        assert [r["i"] for r in buf.records()] == [3, 4]
+
+    def test_drain_empties_the_buffer(self):
+        buf = LogBuffer()
+        buf.error("boom")
+        drained = buf.drain()
+        assert len(drained) == 1
+        assert buf.records() == []
+        assert buf.drain() == []
+
+    def test_mirrors_to_stdlib_logging(self, caplog):
+        buf = LogBuffer(logger_name="fleet.worker")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            buf.warning("lease lost", chunk=2)
+        assert "lease lost" in caplog.text

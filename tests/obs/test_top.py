@@ -1,0 +1,231 @@
+"""The ``repro top`` dashboard: pure rendering, event folding, and the
+poll loop against a stub client (no terminal, no service, no clock)."""
+
+import io
+
+from repro.obs.top import (
+    ANSI_REPAINT,
+    TopApp,
+    TopState,
+    render,
+    render_plain_line,
+    supports_ansi,
+)
+
+
+def progress(n_samples, ssf=0.3, seq=0):
+    return {"seq": seq,
+            "event": {"type": "progress", "n_samples": n_samples,
+                      "ssf": ssf}}
+
+
+class StubClient:
+    """Scripted service: each tick advances one step toward done."""
+
+    def __init__(self, n_ticks=3, with_straggler=False):
+        self.n_ticks = n_ticks
+        self.with_straggler = with_straggler
+        self.tick = 0
+
+    def status(self, job_id):
+        done = self.tick >= self.n_ticks
+        return {"state": "done" if done else "running", "run_id": "r1",
+                "n_samples_live": 50 * self.tick}
+
+    def fleet_status(self):
+        return {
+            "dispatch": "fleet",
+            "workers": [
+                {"worker": "w0", "chunks_completed": self.tick,
+                 "samples_total": 50 * self.tick,
+                 "samples_per_s": 25.0, "last_seen_s": 0.1},
+                {"worker": "w1", "chunks_completed": 0,
+                 "samples_total": 0,
+                 "samples_per_s": 0.0, "last_seen_s": 4.2},
+            ],
+            "runs": [{"job_id": "j1", "run_id": "r1",
+                      "chunks": {"done": self.tick, "leased": 1,
+                                 "pending": max(0, 3 - self.tick),
+                                 "total": 4}}],
+        }
+
+    def events(self, job_id, after=0, timeout_s=1.0):
+        self.tick += 1
+        events = [progress(50 * self.tick, seq=after)]
+        if self.with_straggler and self.tick == 2:
+            events.append(
+                {"seq": after + 1,
+                 "event": {"type": "straggler", "worker": "w1",
+                           "roundtrip_s": 9.5}})
+        end = self.tick >= self.n_ticks
+        if end:
+            events.append({"seq": after + len(events),
+                           "event": {"type": "end"}})
+        return {"events": events, "next_after": after + len(events),
+                "end": end}
+
+
+class TestTopState:
+    def test_folds_progress_and_status(self):
+        state = TopState("j1")
+        state.apply_status({"state": "running", "run_id": "r1"})
+        state.apply_events(
+            {"events": [progress(100, ssf=0.25)], "next_after": 1,
+             "end": False})
+        assert state.run_id == "r1"
+        assert state.n_samples == 100
+        assert state.ssf == 0.25
+        assert state.last_event_seq == 1
+        lo, hi = state.ci()
+        assert lo < 0.25 < hi
+
+    def test_samples_never_regress(self):
+        """A stale fleet snapshot after a fresher event can't move the
+        counter backwards."""
+        state = TopState("j1")
+        state.apply_events(
+            {"events": [progress(200)], "next_after": 1, "end": False})
+        state.apply_status({"state": "running", "n_samples_live": 50})
+        assert state.n_samples == 200
+
+    def test_straggler_and_end_events(self):
+        state = TopState("j1")
+        state.apply_events({
+            "events": [
+                {"seq": 0, "event": {"type": "straggler", "worker": "w1",
+                                     "roundtrip_s": 9.5}},
+                {"seq": 1, "event": {"type": "end"}},
+            ],
+            "next_after": 2, "end": True})
+        assert state.stragglers == {"w1": 9.5}
+        assert state.ended
+
+    def test_fleet_snapshot_scoped_to_this_job(self):
+        state = TopState("j1")
+        state.apply_fleet({
+            "workers": [{"worker": "w0"}],
+            "runs": [
+                {"job_id": "other", "chunks": {"done": 9}},
+                {"job_id": "j1", "chunks": {"done": 2, "total": 4}},
+            ]})
+        assert state.chunks == {"done": 2, "total": 4}
+
+
+class TestRender:
+    def _state(self):
+        state = TopState("j1")
+        state.apply_status({"state": "running", "run_id": "r1"})
+        state.apply_fleet(StubClient().fleet_status())
+        state.apply_events(
+            {"events": [progress(100)], "next_after": 1, "end": False})
+        state.stragglers["w1"] = 9.5
+        return state
+
+    def test_full_frame_contents(self):
+        text = render(self._state())
+        assert "job j1" in text
+        assert "run r1" in text
+        assert "SSF: 0.30000" in text
+        assert "95% CI" in text
+        assert "w0" in text and "w1" in text
+        assert "STRAGGLER (9.50s)" in text
+        assert "[" in text  # progress bar
+
+    def test_no_escape_codes_in_frame(self):
+        assert "\x1b" not in render(self._state())
+
+    def test_plain_line_is_one_line(self):
+        line = render_plain_line(self._state())
+        assert "\n" not in line
+        assert "ssf=0.30000" in line
+        assert "stragglers=w1" in line
+
+    def test_renders_before_any_data(self):
+        state = TopState("j1")
+        assert "no workers attached" in render(state)
+        assert "[unknown]" in render_plain_line(state)
+
+
+class TestSupportsAnsi:
+    def test_non_tty_stream(self):
+        assert not supports_ansi(io.StringIO())
+
+    def test_dumb_terminal(self, monkeypatch):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        monkeypatch.setenv("TERM", "dumb")
+        assert not supports_ansi(Tty())
+        monkeypatch.setenv("TERM", "xterm-256color")
+        assert supports_ansi(Tty())
+
+
+class TestTopApp:
+    def test_plain_mode_appends_and_exits_on_end(self):
+        out = io.StringIO()
+        app = TopApp(StubClient(n_ticks=3), "j1", out=out, ansi=False,
+                     sleep=lambda s: None)
+        state = app.run()
+        assert state.ended
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("[done]")
+        assert "\x1b" not in out.getvalue()
+
+    def test_ansi_mode_repaints_full_frames(self):
+        out = io.StringIO()
+        app = TopApp(StubClient(n_ticks=2), "j1", out=out, ansi=True,
+                     sleep=lambda s: None)
+        app.run()
+        assert out.getvalue().count(ANSI_REPAINT) == 2
+        assert "repro top — job j1" in out.getvalue()
+
+    def test_exits_on_terminal_status_without_end_event(self):
+        """A service restart can lose the event buffer; the terminal
+        job state is the fallback exit condition."""
+
+        class NoEndClient(StubClient):
+            def events(self, job_id, after=0, timeout_s=1.0):
+                self.tick += 1
+                return {"events": [], "next_after": after, "end": False}
+
+        app = TopApp(NoEndClient(n_ticks=2), "j1", out=io.StringIO(),
+                     ansi=False, sleep=lambda s: None)
+        state = app.run()
+        assert state.state == "done"
+        assert not state.ended
+
+    def test_straggler_flag_reaches_the_frame(self):
+        out = io.StringIO()
+        app = TopApp(StubClient(n_ticks=3, with_straggler=True), "j1",
+                     out=out, ansi=False, sleep=lambda s: None)
+        app.run()
+        assert "stragglers=w1" in out.getvalue()
+
+    def test_survives_non_fleet_service(self):
+        """fleet_status 409s on a local-dispatch service; top still
+        renders off the event stream."""
+
+        class LocalClient(StubClient):
+            def fleet_status(self):
+                raise RuntimeError("not in fleet mode")
+
+        app = TopApp(LocalClient(n_ticks=2), "j1", out=io.StringIO(),
+                     ansi=False, sleep=lambda s: None)
+        state = app.run()
+        assert state.ended
+        assert state.workers == []
+
+    def test_max_ticks_bounds_a_stuck_run(self):
+        class StuckClient(StubClient):
+            def status(self, job_id):
+                return {"state": "running", "run_id": "r1"}
+
+            def events(self, job_id, after=0, timeout_s=1.0):
+                return {"events": [], "next_after": after, "end": False}
+
+        app = TopApp(StuckClient(), "j1", out=io.StringIO(), ansi=False,
+                     sleep=lambda s: None, max_ticks=4)
+        state = app.run()
+        assert state.ticks == 4

@@ -1,13 +1,25 @@
 """Tracer and stage-clock tests: no-op default, span recording, bounded
-buffer, Chrome export."""
+buffer, Chrome export, and the cross-process merge helpers fleet
+telemetry is built on."""
 
+import logging
 import time
+
+import pytest
 
 from repro.obs import (
     NULL_CLOCK,
     NULL_TRACER,
+    MetricsRegistry,
+    SpanEvent,
     StageClock,
     Tracer,
+    reset_warn_once,
+)
+from repro.obs.tracing import (
+    chrome_instant,
+    merge_chrome_trace,
+    wall_offset,
 )
 
 
@@ -66,6 +78,64 @@ class TestTracer:
         }
         assert chrome["otherData"]["n_dropped"] == 0
         assert chrome["displayTimeUnit"] == "ms"
+
+    def test_drop_surfaces_metric_and_one_time_warning(self, caplog):
+        reset_warn_once()
+        registry = MetricsRegistry()
+        tracer = Tracer(max_events=1, metrics=registry)
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for i in range(4):
+                tracer.add_event("e", float(i), 0.1)
+        assert tracer.n_dropped == 3
+        counter = registry.counter(
+            "tracer_events_dropped", deterministic=False
+        )
+        assert counter.value == 3
+        assert not counter.deterministic
+        assert caplog.text.count("tracer buffer full") == 1
+
+    def test_export_spans_normalizes_to_wall_clock(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        tracer.add_event("work", start, 0.5, chunk=1)
+        (span,) = tracer.export_spans()
+        # Shipped start must be on the wall clock (epoch seconds), not
+        # the process-local perf_counter origin.
+        assert abs(span["start_s"] - (start + wall_offset())) < 0.05
+        assert span["duration_s"] == 0.5
+        assert span["attrs"] == {"chunk": 1}
+        # Round-trips through the shipping format.
+        assert SpanEvent.from_dict(span).name == "work"
+
+
+class TestMergedTrace:
+    def test_lanes_get_named_metadata_and_synthetic_pids(self):
+        lanes = [
+            {"pid": 2, "tid": 0, "name": "worker w0",
+             "spans": [{"name": "chunk.evaluate", "start_s": 1.0,
+                        "duration_s": 0.2, "attrs": {"chunk": 0}}]},
+            {"pid": 3, "tid": 0, "name": "worker w1", "spans": []},
+        ]
+        trace = merge_chrome_trace(lanes, n_dropped=2)
+        meta = {
+            (e["pid"], e["name"]): e["args"]["name"]
+            for e in trace["traceEvents"] if e["ph"] == "M"
+        }
+        assert meta[(2, "process_name")] == "worker w0"
+        assert meta[(3, "process_name")] == "worker w1"
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [(s["name"], s["pid"]) for s in spans] == [
+            ("chunk.evaluate", 2)
+        ]
+        assert trace["otherData"]["n_dropped"] == 2
+
+    def test_instants_ride_along(self):
+        instant = chrome_instant("lease.grant", 1.5, 2, chunk=4)
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert instant["ts"] == pytest.approx(1.5e6)
+        trace = merge_chrome_trace([], [instant])
+        assert trace["traceEvents"] == [instant]
 
 
 class TestStageClock:

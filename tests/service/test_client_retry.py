@@ -39,6 +39,34 @@ class TestGetRetry:
         assert len(attempts) == 4  # 1 initial + 3 retries
         assert sleeps == [0.01, 0.02, 0.04]  # exponential
 
+    def test_injected_sleep_hook_replaces_the_backoff_clock(
+        self, monkeypatch
+    ):
+        """The constructor's ``sleep`` hook takes the backoff waits, so
+        this retry test costs zero wall-clock time."""
+        sleeps = []
+        client = ServiceClient(
+            "http://127.0.0.1:1",
+            retries=3,
+            retry_backoff_s=1.0,
+            sleep=sleeps.append,
+        )
+
+        def failing(method, path, body=None, as_text=False):
+            raise ServiceError("cannot reach service", status=0)
+
+        monkeypatch.setattr(client, "_request_once", failing)
+
+        def forbidden(_seconds):
+            raise AssertionError("time.sleep must not be called")
+
+        monkeypatch.setattr(time, "sleep", forbidden)
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        assert sleeps == [1.0, 2.0, 4.0]
+        assert time.monotonic() - start < 1.0
+
     def test_get_succeeds_after_transient_failure(self, monkeypatch):
         client = ServiceClient(
             "http://127.0.0.1:1", retries=2, retry_backoff_s=0.001

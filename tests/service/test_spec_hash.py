@@ -159,11 +159,25 @@ class TestSemanticFields:
         # stay valid), including with the escape hatch flipped.
         assert spec_hash(CampaignSpec(batch=False)) == GOLDEN_DEFAULT
 
+    def test_telemetry_is_not_semantic(self):
+        """Shipped worker telemetry is forced non-deterministic on
+        ingest and can never reach the estimator, so the flag must not
+        split the result cache."""
+        assert spec_hash(CampaignSpec(telemetry=False)) == spec_hash(
+            CampaignSpec(telemetry=True)
+        )
+
+    def test_telemetry_off_still_matches_the_golden_pin(self):
+        # PR 7 introduced ``telemetry`` without a schema bump: hashes
+        # from before the field existed must keep resolving.
+        assert spec_hash(CampaignSpec(telemetry=False)) == GOLDEN_DEFAULT
+
     def test_canonical_dict_drops_non_semantic_fields(self):
         data = canonical_spec_dict(CampaignSpec(trace=True))
         assert "trace" not in data
         assert "charac_cache" not in data
         assert "batch" not in data
+        assert "telemetry" not in data
 
     def test_canonical_json_is_minified_and_sorted(self):
         text = canonical_spec_json(CampaignSpec())
