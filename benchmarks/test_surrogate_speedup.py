@@ -1,0 +1,154 @@
+"""Two-stage multi-fidelity exact-sample-reduction guard (PR 8 satellite).
+
+The multi-fidelity claim: a two-stage campaign (surrogate screen + exact
+confirmation) reaches the same CI-converged SSF as a pure exact campaign
+while spending ≥3× fewer *exact-engine* samples — the cost that
+dominates wall time on real designs.  Both campaigns run the write-cfg
+pinpoint design to the same Wilson-CI stopping target through the real
+campaign runner (chunked scheduler, durable-log seed policy), and both
+final estimates are checked against the exhaustively enumerated ground
+truth, so a regression in either accuracy or screening efficiency fails
+the suite.
+
+The exact-sample ratio counts the *campaign* spend (fallbacks +
+confirmations for the two-stage run).  The calibration budget is
+reported alongside but amortized away from the ratio: the artifact is a
+pure function of (design, workload, seed), cached content-addressed by
+the service and reused across every campaign that shares it.
+
+Results go to ``benchmarks/results/BENCH_surrogate.json`` so CI can
+archive and trend them.  ``REPRO_BENCH_QUICK=1`` shrinks the budgets
+for the CI smoke job.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, StoppingConfig
+from repro.conformance import get_design
+from repro.conformance.differential import build_samplers
+from repro.core.exhaustive import enumerate_single_bit_faults
+from repro.surrogate import (
+    CalibrationConfig,
+    SurrogateEngine,
+    TwoStageEngine,
+    calibrate,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+SEED = 2024
+CI_WIDTH = 0.10 if QUICK else 0.05
+MAX_SAMPLES = 3000 if QUICK else 20_000
+CALIBRATION_SAMPLES = 160 if QUICK else 400
+MIN_EXACT_REDUCTION = 3.0   # the acceptance bar of the multi-fidelity claim
+SSF_TOLERANCE = 0.06 if QUICK else 0.04  # vs enumerated truth (> CI half-width)
+
+
+@pytest.fixture(scope="module")
+def cfg_design():
+    """write-cfg with its own reduced-characterization context."""
+    return get_design("write-cfg").build()
+
+
+def _ci_spec(chunk_size=100):
+    return CampaignSpec(
+        sampler="random",
+        seed=SEED,
+        chunk_size=chunk_size,
+        stopping=StoppingConfig(
+            mode="ci",
+            ci_width=CI_WIDTH,
+            z=1.96,
+            min_samples=200,
+            max_samples=MAX_SAMPLES,
+        ),
+    )
+
+def _run_campaign(engine, sampler):
+    start = time.perf_counter()
+    result = CampaignRunner(
+        _ci_spec(), engine=engine, sampler=sampler, n_workers=1
+    ).run()
+    return result, time.perf_counter() - start
+
+
+def test_two_stage_exact_sample_reduction(cfg_design, emit):
+    sampler = dict(build_samplers(cfg_design))["uniform"]
+    truth = enumerate_single_bit_faults(
+        cfg_design.engine,
+        bits=list(cfg_design.bits),
+        timing_distances=list(range(cfg_design.window)),
+    ).ssf_exact
+
+    exact_result, exact_s = _run_campaign(cfg_design.engine, sampler)
+    exact_spend = exact_result.n_samples
+
+    model, report = calibrate(
+        cfg_design.engine,
+        sampler,
+        CalibrationConfig(n_samples=CALIBRATION_SAMPLES, seed=SEED),
+    )
+    two_stage = TwoStageEngine(
+        SurrogateEngine(cfg_design.engine, model, observe=False)
+    )
+    two_result, two_s = _run_campaign(two_stage, sampler)
+    two_spend = two_stage.exact_invocations
+
+    reduction = exact_spend / max(1, two_spend)
+    payload = {
+        "bench": "surrogate_speedup",
+        "quick": QUICK,
+        "design": "write-cfg",
+        "ci_width": CI_WIDTH,
+        "exact_ssf_enumerated": truth,
+        "exact": {
+            "ssf": exact_result.ssf,
+            "n_samples": exact_result.n_samples,
+            "exact_samples": exact_spend,
+            "wall_s": round(exact_s, 3),
+        },
+        "two_stage": {
+            "ssf": two_result.ssf,
+            "n_samples": two_result.n_samples,
+            "exact_samples": two_spend,
+            "calibration_samples": CALIBRATION_SAMPLES,
+            "fnr": model.fnr,
+            "holdout_coverage": report.holdout_coverage,
+            "wall_s": round(two_s, 3),
+        },
+        "exact_sample_reduction": round(reduction, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_surrogate.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    emit(
+        "surrogate_speedup",
+        "\n".join(
+            [
+                f"Two-stage multi-fidelity campaign (write-cfg, CI width "
+                f"{CI_WIDTH}{', quick' if QUICK else ''})",
+                f"  enumerated truth        {truth:.5f}",
+                f"  exact campaign          ssf {exact_result.ssf:.5f}  "
+                f"exact samples {exact_spend}",
+                f"  two-stage campaign      ssf {two_result.ssf:.5f}  "
+                f"exact samples {two_spend} "
+                f"(+{CALIBRATION_SAMPLES} calibration, amortized)",
+                f"  exact-sample reduction  {reduction:.2f}x "
+                f"(bar {MIN_EXACT_REDUCTION}x)",
+            ]
+        ),
+    )
+
+    # Accuracy: both CI-converged estimates sit on the enumerated truth.
+    assert abs(exact_result.ssf - truth) <= SSF_TOLERANCE, payload
+    assert abs(two_result.ssf - truth) <= SSF_TOLERANCE, payload
+    # Efficiency: the multi-fidelity acceptance bar.
+    assert reduction >= MIN_EXACT_REDUCTION, payload

@@ -21,6 +21,12 @@ from repro.errors import EvaluationError
 #: Stopping modes understood by :func:`repro.campaign.stopping.build_stopping_rule`.
 STOPPING_MODES = ("fixed", "risk", "ci")
 
+#: Evaluation backends (mirrors ``repro.core.engine.ENGINE_VARIANTS``).
+ENGINES = ("exact", "surrogate")
+
+#: Fidelity modes: single-engine, or surrogate screen + exact confirm.
+FIDELITIES = ("single", "two_stage")
+
 
 @dataclass(frozen=True)
 class StoppingConfig:
@@ -76,7 +82,10 @@ class CampaignSpec:
     impact_cycles: int = 1            # consecutive disturbed cycles
     seed: int = 2024                  # root seed of the per-chunk seed tree
     chunk_size: int = 50              # samples per work-stealing chunk
+    engine: str = "exact"             # evaluation backend: exact | surrogate
+    fidelity: str = "single"          # single | two_stage (screen + confirm)
     charac_cache: Optional[str] = None  # pre-characterization JSON to reuse
+    calibration: Optional[str] = None   # surrogate calibration artifact to reuse
     trace: bool = False               # record spans → runs/<id>/trace.json
     batch: bool = True                # batched sampling kernel (--no-batch off)
     telemetry: bool = True            # fleet workers ship spans/metrics/logs
@@ -87,6 +96,26 @@ class CampaignSpec:
             raise EvaluationError("chunk_size must be positive")
         if self.sampler not in ("random", "cone", "importance"):
             raise EvaluationError(f"unknown sampler {self.sampler!r}")
+        if self.engine not in ENGINES:
+            raise EvaluationError(
+                f"unknown engine variant {self.engine!r}: valid variants "
+                f"are {', '.join(ENGINES)}"
+            )
+        if self.fidelity not in FIDELITIES:
+            raise EvaluationError(
+                f"unknown fidelity {self.fidelity!r}: valid modes are "
+                f"{', '.join(FIDELITIES)}"
+            )
+        if self.fidelity == "two_stage" and self.engine != "surrogate":
+            raise EvaluationError(
+                "fidelity 'two_stage' uses the surrogate as the screening "
+                "stage; set engine='surrogate'"
+            )
+        if self.engine == "surrogate" and self.impact_cycles != 1:
+            raise EvaluationError(
+                "the surrogate engine models single-cycle injections; "
+                "impact_cycles must be 1"
+            )
 
     # ------------------------------------------------------------------
     # serialization
@@ -183,7 +212,9 @@ class CampaignSpec:
         if self.impact_cycles > 1:
             attack.technique.impact_cycles = self.impact_cycles
         engine = CrossLevelEngine(
-            context, attack, config=EngineConfig(batch=self.batch)
+            context,
+            attack,
+            config=EngineConfig(batch=self.batch, engine=self.engine),
         )
 
         if self.sampler == "random":
@@ -194,7 +225,29 @@ class CampaignSpec:
             sampler = ImportanceSampler(
                 attack, context.characterization, placement=context.placement
             )
+
+        if self.engine == "surrogate":
+            engine = self._wrap_surrogate(engine, sampler, context)
         return engine, sampler
+
+    def _wrap_surrogate(self, engine, sampler, context):
+        """Wrap the exact engine per ``engine``/``fidelity``.
+
+        A calibration artifact named by ``calibration`` is loaded when it
+        exists and written there otherwise; with no path the model is
+        fitted in-process, seeded from the campaign seed (the calibration
+        seed tree is namespaced away from the chunk streams, so the fit
+        never perturbs campaign sampling).
+        """
+        from repro.surrogate import build_surrogate_engine
+
+        return build_surrogate_engine(
+            engine,
+            sampler,
+            fidelity=self.fidelity,
+            calibration=self.calibration,
+            seed=self.seed,
+        )
 
 
 def load_spec(path: Union[str, pathlib.Path]) -> CampaignSpec:

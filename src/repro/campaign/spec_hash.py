@@ -17,15 +17,19 @@ Canonicalization rules (pinned by golden-hash tests):
 * pure observability/performance knobs that cannot change the estimate
   are *excluded*: ``trace`` (span recording), ``charac_cache`` (a
   memoized pre-characterization is derived deterministically from the
-  benchmark + variant, the path only skips recomputation), ``batch``
-  (the batched kernel is bit-identical to the scalar path, so batched
-  and scalar runs of one spec share a cache entry), and ``telemetry``
-  (fleet workers' shipped spans/metrics/logs are forced
-  non-deterministic on ingest and can never reach the estimator or the
-  deterministic metric view);
+  benchmark + variant, the path only skips recomputation),
+  ``calibration`` (likewise: the surrogate model is refitted
+  deterministically from the spec seed when the artifact path is
+  absent, so the path only skips the fit), ``batch`` (the batched
+  kernel is bit-identical to the scalar path, so batched and scalar
+  runs of one spec share a cache entry), and ``telemetry`` (fleet
+  workers' shipped spans/metrics/logs are forced non-deterministic on
+  ingest and can never reach the estimator or the deterministic metric
+  view);
 * everything else — including ``seed`` and ``chunk_size``, both of which
   select the per-chunk seed streams and therefore the exact sample
-  sequence — is part of the identity.
+  sequence, and ``engine``/``fidelity``, which swap the evaluation
+  backend and hence the sampled estimate — is part of the identity.
 
 The digest is salted with the package version plus a schema version, so
 a code upgrade that could change results invalidates every cached entry
@@ -40,10 +44,18 @@ import json
 from repro.campaign.spec import CampaignSpec
 
 #: Bump when canonicalization rules change (invalidates all cached hashes).
-HASH_SCHEMA_VERSION = 1
+#: v2: ``engine``/``fidelity`` joined the semantic set; ``calibration``
+#: joined the excluded set.
+HASH_SCHEMA_VERSION = 2
 
 #: Spec fields that cannot affect the campaign's estimate.
-NON_SEMANTIC_FIELDS = ("trace", "charac_cache", "batch", "telemetry")
+NON_SEMANTIC_FIELDS = (
+    "trace",
+    "charac_cache",
+    "calibration",
+    "batch",
+    "telemetry",
+)
 
 
 def code_version_salt() -> str:

@@ -1,0 +1,176 @@
+"""Surrogate conformance: bound the surrogate-vs-exact SSF error.
+
+The differential harness (:mod:`repro.conformance.differential`) proves
+the *exact* MC engine against exhaustive enumeration.  This module runs
+the same pinpoint-design oracle against the **surrogate** family: for
+each registry design it calibrates a model, evaluates the pure
+surrogate and the two-stage screen+confirm engine, and reports the
+absolute SSF error of each against the enumerated ground truth.
+
+The pass criterion allows the error a sampling-noise margin on top of
+the configured tolerance — the surrogate estimate is itself a Monte
+Carlo quantity, so ``|ssf − exact| ≤ tolerance + z·SE`` is the bound a
+finite run can actually certify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.campaign.scheduler import chunk_seed_sequence
+from repro.conformance.differential import build_samplers
+from repro.conformance.registry import DESIGNS, ConformanceDesign
+from repro.core.exhaustive import enumerate_single_bit_faults
+from repro.surrogate import (
+    CalibrationConfig,
+    SurrogateEngine,
+    TwoStageEngine,
+    calibrate,
+)
+
+
+@dataclass(frozen=True)
+class SurrogateConformanceConfig:
+    """Knobs of one surrogate conformance run."""
+
+    n_samples: int = 4000        # MC budget per engine variant
+    tolerance: float = 0.05      # certified |SSF error| bound (abs.)
+    z: float = 2.576             # noise-margin quantile (99%)
+    seed: int = 7                # seed tree root for the MC runs
+    calibration: CalibrationConfig = field(
+        default_factory=lambda: CalibrationConfig(n_samples=600)
+    )
+
+
+@dataclass
+class SurrogateVerdict:
+    """Surrogate-vs-exact outcome for one registry design."""
+
+    design: str
+    exact_ssf: float             # exhaustive-oracle ground truth
+    n_enumerated: int
+    surrogate_ssf: float
+    surrogate_error: float       # |surrogate_ssf - exact_ssf|
+    surrogate_bound: float       # tolerance + z·SE of the surrogate run
+    two_stage_ssf: float
+    two_stage_error: float
+    two_stage_bound: float
+    n_samples: int
+    exact_invocations: int       # exact samples the two-stage run spent
+    fnr: float                   # calibrated screen false-negative rate
+    holdout_coverage: float
+    n_cells: int
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.surrogate_error <= self.surrogate_bound
+            and self.two_stage_error <= self.two_stage_bound
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design,
+            "exact_ssf": self.exact_ssf,
+            "n_enumerated": self.n_enumerated,
+            "surrogate_ssf": self.surrogate_ssf,
+            "surrogate_error": self.surrogate_error,
+            "surrogate_bound": self.surrogate_bound,
+            "two_stage_ssf": self.two_stage_ssf,
+            "two_stage_error": self.two_stage_error,
+            "two_stage_bound": self.two_stage_bound,
+            "n_samples": self.n_samples,
+            "exact_invocations": self.exact_invocations,
+            "fnr": self.fnr,
+            "holdout_coverage": self.holdout_coverage,
+            "n_cells": self.n_cells,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class SurrogateConformanceReport:
+    """Surrogate error report over the registry designs."""
+
+    verdicts: List[SurrogateVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(v.passed for v in self.verdicts)
+
+    @property
+    def max_error(self) -> float:
+        errors = [
+            max(v.surrogate_error, v.two_stage_error) for v in self.verdicts
+        ]
+        return max(errors) if errors else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "max_error": self.max_error,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def run_surrogate_design(
+    design: ConformanceDesign,
+    config: Optional[SurrogateConformanceConfig] = None,
+    context=None,
+) -> SurrogateVerdict:
+    """Calibrate + evaluate the surrogate family on one registry design.
+
+    ``context`` lets the fast test tier inject a pre-built compatible
+    context, mirroring :func:`~repro.conformance.differential.run_design`.
+    """
+    config = config or SurrogateConformanceConfig()
+    built = design.build(context)
+    oracle = enumerate_single_bit_faults(
+        built.engine,
+        bits=list(built.bits),
+        timing_distances=list(range(built.window)),
+    )
+    sampler = build_samplers(built)[0][1]  # uniform: draws straight from f
+    model, report = calibrate(built.engine, sampler, config.calibration)
+
+    surrogate = SurrogateEngine(built.engine, model, observe=False)
+    sur_result = surrogate.evaluate(
+        sampler, config.n_samples, seed=chunk_seed_sequence(config.seed, 0)
+    )
+    two_stage = TwoStageEngine(SurrogateEngine(built.engine, model, observe=False))
+    two_result = two_stage.evaluate(
+        sampler, config.n_samples, seed=chunk_seed_sequence(config.seed, 1)
+    )
+
+    sur_err = abs(sur_result.estimator.ssf - oracle.ssf_exact)
+    two_err = abs(two_result.estimator.ssf - oracle.ssf_exact)
+    return SurrogateVerdict(
+        design=design.name,
+        exact_ssf=oracle.ssf_exact,
+        n_enumerated=oracle.n_evaluations,
+        surrogate_ssf=sur_result.estimator.ssf,
+        surrogate_error=sur_err,
+        surrogate_bound=config.tolerance
+        + config.z * sur_result.estimator.std_error,
+        two_stage_ssf=two_result.estimator.ssf,
+        two_stage_error=two_err,
+        two_stage_bound=config.tolerance
+        + config.z * two_result.estimator.std_error,
+        n_samples=config.n_samples,
+        exact_invocations=two_stage.exact_invocations,
+        fnr=model.fnr,
+        holdout_coverage=report.holdout_coverage,
+        n_cells=model.n_cells,
+    )
+
+
+def run_surrogate_suite(
+    config: Optional[SurrogateConformanceConfig] = None,
+    designs: Optional[Tuple[ConformanceDesign, ...]] = None,
+) -> SurrogateConformanceReport:
+    """Run the surrogate error check on every registry design."""
+    report = SurrogateConformanceReport()
+    for design in designs if designs is not None else DESIGNS:
+        report.verdicts.append(run_surrogate_design(design, config))
+    return report

@@ -1,0 +1,47 @@
+"""Metric recording for the surrogate / multi-fidelity engines.
+
+Metric names (rendered by ``repro obs report`` next to the engine
+vocabulary of :mod:`repro.obs.engine_metrics`):
+
+=========================================  =======  ==========================
+``surrogate_stage_samples_total{stage}``   counter  samples by pipeline stage
+``surrogate_hit_rate``                     gauge    fraction of samples with e=1
+``surrogate_screened_total``               counter  alias sum of screen samples
+=========================================  =======  ==========================
+
+``stage`` is one of ``screen`` (the surrogate draw answered), ``confirm``
+(the exact engine confirmed a surrogate-positive), and ``fallback`` (an
+uncovered cell was answered exactly).
+
+Every metric here is flagged **non-deterministic**: stage composition
+depends on the calibrated model in use (an operational input, like the
+charac cache), not on the persisted record stream, so these counters
+must stay out of the deterministic view that
+:func:`~repro.obs.engine_metrics.metrics_from_records` rebuild-parity
+and cross-worker equality tests compare.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def observe_stage(registry: MetricsRegistry, stage: str) -> None:
+    """Count one evaluated sample against its pipeline stage."""
+    registry.counter(
+        "surrogate_stage_samples_total", deterministic=False, stage=stage
+    ).inc()
+    if stage == "screen":
+        registry.counter(
+            "surrogate_screened_total", deterministic=False
+        ).inc()
+
+
+def set_surrogate_gauges(
+    registry: MetricsRegistry, n_hits: int, n_samples: int
+) -> None:
+    """Publish the surrogate hit-rate gauge for one evaluate call."""
+    if n_samples > 0:
+        registry.gauge("surrogate_hit_rate", deterministic=False).set(
+            n_hits / n_samples
+        )

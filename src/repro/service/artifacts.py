@@ -1,0 +1,136 @@
+"""Content-addressed cache for derived precomputation artifacts.
+
+Campaigns pay a startup cost for work that is a pure function of the
+*(design, workload)* pair, independent of the campaign's sampling
+parameters: the pre-characterization (switching signatures, lifetimes,
+cones) and the surrogate calibration model.  The spec hash deliberately
+excludes the artifact *paths* (``charac_cache`` / ``calibration``), so
+two campaigns differing only in seed or stopping rule are distinct
+cache entries for the result cache but share this precomputation.
+
+:class:`ArtifactStore` addresses artifacts by a SHA-256 over the
+artifact kind plus its canonical key fields, salted with
+:func:`~repro.campaign.spec_hash.code_version_salt` — a code upgrade
+that could change the derived data invalidates the store wholesale, the
+same policy the result cache applies.  Writes are atomic
+(temp + rename), so a crashed builder never leaves a truncated artifact
+to poison later runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Callable, Tuple, Union
+
+#: Pre-characterization JSON (``repro.precharac.persistence``).
+KIND_PRECHARAC = "precharac"
+#: Surrogate calibration JSON (``repro.surrogate.persistence``).
+KIND_CALIBRATION = "calibration"
+
+#: ``builder(path)`` materializes the artifact at ``path``.
+ArtifactBuilder = Callable[[pathlib.Path], None]
+
+
+class ArtifactStore:
+    """Content-addressed artifact directory (``<root>/<kind>/<key>.json``)."""
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+
+    def key(self, kind: str, **fields) -> str:
+        """Hex digest addressing one artifact."""
+        from repro.campaign.spec_hash import code_version_salt
+
+        payload = "\n".join(
+            (
+                code_version_salt(),
+                kind,
+                json.dumps(fields, sort_keys=True, separators=(",", ":")),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, **fields) -> pathlib.Path:
+        return self.root / kind / f"{self.key(kind, **fields)}.json"
+
+    def ensure(
+        self, kind: str, builder: ArtifactBuilder, **fields
+    ) -> Tuple[pathlib.Path, bool]:
+        """Return ``(path, cache_hit)``, building the artifact on a miss.
+
+        The builder writes to a temp path that is atomically renamed
+        into place, so concurrent builders race benignly (last rename
+        wins with identical content) and crashes leave no partial file.
+        """
+        path = self.path_for(kind, **fields)
+        if path.exists():
+            return path, True
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        builder(tmp)
+        tmp.replace(path)
+        return path, False
+
+
+def ensure_precharac(
+    store: ArtifactStore,
+    benchmark: str,
+    variant: str,
+    builder: ArtifactBuilder = None,
+) -> Tuple[pathlib.Path, bool]:
+    """Cached pre-characterization for ``(benchmark, variant)``.
+
+    The default builder runs the full characterization campaign once
+    and persists it; tests inject a counting stub via ``builder``.
+    """
+    from repro.soc.mpu import MpuVariant
+
+    name = MpuVariant.parse(variant).name
+    if builder is None:
+
+        def builder(path: pathlib.Path) -> None:
+            from repro.core.context import build_context
+            from repro.precharac.persistence import save_characterization
+            from repro.soc.programs import (
+                dma_exfiltration_benchmark,
+                illegal_read_benchmark,
+                illegal_write_benchmark,
+            )
+
+            benchmarks = {
+                "write": illegal_write_benchmark,
+                "read": illegal_read_benchmark,
+                "dma": dma_exfiltration_benchmark,
+            }
+            context = build_context(
+                benchmarks[benchmark](), mpu_variant=MpuVariant.parse(variant)
+            )
+            save_characterization(context.characterization, path)
+
+    return store.ensure(
+        KIND_PRECHARAC, builder, benchmark=benchmark, variant=name
+    )
+
+
+def calibration_path(store: ArtifactStore, spec) -> pathlib.Path:
+    """Deterministic calibration-artifact path for a surrogate spec.
+
+    Key fields are exactly those the in-process fit depends on: the
+    attack geometry plus the campaign seed (the calibration seed tree
+    roots at ``spec.seed``).  ``build_runtime`` fits-and-saves on a
+    miss and loads on a hit, so repeat campaigns skip recalibration.
+    """
+    from repro.soc.mpu import MpuVariant
+
+    return store.path_for(
+        KIND_CALIBRATION,
+        benchmark=spec.benchmark,
+        variant=MpuVariant.parse(spec.variant).name,
+        sampler=spec.sampler,
+        window=spec.window,
+        subblock_fraction=spec.subblock_fraction,
+        impact_cycles=spec.impact_cycles,
+        seed=spec.seed,
+    )

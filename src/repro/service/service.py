@@ -32,6 +32,7 @@ failure retries cleanly.
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
 import threading
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -50,6 +51,11 @@ from repro.obs.service_metrics import (
     record_cache_request,
     record_submission,
     update_job_gauges,
+)
+from repro.service.artifacts import (
+    ArtifactStore,
+    calibration_path,
+    ensure_precharac,
 )
 from repro.service.cache import ResultCache, result_payload
 from repro.service.jobs import (
@@ -143,6 +149,7 @@ class EvaluationService:
             state_dir if state_dir is not None else self.runs_dir / "service"
         )
         self.cache = ResultCache(self.runs_dir)
+        self.artifacts = ArtifactStore(self.runs_dir / "artifacts")
         self.max_concurrency = max(1, max_concurrency)
         self.campaign_workers = max(1, campaign_workers)
         self.checkpoint_every = checkpoint_every
@@ -406,10 +413,30 @@ class EvaluationService:
                 return
             self._execute(job)
 
+    def _with_cached_artifacts(self, spec: CampaignSpec) -> CampaignSpec:
+        """Route derived precomputation through the artifact cache.
+
+        Only applies when this process builds the real runtime (no
+        injected engine factory, no fleet dispatch).  Both rewritten
+        fields are non-semantic, so the spec hash — and with it result
+        caching, dedup, and resume identity — is unchanged.
+        """
+        if spec.charac_cache is None:
+            path, _ = ensure_precharac(
+                self.artifacts, spec.benchmark, spec.variant
+            )
+            spec = dataclasses.replace(spec, charac_cache=str(path))
+        if spec.engine == "surrogate" and spec.calibration is None:
+            target = calibration_path(self.artifacts, spec)
+            spec = dataclasses.replace(spec, calibration=str(target))
+        return spec
+
     def _execute(self, job: Job) -> None:
         self._update(job, state=STATE_RUNNING)
         try:
             spec = CampaignSpec.from_dict(job.spec)
+            if self.fleet is None and self.engine_factory is None:
+                spec = self._with_cached_artifacts(spec)
             run_path = self.runs_dir / job.run_id
             resume = (run_path / SPEC_FILE).exists()
             if resume:

@@ -1,0 +1,66 @@
+"""Calibrated RTL-level SEU surrogate engine and multi-fidelity campaigns.
+
+The exact cross-level engine pays for accuracy with a gate-level
+transient simulation on every sample.  Following the abstraction of
+"Representing Gate-Level SET Faults by Multiple SEU Faults at RTL"
+(arXiv:2103.05106), this subsystem replaces that simulation with draws
+from a calibrated empirical distribution over the *latched* SEU
+patterns, injected straight into RTL register state:
+
+* :mod:`repro.surrogate.model` — the per-(gate-cone, cycle-class)
+  pattern distributions and the netlist footprint keying;
+* :mod:`repro.surrogate.calibrate` — fits the model against the exact
+  engine on a budgeted sample set, with a goodness-of-fit report and a
+  measured screen false-negative rate;
+* :mod:`repro.surrogate.persistence` — the versioned, fingerprinted
+  JSON artifact (``repro calibrate --out``);
+* :mod:`repro.surrogate.engine` — :class:`SurrogateEngine` (pure
+  surrogate) and :class:`TwoStageEngine` (surrogate screen + exact
+  confirmation with FNR-corrected weights), both implementing the
+  standard scheduler contract so campaigns, the fleet, and replay run
+  them unchanged.
+
+Accuracy envelope: the surrogate is an *estimate of an estimate* — use
+the conformance harness (:mod:`repro.conformance.surrogate`) to bound
+its SSF error against the exact oracle before trusting it, and prefer
+``fidelity: two_stage`` (screen + exact confirmation) whenever the
+final number matters.
+"""
+
+from repro.surrogate.calibrate import (
+    CalibrationConfig,
+    CalibrationReport,
+    calibrate,
+)
+from repro.surrogate.engine import (
+    SurrogateEngine,
+    TwoStageEngine,
+    build_surrogate_engine,
+)
+from repro.surrogate.model import (
+    PatternCell,
+    SurrogateModel,
+    canonical_pattern,
+    register_footprints,
+)
+from repro.surrogate.persistence import (
+    load_report,
+    load_surrogate_model,
+    save_surrogate_model,
+)
+
+__all__ = [
+    "CalibrationConfig",
+    "CalibrationReport",
+    "PatternCell",
+    "SurrogateEngine",
+    "SurrogateModel",
+    "TwoStageEngine",
+    "build_surrogate_engine",
+    "calibrate",
+    "canonical_pattern",
+    "load_report",
+    "load_surrogate_model",
+    "register_footprints",
+    "save_surrogate_model",
+]

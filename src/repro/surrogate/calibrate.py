@@ -1,0 +1,234 @@
+"""Calibration: fit the SEU-pattern model against the exact engine.
+
+The calibration pass spends a budgeted number of *exact* samples and
+turns them into the surrogate's empirical per-(cone, cycle-class)
+distributions.  The budget is split into a fit set and a holdout set
+(deterministic interleave, so the split is reproducible from the seed
+alone); the holdout backs two quality measures that ship inside the
+artifact:
+
+* a **goodness-of-fit report** — a two-sample KS test of the latched
+  bit-multiplicity distribution (fit vs holdout) and a chi-square test
+  of the holdout outcome-category counts against the fit frequencies,
+  both from the pure-stdlib helpers in :mod:`repro.utils.stats`;
+* the **screen false-negative rate** — every holdout sample the exact
+  engine scored as a hit is re-screened through the freshly fitted
+  surrogate; the fraction of those hits the screen misses is the
+  ``fnr`` the two-stage estimator corrects by.
+
+Calibration seeds live in their own spawn-key namespace
+(:data:`CALIBRATION_SPAWN_KEY`), so a calibration pass never perturbs
+the campaign's sample seed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import CrossLevelEngine
+from repro.core.results import OutcomeCategory, SampleRecord
+from repro.errors import EvaluationError
+from repro.sampling.base import Sampler
+from repro.surrogate.model import (
+    SurrogateModel,
+    canonical_pattern,
+    register_footprints,
+)
+from repro.utils.rng import as_generator, sample_seed_sequence
+from repro.utils.stats import chi_square_gof, ks_2samp
+
+#: Spawn-key prefix namespacing every calibration RNG stream away from
+#: the campaign seed tree (chunk streams use bare ``(index,)`` keys).
+CALIBRATION_SPAWN_KEY = 0xCA1B
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs of one calibration pass (echoed into the artifact)."""
+
+    n_samples: int = 400          # exact-engine budget
+    holdout_fraction: float = 0.2  # fraction reserved for GOF + FNR
+    cycle_class_width: int = 8     # injection cycles per class bucket
+    min_observations: int = 4      # below this a cell is "uncovered"
+    seed: int = 11                 # root of the calibration seed tree
+    max_fnr: float = 0.8           # refuse models with a worse screen
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise EvaluationError("calibration n_samples must be positive")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise EvaluationError("holdout_fraction must lie in (0, 1)")
+        if self.cycle_class_width <= 0:
+            raise EvaluationError("cycle_class_width must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "n_samples": self.n_samples,
+            "holdout_fraction": self.holdout_fraction,
+            "cycle_class_width": self.cycle_class_width,
+            "min_observations": self.min_observations,
+            "seed": self.seed,
+            "max_fnr": self.max_fnr,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Goodness-of-fit summary persisted inside the artifact."""
+
+    n_samples: int
+    n_fit: int
+    n_holdout: int
+    n_cells: int
+    holdout_coverage: float     # holdout samples landing in a fitted cell
+    fnr: float                  # screen false-negative rate
+    n_true_positives: int       # holdout hits the FNR was measured on
+    multiplicity_ks_statistic: float
+    multiplicity_ks_p_value: float
+    category_chi2_statistic: float
+    category_chi2_p_value: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n_samples": self.n_samples,
+            "n_fit": self.n_fit,
+            "n_holdout": self.n_holdout,
+            "n_cells": self.n_cells,
+            "holdout_coverage": self.holdout_coverage,
+            "fnr": self.fnr,
+            "n_true_positives": self.n_true_positives,
+            "multiplicity_ks_statistic": self.multiplicity_ks_statistic,
+            "multiplicity_ks_p_value": self.multiplicity_ks_p_value,
+            "category_chi2_statistic": self.category_chi2_statistic,
+            "category_chi2_p_value": self.category_chi2_p_value,
+        }
+
+
+def _split(
+    records: List[SampleRecord], holdout_fraction: float
+) -> Tuple[List[SampleRecord], List[SampleRecord]]:
+    """Deterministic interleaved fit/holdout split (every k-th held out)."""
+    stride = max(2, int(round(1.0 / holdout_fraction)))
+    fit = [r for i, r in enumerate(records) if i % stride != 0]
+    holdout = [r for i, r in enumerate(records) if i % stride == 0]
+    return fit, holdout
+
+
+def calibrate(
+    engine: CrossLevelEngine,
+    sampler: Sampler,
+    config: Optional[CalibrationConfig] = None,
+) -> Tuple[SurrogateModel, CalibrationReport]:
+    """Fit a surrogate model against ``engine`` with a budgeted sample set.
+
+    Returns the fitted model (with its measured ``fnr``) and the
+    goodness-of-fit report.  Raises :class:`EvaluationError` when the
+    measured screen false-negative rate exceeds ``config.max_fnr`` —
+    such a model would inflate confirmed weights beyond usefulness.
+    """
+    from repro.surrogate.engine import STAGE_SCREEN, SurrogateEngine
+
+    config = config or CalibrationConfig()
+    base = np.random.SeedSequence(
+        entropy=config.seed, spawn_key=(CALIBRATION_SPAWN_KEY,)
+    )
+    result = engine.evaluate(sampler, config.n_samples, seed=base)
+    records = result.records
+    fit, holdout = _split(records, config.holdout_fraction)
+
+    model = SurrogateModel(
+        cycle_class_width=config.cycle_class_width,
+        min_observations=config.min_observations,
+        n_calibration_samples=len(records),
+    )
+    footprints = register_footprints(engine.context.netlist)
+    for record in fit:
+        if record.category is OutcomeCategory.OUT_OF_RANGE:
+            continue
+        footprint = footprints[record.sample.centre]
+        pattern = (
+            canonical_pattern(record.flipped_bits)
+            if record.flipped_bits
+            else None
+        )
+        model.observe(footprint, record.injection_cycle, pattern)
+
+    # --- goodness of fit: latched-bit multiplicity, fit vs holdout -----
+    fit_mult = [len(r.flipped_bits) for r in fit]
+    hold_mult = [len(r.flipped_bits) for r in holdout]
+    if fit_mult and hold_mult:
+        ks = ks_2samp(fit_mult, hold_mult)
+        ks_stat, ks_p = ks.statistic, ks.p_value
+    else:
+        ks_stat, ks_p = 0.0, 1.0
+
+    # --- goodness of fit: outcome-category frequencies -----------------
+    fit_cat = {c.value: 0 for c in OutcomeCategory}
+    for r in fit:
+        fit_cat[r.category.value] += 1
+    hold_cat = {c.value: 0 for c in OutcomeCategory}
+    for r in holdout:
+        hold_cat[r.category.value] += 1
+    total_fit = max(1, len(fit))
+    expected = {k: v / total_fit for k, v in fit_cat.items()}
+    if holdout and any(expected.values()):
+        chi2 = chi_square_gof(hold_cat, expected)
+        chi2_stat, chi2_p = chi2.statistic, chi2.p_value
+    else:
+        chi2_stat, chi2_p = 0.0, 1.0
+
+    # --- screen FNR on the holdout hits --------------------------------
+    screen = SurrogateEngine(engine, model, observe=False)
+    covered = 0
+    positives = 0
+    false_negatives = 0
+    fnr_base = np.random.SeedSequence(
+        entropy=config.seed, spawn_key=(CALIBRATION_SPAWN_KEY, 1)
+    )
+    for j, record in enumerate(holdout):
+        if record.category is OutcomeCategory.OUT_OF_RANGE:
+            continue
+        footprint = footprints[record.sample.centre]
+        if model.cell_for(footprint, record.injection_cycle) is None:
+            continue
+        covered += 1
+        if record.e != 1:
+            continue
+        positives += 1
+        rng = as_generator(sample_seed_sequence(fnr_base, j))
+        screened = screen.run_sample(record.sample, rng)
+        if screen.last_stage == STAGE_SCREEN and screened.e == 0:
+            false_negatives += 1
+    fnr = false_negatives / positives if positives else 0.0
+    if fnr > config.max_fnr:
+        raise EvaluationError(
+            f"calibrated screen false-negative rate {fnr:.2f} exceeds "
+            f"max_fnr={config.max_fnr}: the surrogate cannot screen this "
+            "design; grow the calibration budget or use the exact engine"
+        )
+    model.fnr = fnr
+
+    in_range = [
+        r for r in holdout if r.category is not OutcomeCategory.OUT_OF_RANGE
+    ]
+    report = CalibrationReport(
+        n_samples=len(records),
+        n_fit=len(fit),
+        n_holdout=len(holdout),
+        n_cells=model.n_cells,
+        holdout_coverage=covered / len(in_range) if in_range else 1.0,
+        fnr=fnr,
+        n_true_positives=positives,
+        multiplicity_ks_statistic=ks_stat,
+        multiplicity_ks_p_value=ks_p,
+        category_chi2_statistic=chi2_stat,
+        category_chi2_p_value=chi2_p,
+    )
+    return model, report

@@ -1,0 +1,239 @@
+"""The fitted SEU-pattern model behind the surrogate engine.
+
+Following the RTL-abstraction argument of "Representing Gate-Level SET
+Faults by Multiple SEU Faults at RTL" (arXiv:2103.05106), a gate-level
+transient is summarized by what it *latches*: a (possibly empty) set of
+register bits flipped at the end of the injection cycle.  The surrogate
+therefore models, per **cell**, the empirical distribution the exact
+engine's gate-level simulation induces over those SEU patterns:
+
+* the **cone key** groups spatial centres by their latching-register
+  footprint — the set of RTL registers whose flops are reachable from
+  the struck node through combinational logic (plus the node's own
+  register for a struck flop).  Two centres with the same footprint can
+  only ever latch into the same registers, so they share a cell;
+* the **cycle class** buckets injection cycles (``cycle // width``),
+  capturing the workload-phase dependence of masking without needing
+  one distribution per cycle.
+
+Each cell holds a masking probability and an empirical pmf over the
+non-masked patterns observed during calibration
+(:mod:`repro.surrogate.calibrate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.netlist.graph import Netlist
+from repro.utils.stats import EmpiricalDistribution
+
+#: A canonical SEU pattern: sorted tuple of (register, bit) pairs.
+Pattern = Tuple[Tuple[str, int], ...]
+
+#: A cone key: sorted tuple of register names a centre can latch into.
+ConeKey = Tuple[str, ...]
+
+
+def canonical_pattern(flipped: FrozenSet[Tuple[str, int]]) -> Pattern:
+    """The order-free canonical form of a flipped-bits set."""
+    return tuple(sorted((str(reg), int(bit)) for reg, bit in flipped))
+
+
+_FOOTPRINT_CACHE: Dict[int, List[ConeKey]] = {}
+
+
+def register_footprints(netlist: Netlist) -> List[ConeKey]:
+    """Per-node latching-register footprint (cached per netlist identity).
+
+    ``footprint[nid]`` is the sorted tuple of register names whose DFF
+    D pins are reachable from ``nid`` through combinational fanout; for
+    a DFF node the set additionally contains its own register (a direct
+    storage-node upset flips the stored bit).
+    """
+    key = id(netlist)
+    cached = _FOOTPRINT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    fanouts = netlist.fanouts()
+    reach: Dict[int, FrozenSet[str]] = {}
+
+    def consumers(nid: int) -> FrozenSet[str]:
+        regs = set()
+        for cid in fanouts[nid]:
+            consumer = netlist.node(cid)
+            if consumer.is_dff:
+                if consumer.register is not None:
+                    regs.add(consumer.register)
+            elif consumer.kind.is_combinational:
+                regs |= reach[cid]
+        return frozenset(regs)
+
+    # Combinational gates in reverse topological order: every consumer's
+    # reach set is already known when a producer is visited.
+    for nid in reversed(netlist.topo_order()):
+        reach[nid] = consumers(nid)
+    footprints: List[ConeKey] = [()] * len(netlist)
+    for node in netlist.nodes:
+        if node.kind.is_combinational:
+            regs = set(reach[node.nid])
+        else:
+            regs = set(consumers(node.nid))
+        if node.is_dff and node.register is not None:
+            regs.add(node.register)
+        footprints[node.nid] = tuple(sorted(regs))
+    _FOOTPRINT_CACHE[key] = footprints
+    return footprints
+
+
+@dataclass
+class PatternCell:
+    """Fitted SEU-pattern distribution of one (cone, cycle-class) cell."""
+
+    n_observations: int = 0
+    n_masked: int = 0
+    pattern_counts: Dict[Pattern, int] = field(default_factory=dict)
+    _patterns: Optional[EmpiricalDistribution] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def observe(self, pattern: Optional[Pattern]) -> None:
+        """Record one calibration outcome (``None`` = masked)."""
+        self.n_observations += 1
+        if pattern is None or not pattern:
+            self.n_masked += 1
+        else:
+            self.pattern_counts[pattern] = self.pattern_counts.get(pattern, 0) + 1
+        self._patterns = None
+
+    @property
+    def p_masked(self) -> float:
+        if self.n_observations == 0:
+            return 1.0
+        return self.n_masked / self.n_observations
+
+    @property
+    def patterns(self) -> Optional[EmpiricalDistribution]:
+        """Distribution over non-masked patterns (``None`` if all masked)."""
+        if self._patterns is None and self.pattern_counts:
+            self._patterns = EmpiricalDistribution.from_counts(
+                dict(self.pattern_counts)
+            )
+        return self._patterns
+
+    def draw(self, u_mask: float, u_pattern: float) -> Optional[Pattern]:
+        """Draw a pattern from two uniform [0, 1) variates.
+
+        Returns ``None`` for a masked outcome.  Consuming *exactly two*
+        variates on every call (even when the first already decides
+        "masked") keeps the per-sample RNG stream layout independent of
+        the drawn outcome, which replay relies on.
+        """
+        if u_mask < self.p_masked or not self.pattern_counts:
+            return None
+        return self.patterns.quantile(u_pattern)  # type: ignore[union-attr]
+
+
+@dataclass
+class SurrogateModel:
+    """The complete calibrated surrogate: cells + screen error rate."""
+
+    cycle_class_width: int = 8
+    min_observations: int = 4
+    #: Screen false-negative rate P(surrogate says miss | exact says hit),
+    #: measured on the calibration holdout; the two-stage estimator
+    #: divides confirmed hits by (1 - fnr) to stay unbiased.
+    fnr: float = 0.0
+    n_calibration_samples: int = 0
+    cells: Dict[Tuple[ConeKey, int], PatternCell] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycle_class_width <= 0:
+            raise EvaluationError("cycle_class_width must be positive")
+        if not 0.0 <= self.fnr < 1.0:
+            raise EvaluationError("fnr must lie in [0, 1)")
+
+    def cycle_class(self, injection_cycle: int) -> int:
+        return injection_cycle // self.cycle_class_width
+
+    def cell_key(
+        self, footprint: ConeKey, injection_cycle: int
+    ) -> Tuple[ConeKey, int]:
+        return (footprint, self.cycle_class(injection_cycle))
+
+    def observe(
+        self,
+        footprint: ConeKey,
+        injection_cycle: int,
+        pattern: Optional[Pattern],
+    ) -> None:
+        key = self.cell_key(footprint, injection_cycle)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = PatternCell()
+        cell.observe(pattern)
+
+    def cell_for(
+        self, footprint: ConeKey, injection_cycle: int
+    ) -> Optional[PatternCell]:
+        """The usable cell for a sample, or ``None`` (→ exact fallback).
+
+        A cell with fewer than ``min_observations`` calibration samples
+        is treated as uncovered: its empirical pmf would be dominated by
+        noise, so the surrogate declines to extrapolate from it.
+        """
+        cell = self.cells.get(self.cell_key(footprint, injection_cycle))
+        if cell is None or cell.n_observations < self.min_observations:
+            return None
+        return cell
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # serialization (see repro.surrogate.persistence for the artifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "cycle_class_width": self.cycle_class_width,
+            "min_observations": self.min_observations,
+            "fnr": self.fnr,
+            "n_calibration_samples": self.n_calibration_samples,
+            "cells": [
+                {
+                    "cone": list(cone),
+                    "cycle_class": cycle_class,
+                    "n": cell.n_observations,
+                    "n_masked": cell.n_masked,
+                    "patterns": [
+                        [count, [list(bit) for bit in pattern]]
+                        for pattern, count in sorted(cell.pattern_counts.items())
+                    ],
+                }
+                for (cone, cycle_class), cell in sorted(self.cells.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SurrogateModel":
+        model = cls(
+            cycle_class_width=int(data["cycle_class_width"]),
+            min_observations=int(data["min_observations"]),
+            fnr=float(data["fnr"]),
+            n_calibration_samples=int(data.get("n_calibration_samples", 0)),
+        )
+        for entry in data["cells"]:
+            cell = PatternCell(
+                n_observations=int(entry["n"]),
+                n_masked=int(entry["n_masked"]),
+                pattern_counts={
+                    tuple((str(reg), int(bit)) for reg, bit in pattern): int(count)
+                    for count, pattern in entry["patterns"]
+                },
+            )
+            key = (tuple(entry["cone"]), int(entry["cycle_class"]))
+            model.cells[key] = cell
+        return model

@@ -1,0 +1,94 @@
+"""Save/load of calibrated surrogate models.
+
+The calibration pass is the expensive half of the surrogate workflow
+(it runs the exact engine on the budgeted sample set), so its output is
+persisted as a versioned JSON artifact — ``repro calibrate --out`` — and
+reused across campaigns, machines, and the service's content-addressed
+artifact cache.  A netlist fingerprint (node count + register manifest,
+the same guard :mod:`repro.precharac.persistence` uses) prevents loading
+a model calibrated for a different design; the goodness-of-fit report is
+embedded so consumers can inspect the calibration quality of an artifact
+without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.errors import EvaluationError
+from repro.netlist.graph import Netlist
+from repro.surrogate.model import SurrogateModel
+
+FORMAT_VERSION = 1
+
+
+def _fingerprint(netlist: Netlist) -> Dict[str, object]:
+    return {
+        "n_nodes": len(netlist),
+        "registers": netlist.register_widths(),
+    }
+
+
+def save_surrogate_model(
+    model: SurrogateModel,
+    netlist: Netlist,
+    path: Union[str, pathlib.Path],
+    report=None,
+) -> None:
+    """Serialize the model (plus its calibration report) to JSON.
+
+    ``report`` accepts the :class:`~repro.surrogate.calibrate.CalibrationReport`
+    itself or its plain-dict form.
+    """
+    if report is not None and hasattr(report, "to_dict"):
+        report = report.to_dict()
+    payload = {
+        "version": FORMAT_VERSION,
+        "fingerprint": _fingerprint(netlist),
+        "model": model.to_dict(),
+        "report": report,
+    }
+    path = pathlib.Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)
+
+
+def load_surrogate_model(
+    path: Union[str, pathlib.Path],
+    netlist: Netlist,
+) -> SurrogateModel:
+    """Deserialize; ``netlist`` must match the stored fingerprint."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EvaluationError(
+            f"cannot load surrogate model {path}: {exc}"
+        ) from exc
+    if payload.get("version") != FORMAT_VERSION:
+        raise EvaluationError(
+            f"unsupported surrogate model format {payload.get('version')!r}"
+        )
+    stored = payload.get("fingerprint", {})
+    expected = _fingerprint(netlist)
+    if (
+        stored.get("n_nodes") != expected["n_nodes"]
+        or stored.get("registers") != expected["registers"]
+    ):
+        raise EvaluationError(
+            "surrogate model was calibrated for a different netlist"
+        )
+    return SurrogateModel.from_dict(payload["model"])
+
+
+def load_report(path: Union[str, pathlib.Path]) -> Optional[dict]:
+    """The embedded calibration report of an artifact (or ``None``)."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EvaluationError(
+            f"cannot load surrogate model {path}: {exc}"
+        ) from exc
+    return payload.get("report")

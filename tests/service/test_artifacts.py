@@ -1,0 +1,101 @@
+"""Content-addressed artifact store: keying, atomicity, cache hits."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.service.artifacts import (
+    KIND_CALIBRATION,
+    KIND_PRECHARAC,
+    ArtifactStore,
+    calibration_path,
+    ensure_precharac,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, store):
+        a = store.key(KIND_PRECHARAC, benchmark="write", variant="none")
+        b = store.key(KIND_PRECHARAC, benchmark="write", variant="none")
+        assert a == b and len(a) == 64
+
+    def test_key_field_order_is_canonical(self, store):
+        assert store.key("k", a=1, b=2) == store.key("k", b=2, a=1)
+
+    def test_key_separates_kinds_and_fields(self, store):
+        base = store.key(KIND_PRECHARAC, benchmark="write", variant="none")
+        assert store.key(KIND_CALIBRATION, benchmark="write",
+                         variant="none") != base
+        assert store.key(KIND_PRECHARAC, benchmark="read",
+                         variant="none") != base
+
+    def test_path_layout(self, store):
+        path = store.path_for(KIND_PRECHARAC, benchmark="write",
+                              variant="none")
+        assert path.parent == store.root / KIND_PRECHARAC
+        assert path.suffix == ".json"
+
+
+class TestEnsure:
+    def test_builds_once_then_hits(self, store):
+        calls = []
+
+        def builder(path):
+            calls.append(path)
+            path.write_text(json.dumps({"n": 1}))
+
+        first, hit1 = store.ensure("k", builder, design="d")
+        second, hit2 = store.ensure("k", builder, design="d")
+        assert first == second
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert json.loads(first.read_text()) == {"n": 1}
+
+    def test_no_tmp_residue(self, store):
+        def builder(path):
+            path.write_text("{}")
+
+        path, _ = store.ensure("k", builder, design="d")
+        assert list(path.parent.glob("*.tmp")) == []
+
+
+class TestPrecharacKeying:
+    def test_variant_string_is_normalized(self, store):
+        def builder(path):
+            path.write_text("{}")
+
+        a, _ = ensure_precharac(store, "write", "tmr+parity", builder=builder)
+        b, hit = ensure_precharac(store, "write", "TMR+PARITY",
+                                  builder=builder)
+        assert a == b and hit
+
+
+class TestCalibrationKeying:
+    def test_keyed_by_fit_inputs_only(self, store):
+        spec = CampaignSpec(engine="surrogate", seed=7)
+        base = calibration_path(store, spec)
+        import dataclasses
+
+        # Fields the fit never reads do not split the artifact.
+        same = dataclasses.replace(
+            spec,
+            chunk_size=spec.chunk_size + 1,
+            trace=True,
+            calibration="/elsewhere/cal.json",
+        )
+        assert calibration_path(store, same) == base
+        # Fields the fit consumes do.
+        for change in (
+            {"seed": 8},
+            {"window": spec.window + 1},
+            {"sampler": "random"},
+            {"benchmark": "read"},
+        ):
+            other = dataclasses.replace(spec, **change)
+            assert calibration_path(store, other) != base

@@ -20,10 +20,10 @@ from repro.campaign.spec_hash import (
 )
 
 GOLDEN_DEFAULT = (
-    "14f887be4e42d68a0b4a4071ab62d88670427effa8e2f29865e7ec8157f924db"
+    "1d9037c1f3adb77540b549547cf8cf624843c0281a189182c257885b3d26c1df"
 )
 GOLDEN_TMR_CONE_RISK = (
-    "cd6568069cfbe203ce99e3dc2b11135b653f43925ce07aa5687532195e415ac1"
+    "ad36b731ef15c3f2edf4e42aea732e2bb2931d1b0c6cb267f82b8c2e3102d62f"
 )
 
 
@@ -34,7 +34,7 @@ def _version():
 
 
 class TestGoldenHashes:
-    """Golden values computed for repro 1.0.0, schema v1.
+    """Golden values computed for repro 1.0.0, schema v2.
 
     A version bump intentionally changes every hash (cache-wide
     invalidation); these pins then need recomputing, which the skipif
@@ -42,8 +42,8 @@ class TestGoldenHashes:
     """
 
     pytestmark = pytest.mark.skipif(
-        "_version() != '1.0.0' or HASH_SCHEMA_VERSION != 1",
-        reason="golden hashes pinned for repro 1.0.0 / schema v1",
+        "_version() != '1.0.0' or HASH_SCHEMA_VERSION != 2",
+        reason="golden hashes pinned for repro 1.0.0 / schema v2",
     )
 
     def test_default_spec_hash_pinned(self):
@@ -154,10 +154,29 @@ class TestSemanticFields:
         )
 
     def test_batch_off_still_matches_the_golden_pin(self):
-        # PR 5 introduced ``batch`` without a schema bump: hashes from
-        # before the field existed must keep resolving (cached results
-        # stay valid), including with the escape hatch flipped.
+        # ``batch`` is excluded from the canonical dict, so flipping the
+        # escape hatch must still resolve to the golden default entry.
         assert spec_hash(CampaignSpec(batch=False)) == GOLDEN_DEFAULT
+
+    def test_engine_is_semantic(self):
+        """Swapping the evaluation backend changes what is estimated
+        (the surrogate draws latched patterns instead of simulating
+        them), so surrogate runs must never serve exact cache hits."""
+        surrogate = CampaignSpec(engine="surrogate")
+        assert spec_hash(surrogate) != spec_hash(CampaignSpec())
+
+    def test_fidelity_is_semantic(self):
+        single = CampaignSpec(engine="surrogate", fidelity="single")
+        two_stage = CampaignSpec(engine="surrogate", fidelity="two_stage")
+        assert spec_hash(two_stage) != spec_hash(single)
+
+    def test_calibration_is_not_semantic(self):
+        """Like charac_cache, the calibration artifact is derived
+        deterministically from the spec seed; the path only skips the
+        in-process refit."""
+        assert spec_hash(
+            CampaignSpec(engine="surrogate", calibration="/tmp/cal.json")
+        ) == spec_hash(CampaignSpec(engine="surrogate"))
 
     def test_telemetry_is_not_semantic(self):
         """Shipped worker telemetry is forced non-deterministic on
@@ -176,8 +195,11 @@ class TestSemanticFields:
         data = canonical_spec_dict(CampaignSpec(trace=True))
         assert "trace" not in data
         assert "charac_cache" not in data
+        assert "calibration" not in data
         assert "batch" not in data
         assert "telemetry" not in data
+        assert data["engine"] == "exact"
+        assert data["fidelity"] == "single"
 
     def test_canonical_json_is_minified_and_sorted(self):
         text = canonical_spec_json(CampaignSpec())

@@ -1,0 +1,35 @@
+"""Surrogate-suite fixtures.
+
+The integration tests run against the ``write-cfg`` conformance design
+built on the session-scoped small context: its pinpoint fault space is
+tiny, so calibration and MC runs finish in well under a second while
+still exercising the real RTL checkpoint/writeback path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.differential import build_samplers
+from repro.conformance.registry import get_design
+from repro.surrogate import CalibrationConfig, calibrate
+
+
+@pytest.fixture(scope="package")
+def write_cfg(small_context):
+    """The write-cfg pinpoint design built on the shared small context."""
+    return get_design("write-cfg").build(context=small_context)
+
+
+@pytest.fixture(scope="package")
+def uniform_sampler(write_cfg):
+    return build_samplers(write_cfg)[0][1]
+
+
+CAL_CONFIG = CalibrationConfig(n_samples=240, seed=3)
+
+
+@pytest.fixture(scope="package")
+def calibrated(write_cfg, uniform_sampler):
+    """(model, report) fitted once and shared read-only by the suite."""
+    return calibrate(write_cfg.engine, uniform_sampler, CAL_CONFIG)

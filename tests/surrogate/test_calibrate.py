@@ -1,0 +1,83 @@
+"""Calibration-pass integration tests (real engine, tiny design)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.surrogate import CalibrationConfig, calibrate
+from repro.surrogate.calibrate import CALIBRATION_SPAWN_KEY
+
+from tests.surrogate.conftest import CAL_CONFIG
+
+
+class TestCalibrationConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_samples": 0},
+            {"holdout_fraction": 0.0},
+            {"holdout_fraction": 1.0},
+            {"cycle_class_width": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(EvaluationError):
+            CalibrationConfig(**kwargs)
+
+    def test_dict_round_trip(self):
+        config = CalibrationConfig(n_samples=99, seed=42, max_fnr=0.5)
+        assert CalibrationConfig.from_dict(config.to_dict()) == config
+
+
+class TestCalibrationPass:
+    def test_report_invariants(self, calibrated):
+        model, report = calibrated
+        assert report.n_samples == CAL_CONFIG.n_samples
+        assert report.n_fit + report.n_holdout == report.n_samples
+        assert report.n_cells == model.n_cells > 0
+        assert 0.0 <= report.holdout_coverage <= 1.0
+        assert 0.0 <= report.fnr < 1.0
+        assert model.fnr == report.fnr
+        assert 0.0 <= report.multiplicity_ks_p_value <= 1.0
+        assert 0.0 <= report.category_chi2_p_value <= 1.0
+        assert model.n_calibration_samples == CAL_CONFIG.n_samples
+
+    def test_model_echoes_config(self, calibrated):
+        model, _ = calibrated
+        assert model.cycle_class_width == CAL_CONFIG.cycle_class_width
+        assert model.min_observations == CAL_CONFIG.min_observations
+
+    def test_deterministic_given_seed(self, write_cfg, uniform_sampler,
+                                      calibrated):
+        model, report = calibrated
+        again, report2 = calibrate(
+            write_cfg.engine, uniform_sampler, CAL_CONFIG
+        )
+        assert again.to_dict() == model.to_dict()
+        assert report2.to_dict() == report.to_dict()
+
+    def test_seed_changes_the_fit(self, write_cfg, uniform_sampler,
+                                  calibrated):
+        model, _ = calibrated
+        other, _ = calibrate(
+            write_cfg.engine,
+            uniform_sampler,
+            CalibrationConfig(n_samples=CAL_CONFIG.n_samples, seed=99),
+        )
+        assert other.to_dict() != model.to_dict()
+
+    def test_calibration_streams_are_namespaced(self):
+        """The calibration seed tree stays clear of early chunk streams."""
+        from repro.campaign.scheduler import chunk_seed_sequence
+
+        seed = CAL_CONFIG.seed
+        cal = np.random.SeedSequence(
+            entropy=seed, spawn_key=(CALIBRATION_SPAWN_KEY,)
+        )
+        assert cal.spawn_key == (CALIBRATION_SPAWN_KEY,)
+        for index in range(8):
+            chunk = chunk_seed_sequence(seed, index)
+            assert (
+                np.random.default_rng(cal).random()
+                != np.random.default_rng(chunk).random()
+            )

@@ -1,0 +1,147 @@
+"""Surrogate campaigns through the orchestration stack.
+
+The runner, scheduler, durable store, and stopping rules must treat the
+surrogate-family engines as just another ``evaluate``/``run_sample``
+implementation: same chunk plan, same resume bit-identity, same spec
+semantics.  Runtime here is the real two-stage engine on the write-cfg
+pinpoint design, so the whole chunked path (including the FNR-corrected
+weights baked into the durable log) is exercised end to end.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.campaign import CampaignRunner, CampaignSpec, RunStore, StoppingConfig
+from repro.campaign.spec_hash import canonical_spec_dict, spec_hash
+from repro.errors import EvaluationError
+from repro.surrogate import SurrogateEngine, TwoStageEngine
+
+from tests.campaign.test_runner import InterruptAfter
+from tests.strategies import campaign_specs
+
+SPEC = CampaignSpec(
+    sampler="random",
+    window=12,
+    engine="surrogate",
+    fidelity="two_stage",
+    seed=17,
+    chunk_size=30,
+    stopping=StoppingConfig(mode="fixed", n_samples=120),
+)
+
+
+def _two_stage(write_cfg, model):
+    return TwoStageEngine(
+        SurrogateEngine(write_cfg.engine, model, observe=False)
+    )
+
+
+class TestSpecValidation:
+    def test_unknown_engine_names_valid_variants(self):
+        with pytest.raises(EvaluationError, match="valid variants"):
+            CampaignSpec(engine="quantum")
+
+    def test_unknown_fidelity(self):
+        with pytest.raises(EvaluationError, match="fidelity"):
+            CampaignSpec(engine="surrogate", fidelity="three_stage")
+
+    def test_two_stage_requires_surrogate(self):
+        with pytest.raises(EvaluationError, match="surrogate"):
+            CampaignSpec(engine="exact", fidelity="two_stage")
+
+    def test_surrogate_is_single_cycle_only(self):
+        with pytest.raises(EvaluationError, match="impact_cycles"):
+            CampaignSpec(engine="surrogate", impact_cycles=2)
+
+    def test_round_trip_preserves_surrogate_fields(self):
+        spec = CampaignSpec(
+            engine="surrogate", fidelity="two_stage", calibration="cal.json"
+        )
+        restored = CampaignSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_engine_does_not_change_the_chunk_plan(self):
+        exact = CampaignSpec(chunk_size=30)
+        surrogate = CampaignSpec(chunk_size=30, engine="surrogate")
+        assert exact.chunk_sizes() == surrogate.chunk_sizes()
+
+
+class TestSpecHashProperties:
+    @given(campaign_specs())
+    def test_hash_is_stable_and_json_safe(self, spec):
+        digest = spec_hash(spec)
+        assert digest == spec_hash(CampaignSpec.from_dict(spec.to_dict()))
+        assert len(digest) == 64
+
+    @given(campaign_specs())
+    def test_calibration_path_never_splits_the_cache(self, spec):
+        import dataclasses
+
+        moved = dataclasses.replace(spec, calibration="/elsewhere/cal.json")
+        assert spec_hash(moved) == spec_hash(spec)
+        assert "calibration" not in canonical_spec_dict(spec)
+
+    @given(campaign_specs())
+    def test_engine_and_fidelity_are_semantic(self, spec):
+        canonical = canonical_spec_dict(spec)
+        assert canonical["engine"] == spec.engine
+        assert canonical["fidelity"] == spec.fidelity
+
+
+class TestCampaignIntegration:
+    def test_two_stage_runs_through_the_scheduler(self, tmp_path, write_cfg,
+                                                  uniform_sampler, calibrated):
+        model, _ = calibrated
+        store = RunStore.create(tmp_path, SPEC, run_id="two-stage")
+        runner = CampaignRunner(
+            SPEC,
+            store=store,
+            engine=_two_stage(write_cfg, model),
+            sampler=uniform_sampler,
+            n_workers=1,
+        )
+        result = runner.run()
+        assert result.n_samples == 120
+        assert store.read_checkpoint()["status"] == "complete"
+        assert store.load_spec() == SPEC
+
+    def test_interrupted_two_stage_resumes_bit_identically(
+        self, tmp_path, write_cfg, uniform_sampler, calibrated
+    ):
+        model, _ = calibrated
+        baseline = CampaignRunner(
+            SPEC,
+            engine=_two_stage(write_cfg, model),
+            sampler=uniform_sampler,
+            n_workers=1,
+        ).run()
+
+        store = RunStore.create(tmp_path, SPEC, run_id="kill")
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(
+                SPEC,
+                store=store,
+                hooks=InterruptAfter(2),
+                engine=_two_stage(write_cfg, model),
+                sampler=uniform_sampler,
+                n_workers=1,
+            ).run()
+        assert store.read_checkpoint()["status"] == "interrupted"
+
+        resumed = CampaignRunner.resume(
+            store,
+            engine=_two_stage(write_cfg, model),
+            sampler=uniform_sampler,
+            n_workers=1,
+        )
+        assert resumed.n_samples == baseline.n_samples
+        assert resumed.ssf == baseline.ssf
+        # Bit-identity includes the FNR-corrected persisted weights: the
+        # replayed prefix came from the durable log, not a re-run.
+        assert [
+            (r.e, r.sample.t, r.sample.centre, r.sample.weight)
+            for r in resumed.records
+        ] == [
+            (r.e, r.sample.t, r.sample.centre, r.sample.weight)
+            for r in baseline.records
+        ]

@@ -1,0 +1,66 @@
+"""CLI surfaces of the surrogate subsystem: flags, errors, exit codes."""
+
+from repro import cli
+
+
+class TestEngineFlagValidation:
+    def test_unknown_engine_fails_fast(self, capsys):
+        # Must error before the expensive context build: exit 2 with one
+        # clean ``error:`` line naming the valid variants.
+        code = cli.main(["evaluate", "--engine", "warp"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "valid variants" in err
+        assert "exact" in err and "surrogate" in err
+
+    def test_two_stage_requires_surrogate_engine(self, capsys):
+        code = cli.main(["evaluate", "--fidelity", "two-stage"])
+        assert code == 2
+        assert "surrogate" in capsys.readouterr().err
+
+    def test_campaign_run_rejects_unknown_engine(self, capsys, tmp_path):
+        code = cli.main(
+            ["campaign", "run", "--engine", "warp",
+             "--runs-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "valid variants" in capsys.readouterr().err
+
+    def test_submit_rejects_unknown_engine(self, capsys):
+        code = cli.main(["submit", "--engine", "warp"])
+        assert code == 2
+        assert "valid variants" in capsys.readouterr().err
+
+
+class TestParsers:
+    def test_evaluate_engine_defaults(self):
+        args = cli.build_parser().parse_args(["evaluate"])
+        assert args.engine == "exact"
+        assert args.fidelity == "single"
+        assert args.calibration is None
+
+    def test_fidelity_accepts_both_spellings(self):
+        assert cli._normalize_fidelity("two-stage") == "two_stage"
+        assert cli._normalize_fidelity("two_stage") == "two_stage"
+        assert cli._normalize_fidelity("single") == "single"
+
+    def test_calibrate_defaults(self):
+        args = cli.build_parser().parse_args(["calibrate"])
+        assert args.func.__name__ == "cmd_calibrate"
+        assert args.out == "calibration.json"
+        assert args.holdout == 0.2
+        assert args.class_width == 8
+        assert args.min_observations == 4
+
+    def test_conformance_surrogate_flags(self):
+        args = cli.build_parser().parse_args(
+            ["conformance", "--surrogate", "--surrogate-samples", "500",
+             "--calibration-samples", "200", "--tolerance", "0.1",
+             "--report-out", "report.json"]
+        )
+        assert args.surrogate
+        assert args.surrogate_samples == 500
+        assert args.calibration_samples == 200
+        assert args.tolerance == 0.1
+        assert args.report_out == "report.json"

@@ -1,0 +1,177 @@
+"""Surrogate / two-stage engine integration tests (real RTL path)."""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.attack.spec import AttackSample
+from repro.campaign.scheduler import chunk_seed_sequence
+from repro.core.results import OutcomeCategory
+from repro.errors import EvaluationError
+from repro.netlist.cells import GateKind
+from repro.netlist.graph import Netlist
+from repro.surrogate import SurrogateEngine, SurrogateModel, TwoStageEngine
+
+N = 150
+
+
+def _signature(result):
+    return [
+        (r.e, r.sample.t, r.sample.centre, r.sample.weight, r.category)
+        for r in result.records
+    ]
+
+
+def _copy_with_fnr(model, fnr):
+    clone = SurrogateModel.from_dict(model.to_dict())
+    clone.fnr = fnr
+    return clone
+
+
+class TestSurrogateEngine:
+    def test_rejects_multi_cycle_attacks(self):
+        nl = Netlist("stub")
+        a = nl.add_input("a")
+        d = nl.add_dff(name="r[0]", register="r", bit=0)
+        nl.connect_dff(d, a)
+        nl.mark_output("o", d)
+        nl.validate()
+        fake = types.SimpleNamespace(
+            spec=types.SimpleNamespace(
+                technique=types.SimpleNamespace(impact_cycles=2)
+            ),
+            context=types.SimpleNamespace(netlist=nl),
+        )
+        with pytest.raises(EvaluationError, match="impact_cycles"):
+            SurrogateEngine(fake, SurrogateModel())
+
+    def test_deterministic_under_seed_sequence(self, write_cfg,
+                                               uniform_sampler, calibrated):
+        model, _ = calibrated
+        engine = SurrogateEngine(write_cfg.engine, model, observe=False)
+        seed = chunk_seed_sequence(5, 0)
+        first = engine.evaluate(uniform_sampler, N, seed=seed)
+        second = engine.evaluate(uniform_sampler, N, seed=seed)
+        assert _signature(first) == _signature(second)
+
+    def test_screens_most_samples(self, write_cfg, uniform_sampler,
+                                  calibrated):
+        model, _ = calibrated
+        engine = SurrogateEngine(write_cfg.engine, model, observe=False)
+        engine.evaluate(uniform_sampler, N, seed=chunk_seed_sequence(5, 0))
+        # Uncovered-cell fallbacks are the only exact spend here.
+        assert 0 <= engine.exact_invocations < N
+
+    def test_out_of_range_sample(self, write_cfg, calibrated):
+        model, _ = calibrated
+        engine = SurrogateEngine(write_cfg.engine, model, observe=False)
+        sample = AttackSample(
+            t=write_cfg.engine.context.target_cycle + 10,
+            centre=next(iter(write_cfg.bit_of_cell)),
+            radius_um=1.0,
+            weight=1.0,
+        )
+        record = engine.run_sample(sample, np.random.default_rng(0))
+        assert record.e == 0
+        assert record.category is OutcomeCategory.OUT_OF_RANGE
+
+    def test_rejects_non_positive_budget(self, write_cfg, uniform_sampler,
+                                         calibrated):
+        model, _ = calibrated
+        engine = SurrogateEngine(write_cfg.engine, model, observe=False)
+        with pytest.raises(EvaluationError):
+            engine.evaluate(uniform_sampler, 0)
+
+    def test_observe_publishes_stage_metrics(self, write_cfg,
+                                             uniform_sampler, calibrated):
+        model, _ = calibrated
+        engine = SurrogateEngine(write_cfg.engine, model, observe=True)
+        result = engine.evaluate(
+            uniform_sampler, 40, seed=chunk_seed_sequence(5, 0)
+        )
+        names = {m["name"] for m in result.metrics}
+        assert "surrogate_stage_samples_total" in names
+        assert "surrogate_hit_rate" in names
+
+
+class TestTwoStageEngine:
+    def test_deterministic_under_seed_sequence(self, write_cfg,
+                                               uniform_sampler, calibrated):
+        model, _ = calibrated
+        engine = TwoStageEngine(
+            SurrogateEngine(write_cfg.engine, model, observe=False)
+        )
+        seed = chunk_seed_sequence(9, 0)
+        first = engine.evaluate(uniform_sampler, N, seed=seed)
+        second = engine.evaluate(uniform_sampler, N, seed=seed)
+        assert _signature(first) == _signature(second)
+
+    def test_fnr_correction_inflates_confirmed_weights(self, write_cfg,
+                                                       uniform_sampler,
+                                                       calibrated):
+        """With fnr=0.5 every confirmed hit's persisted weight doubles;
+        screens and fallbacks are untouched, e-streams are identical."""
+        model, _ = calibrated
+        seed = chunk_seed_sequence(9, 0)
+        runs = {}
+        for fnr in (0.0, 0.5):
+            engine = TwoStageEngine(
+                SurrogateEngine(
+                    write_cfg.engine, _copy_with_fnr(model, fnr),
+                    observe=False,
+                )
+            )
+            runs[fnr] = engine.evaluate(uniform_sampler, N, seed=seed)
+        base, corrected = runs[0.0].records, runs[0.5].records
+        assert [r.e for r in base] == [r.e for r in corrected]
+        doubled = 0
+        for a, b in zip(base, corrected):
+            ratio = b.sample.weight / a.sample.weight
+            assert ratio in (1.0, 2.0)
+            if ratio == 2.0:
+                # Only confirmed hits carry the correction.
+                assert b.e == 1
+                doubled += 1
+        assert doubled > 0
+        # The corrected estimator is scaled accordingly.
+        assert runs[0.5].estimator.ssf > runs[0.0].estimator.ssf
+
+    def test_exact_spend_is_fallbacks_plus_confirmations(self, write_cfg,
+                                                         uniform_sampler,
+                                                         calibrated):
+        model, _ = calibrated
+        engine = TwoStageEngine(
+            SurrogateEngine(write_cfg.engine, model, observe=False)
+        )
+        result = engine.evaluate(
+            uniform_sampler, N, seed=chunk_seed_sequence(9, 0)
+        )
+        n_hits = sum(r.e for r in result.records)
+        # Every hit was confirmed exactly, so spend >= hits; screening
+        # must still have saved samples versus a pure exact run.
+        assert n_hits <= engine.exact_invocations < N
+
+    def test_agrees_with_exact_on_enumerated_truth(self, write_cfg,
+                                                   uniform_sampler,
+                                                   calibrated):
+        """Two-stage confirmed hits are exact-engine verdicts: each hit
+        record must match the exhaustive oracle at its (t, centre)."""
+        from repro.core.exhaustive import enumerate_single_bit_faults
+
+        model, _ = calibrated
+        oracle = enumerate_single_bit_faults(
+            write_cfg.engine,
+            bits=list(write_cfg.bits),
+            timing_distances=list(range(write_cfg.window)),
+        )
+        engine = TwoStageEngine(
+            SurrogateEngine(write_cfg.engine, model, observe=False)
+        )
+        result = engine.evaluate(
+            uniform_sampler, N, seed=chunk_seed_sequence(9, 0)
+        )
+        for record in result.records:
+            if record.e:
+                bit = write_cfg.bit_of_cell[record.sample.centre]
+                assert oracle.outcomes[(bit, record.sample.t)] == 1

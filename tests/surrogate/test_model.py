@@ -1,0 +1,163 @@
+"""Unit + property tests for the SEU-pattern surrogate model."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import EvaluationError
+from repro.netlist.cells import GateKind
+from repro.netlist.graph import Netlist
+from repro.surrogate.model import (
+    PatternCell,
+    SurrogateModel,
+    canonical_pattern,
+    register_footprints,
+)
+
+from tests.strategies import surrogate_models
+
+P_A = (("acc", 0),)
+P_B = (("pc", 1), ("viol_addr", 3))
+
+
+class TestCanonicalPattern:
+    def test_sorts_and_normalizes(self):
+        got = canonical_pattern(frozenset({("pc", 3), ("acc", 0), ("pc", 1)}))
+        assert got == (("acc", 0), ("pc", 1), ("pc", 3))
+
+    def test_coerces_types(self):
+        assert canonical_pattern({("acc", True)}) == (("acc", 1),)
+
+    def test_empty(self):
+        assert canonical_pattern(frozenset()) == ()
+
+
+def _chained_netlist():
+    """in → BUF → r0; (r0 AND in) → r1 → out."""
+    nl = Netlist("tiny")
+    a = nl.add_input("a")
+    buf = nl.add_gate(GateKind.BUF, a)
+    r0 = nl.add_dff(name="r0[0]", register="r0", bit=0)
+    nl.connect_dff(r0, buf)
+    g = nl.add_gate(GateKind.AND, r0, a)
+    r1 = nl.add_dff(name="r1[0]", register="r1", bit=0)
+    nl.connect_dff(r1, g)
+    nl.mark_output("out", r1)
+    nl.validate()
+    return nl, a, buf, r0, g, r1
+
+
+class TestRegisterFootprints:
+    def test_chained_design(self):
+        nl, a, buf, r0, g, r1 = _chained_netlist()
+        fp = register_footprints(nl)
+        # The input reaches r0 (via BUF) and r1 (via AND).
+        assert fp[a] == ("r0", "r1")
+        assert fp[buf] == ("r0",)
+        assert fp[g] == ("r1",)
+        # A struck flop flips its own bit *and* can propagate downstream.
+        assert fp[r0] == ("r0", "r1")
+        # r1 feeds only the output: its footprint is itself.
+        assert fp[r1] == ("r1",)
+
+    def test_cached_per_netlist_identity(self):
+        nl, *_ = _chained_netlist()
+        assert register_footprints(nl) is register_footprints(nl)
+
+
+class TestPatternCell:
+    def test_fresh_cell_is_fully_masked(self):
+        cell = PatternCell()
+        assert cell.p_masked == 1.0
+        assert cell.draw(0.999, 0.5) is None
+
+    def test_observe_and_p_masked(self):
+        cell = PatternCell()
+        cell.observe(None)
+        cell.observe(())          # an empty pattern counts as masked
+        cell.observe(P_A)
+        cell.observe(P_A)
+        assert cell.n_observations == 4
+        assert cell.n_masked == 2
+        assert cell.p_masked == 0.5
+        assert cell.pattern_counts == {P_A: 2}
+
+    def test_draw_respects_masking_threshold(self):
+        cell = PatternCell()
+        cell.observe(None)
+        cell.observe(P_A)
+        assert cell.draw(0.1, 0.5) is None       # below p_masked → masked
+        assert cell.draw(0.9, 0.5) == P_A        # above → the lone pattern
+
+    def test_draw_over_multiple_patterns_stays_in_support(self):
+        cell = PatternCell()
+        cell.observe(P_A)
+        for _ in range(3):
+            cell.observe(P_B)
+        for u in (0.0, 0.3, 0.7, 0.999):
+            assert cell.draw(0.999, u) in (P_A, P_B)
+
+    def test_draw_accepts_both_variates_when_masked(self):
+        # The two-variate contract: a masked outcome still consumes (and
+        # tolerates) the pattern variate, keeping stream layouts fixed.
+        cell = PatternCell()
+        cell.observe(None)
+        assert cell.draw(0.0, 0.0) is None
+        assert cell.draw(0.0, 0.999) is None
+
+
+class TestSurrogateModel:
+    def test_cycle_class_buckets(self):
+        model = SurrogateModel(cycle_class_width=8)
+        assert model.cycle_class(0) == 0
+        assert model.cycle_class(7) == 0
+        assert model.cycle_class(8) == 1
+
+    def test_observe_routes_to_cells(self):
+        model = SurrogateModel(cycle_class_width=8, min_observations=1)
+        model.observe(("acc",), 3, P_A)
+        model.observe(("acc",), 5, None)
+        model.observe(("acc",), 9, P_A)
+        assert model.n_cells == 2
+        cell = model.cell_for(("acc",), 0)
+        assert cell is not None and cell.n_observations == 2
+
+    def test_cell_for_declines_sparse_cells(self):
+        model = SurrogateModel(min_observations=4)
+        for _ in range(3):
+            model.observe(("acc",), 0, P_A)
+        assert model.cell_for(("acc",), 0) is None   # 3 < min_observations
+        model.observe(("acc",), 0, P_A)
+        assert model.cell_for(("acc",), 0) is not None
+
+    def test_cell_for_unknown_key(self):
+        assert SurrogateModel().cell_for(("nope",), 0) is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cycle_class_width": 0},
+            {"cycle_class_width": -4},
+            {"fnr": 1.0},
+            {"fnr": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(EvaluationError):
+            SurrogateModel(**kwargs)
+
+    @given(surrogate_models())
+    def test_dict_round_trip(self, model):
+        restored = SurrogateModel.from_dict(model.to_dict())
+        assert restored.to_dict() == model.to_dict()
+        assert restored.cycle_class_width == model.cycle_class_width
+        assert restored.min_observations == model.min_observations
+        assert restored.fnr == model.fnr
+        assert restored.n_cells == model.n_cells
+
+    @given(surrogate_models())
+    def test_round_trip_preserves_draws(self, model):
+        restored = SurrogateModel.from_dict(model.to_dict())
+        for (cone, cycle_class), cell in model.cells.items():
+            twin = restored.cells[(cone, cycle_class)]
+            for u in (0.0, 0.25, 0.5, 0.75, 0.999):
+                assert cell.draw(u, u) == twin.draw(u, u)

@@ -1,0 +1,113 @@
+"""Artifact persistence: versioning, fingerprinting, round-trips."""
+
+import json
+import tempfile
+
+import pytest
+from hypothesis import given
+
+from repro.errors import EvaluationError
+from repro.netlist.cells import GateKind
+from repro.netlist.graph import Netlist
+from repro.surrogate import (
+    SurrogateModel,
+    load_report,
+    load_surrogate_model,
+    save_surrogate_model,
+)
+from repro.surrogate.persistence import FORMAT_VERSION
+
+from tests.strategies import surrogate_models
+
+
+def _netlist(n_regs=2):
+    nl = Netlist("persist")
+    a = nl.add_input("a")
+    prev = a
+    for i in range(n_regs):
+        d = nl.add_dff(name=f"r{i}[0]", register=f"r{i}", bit=0)
+        nl.connect_dff(d, prev)
+        prev = d
+    nl.mark_output("out", prev)
+    nl.validate()
+    return nl
+
+
+def _model():
+    model = SurrogateModel(cycle_class_width=4, min_observations=2, fnr=0.125)
+    model.observe(("r0",), 3, (("r0", 0),))
+    model.observe(("r0",), 3, None)
+    model.observe(("r0", "r1"), 9, (("r0", 0), ("r1", 0)))
+    return model
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        nl = _netlist()
+        model = _model()
+        path = tmp_path / "cal.json"
+        save_surrogate_model(model, nl, path)
+        restored = load_surrogate_model(path, nl)
+        assert restored.to_dict() == model.to_dict()
+
+    def test_report_dataclass_and_dict_both_accepted(self, tmp_path):
+        nl = _netlist()
+
+        class FakeReport:
+            def to_dict(self):
+                return {"fnr": 0.125, "n_cells": 2}
+
+        for name, report in (("a.json", FakeReport()),
+                             ("b.json", {"fnr": 0.125, "n_cells": 2})):
+            path = tmp_path / name
+            save_surrogate_model(_model(), nl, path, report=report)
+            assert load_report(path) == {"fnr": 0.125, "n_cells": 2}
+
+    def test_report_defaults_to_none(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_surrogate_model(_model(), _netlist(), path)
+        assert load_report(path) is None
+
+    @given(surrogate_models())
+    def test_any_model_survives_the_artifact(self, model):
+        nl = _netlist()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/cal.json"
+            save_surrogate_model(model, nl, path)
+            restored = load_surrogate_model(path, nl)
+        assert restored.to_dict() == model.to_dict()
+
+
+class TestGuards:
+    def test_fingerprint_mismatch(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_surrogate_model(_model(), _netlist(n_regs=2), path)
+        with pytest.raises(EvaluationError, match="different netlist"):
+            load_surrogate_model(path, _netlist(n_regs=3))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EvaluationError, match="cannot load"):
+            load_surrogate_model(tmp_path / "absent.json", _netlist())
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("{not json")
+        with pytest.raises(EvaluationError, match="cannot load"):
+            load_surrogate_model(path, _netlist())
+        with pytest.raises(EvaluationError, match="cannot load"):
+            load_report(path)
+
+    def test_unsupported_version(self, tmp_path):
+        nl = _netlist()
+        path = tmp_path / "cal.json"
+        save_surrogate_model(_model(), nl, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(EvaluationError, match="unsupported"):
+            load_surrogate_model(path, nl)
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_surrogate_model(_model(), _netlist(), path)
+        assert not path.with_suffix(".json.tmp").exists()
