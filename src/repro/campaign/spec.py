@@ -89,6 +89,7 @@ class CampaignSpec:
     trace: bool = False               # record spans → runs/<id>/trace.json
     batch: bool = True                # batched sampling kernel (--no-batch off)
     telemetry: bool = True            # fleet workers ship spans/metrics/logs
+    baseline_store: Optional[str] = None  # ArtifactStore root for cycle baselines
     stopping: StoppingConfig = field(default_factory=StoppingConfig)
 
     def __post_init__(self) -> None:
@@ -215,7 +216,9 @@ class CampaignSpec:
             context,
             attack,
             config=EngineConfig(batch=self.batch, engine=self.engine),
+            baseline_store=self._build_baseline_store(context),
         )
+        engine.warm_baseline_cache()
 
         if self.sampler == "random":
             sampler = RandomSampler(attack)
@@ -229,6 +232,27 @@ class CampaignSpec:
         if self.engine == "surrogate":
             engine = self._wrap_surrogate(engine, sampler, context)
         return engine, sampler
+
+    def _build_baseline_store(self, context):
+        """The persistent cycle-baseline store, or None when unset.
+
+        ``baseline_store`` names an :class:`~repro.service.artifacts.
+        ArtifactStore` root (the service injects its own ``runs/
+        artifacts`` directory; the CLI exposes ``--baseline-store``).
+        The store key binds the netlist fingerprint and
+        precharacterization version, so campaigns against a changed
+        design recompute instead of loading stale golden state.
+        """
+        if not self.baseline_store:
+            return None
+        from repro.service.artifacts import ArtifactStore, baseline_store_for
+
+        return baseline_store_for(
+            ArtifactStore(self.baseline_store),
+            benchmark=self.benchmark,
+            variant=self.variant,
+            netlist=context.netlist,
+        )
 
     def _wrap_surrogate(self, engine, sampler, context):
         """Wrap the exact engine per ``engine``/``fidelity``.

@@ -22,10 +22,12 @@ Canonicalization rules (pinned by golden-hash tests):
   deterministically from the spec seed when the artifact path is
   absent, so the path only skips the fit), ``batch`` (the batched
   kernel is bit-identical to the scalar path, so batched and scalar
-  runs of one spec share a cache entry), and ``telemetry`` (fleet
+  runs of one spec share a cache entry), ``telemetry`` (fleet
   workers' shipped spans/metrics/logs are forced non-deterministic on
   ingest and can never reach the estimator or the deterministic metric
-  view);
+  view), and ``baseline_store`` (a loaded cycle baseline is
+  bit-identical to a recomputed one — the store only skips golden
+  re-simulation, and stale entries are rejected by fingerprint);
 * everything else — including ``seed`` and ``chunk_size``, both of which
   select the per-chunk seed streams and therefore the exact sample
   sequence, and ``engine``/``fidelity``, which swap the evaluation
@@ -55,6 +57,7 @@ NON_SEMANTIC_FIELDS = (
     "calibration",
     "batch",
     "telemetry",
+    "baseline_store",
 )
 
 

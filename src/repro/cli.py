@@ -172,11 +172,23 @@ def cmd_evaluate(args) -> int:
     )
     if args.impact_cycles > 1:
         spec.technique.impact_cycles = args.impact_cycles
+    baseline_store = None
+    if getattr(args, "baseline_store", None):
+        from repro.service.artifacts import ArtifactStore, baseline_store_for
+
+        baseline_store = baseline_store_for(
+            ArtifactStore(args.baseline_store),
+            benchmark=args.benchmark,
+            variant=args.variant,
+            netlist=context.netlist,
+        )
     engine = CrossLevelEngine(
         context,
         spec,
         config=EngineConfig(batch=not getattr(args, "no_batch", False)),
+        baseline_store=baseline_store,
     )
+    engine.warm_baseline_cache()
     sampler = _make_sampler(args.sampler, spec, context)
     engine = _surrogate_from_args(engine, sampler, args)
     surrogate = getattr(args, "engine", "exact") == "surrogate"
@@ -428,6 +440,7 @@ def _campaign_spec_from_args(args):
         calibration=getattr(args, "calibration", None),
         trace=getattr(args, "trace", False),
         batch=not getattr(args, "no_batch", False),
+        baseline_store=getattr(args, "baseline_store", None),
         stopping=stopping,
     )
 
@@ -696,6 +709,7 @@ def cmd_worker(args) -> int:
         poll_s=args.poll,
         max_chunks=args.max_chunks,
         telemetry=not args.no_telemetry,
+        artifacts_dir=args.artifacts_dir,
     )
     print(
         f"worker {worker.worker_id} attached to {args.attach}",
@@ -1098,6 +1112,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batch", action="store_true", dest="no_batch",
                    help="disable the batched sampling kernel (use the "
                    "scalar reference path)")
+    p.add_argument("--baseline-store", default=None, metavar="DIR",
+                   help="artifact-store root for persistent per-cycle "
+                   "baselines (warm-starts repeat evaluations; never "
+                   "changes the estimate)")
     _add_engine_flags(p)
     p.set_defaults(func=cmd_evaluate)
 
@@ -1187,6 +1205,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--no-batch", action="store_true", dest="no_batch",
                     help="disable the batched sampling kernel (use the "
                     "scalar reference path)")
+    pr.add_argument("--baseline-store", default=None, metavar="DIR",
+                    help="artifact-store root for persistent per-cycle "
+                    "baselines (warm-starts repeat campaigns; excluded "
+                    "from the spec hash)")
     _add_engine_flags(pr)
     pr.add_argument("--json", action="store_true",
                     help="emit the outcome as one JSON document on stdout")
@@ -1334,6 +1356,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="do not ship spans/metrics/logs with chunk "
                    "results (shipping is always non-semantic: the "
                    "estimate is identical either way)")
+    p.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                   help="local artifact-store root for persistent "
+                   "per-cycle baselines (warm-starts the engine on "
+                   "every leased chunk; never changes results)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("fleet", help="fleet introspection verbs")

@@ -43,12 +43,15 @@ from repro.core.results import CampaignResult, OutcomeCategory, SampleRecord
 from repro.errors import EvaluationError
 from repro.gatesim.transient import TransientSimulator
 from repro.obs.engine_metrics import (
+    observe_baseline_store,
     observe_batch,
+    observe_batch_fallback,
     observe_batch_timing,
     observe_batched_sample,
     observe_record,
     observe_timing,
 )
+from repro.obs.logging import warn_once
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_CLOCK, NULL_TRACER, StageClock
 from repro.rtl.checkpoint import Checkpoint
@@ -90,14 +93,24 @@ class EngineConfig:
     min_samples: int = 200
     # Evaluate campaigns through the batched kernel (run_batch): samples
     # sharing an injection cycle are packed into one gate-level call over
-    # a shared cycle baseline.  Only engages when ``evaluate`` is seeded
-    # with a SeedSequence (per-sample independent streams make regrouping
-    # RNG-safe) and the technique disturbs a single cycle; bit-identical
-    # to the scalar path either way.  ``--no-batch`` / CampaignSpec(batch=
-    # False) is the escape hatch.
+    # a shared cycle baseline.  Engages for every seed kind (SeedSequence,
+    # int, Generator, None — per-sample streams or the legacy shared
+    # stream, consumed in the exact scalar order) and any impact_cycles
+    # (samples stay batched while the RTL trajectory is still golden and
+    # diverge to a scalar continuation on their first latched flip);
+    # bit-identical to the scalar path either way.  ``--no-batch`` /
+    # CampaignSpec(batch=False) is the escape hatch; an engine-level
+    # convergence stop also falls back to the scalar loop (early exit
+    # would waste the pre-drawn batch), surfaced via the
+    # engine_batch_fallback_total counter.
     batch: bool = True
     # Max (injection cycle -> baseline/checkpoint) entries kept per engine.
     baseline_cache_size: int = 128
+    # Max memoized classification outcomes (see _finish_diverged): the
+    # post-divergence verdict is a pure function of (restored cycle,
+    # flipped bits), so batches with few distinct flip patterns pay one
+    # RTL resume / analytical call per pattern instead of per sample.
+    outcome_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_VARIANTS:
@@ -117,6 +130,7 @@ class CrossLevelEngine:
         config: Optional[EngineConfig] = None,
         tracer=None,
         observe: bool = True,
+        baseline_store=None,
     ):
         self.context = context
         self.spec = spec
@@ -132,6 +146,16 @@ class CrossLevelEngine:
         self._cycle_cache: "OrderedDict[int, tuple]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        # Optional persistent tier behind the LRU (duck-typed; see
+        # repro.service.artifacts.CycleBaselineStore): consulted on an LRU
+        # miss before recomputing, written through on every compute, so
+        # repeat campaigns on the same (design, workload) skip golden
+        # simulation even across processes.
+        self.baseline_store = baseline_store
+        self._store_reported = (0, 0, 0, 0)
+        # Memoized post-divergence outcomes, keyed on
+        # (restored cycle, flipped bits, impact_cycles); LRU-bounded.
+        self._outcome_cache: "OrderedDict[tuple, int]" = OrderedDict()
         self._analytical: Optional[AnalyticalEvaluator] = None
         if context.characterization is not None:
             self._analytical = AnalyticalEvaluator(
@@ -275,36 +299,40 @@ class CrossLevelEngine:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         registry: Optional[MetricsRegistry] = None,
         clock=NULL_CLOCK,
+        injections: Optional[Sequence[List]] = None,
     ) -> List[SampleRecord]:
         """Evaluate a batch of samples, one record per sample, in order.
 
-        Samples sharing an injection cycle are packed into a single
-        gate-level :meth:`~repro.gatesim.transient.TransientSimulator.
-        simulate_cycle_batch` call over the cached cycle baseline, so the
-        RTL restart/step and the golden logic evaluation happen once per
-        distinct cycle instead of once per sample.  ``rngs`` must hold one
-        generator per sample (each consumed exactly as the scalar path
-        would consume it); omitted, every sample gets a fresh independent
-        stream.  Records are bit-identical to ``run_sample`` on each
-        sample.  Techniques disturbing more than one cycle fall back to
-        the scalar loop — multi-cycle writeback makes the RTL state
-        diverge per sample, so there is nothing to share.
-        """
-        if rngs is None:
-            rngs = [as_generator(None) for _ in samples]
-        if len(rngs) != len(samples):
-            raise EvaluationError("run_batch needs one rng per sample")
-        records: List[Optional[SampleRecord]] = [None] * len(samples)
-        if getattr(self.spec.technique, "impact_cycles", 1) != 1:
-            for i, (sample, rng) in enumerate(zip(samples, rngs)):
-                records[i] = self.run_sample(sample, rng)
-            return records  # type: ignore[return-value]
+        Samples sharing an injection cycle are packed into gate-level
+        :meth:`~repro.gatesim.transient.TransientSimulator.
+        simulate_cycle_batch` calls over the cached cycle baselines, so
+        the RTL restart/step and the golden logic evaluation happen once
+        per distinct cycle instead of once per sample.  Multi-cycle
+        techniques stay batched while every sample's RTL trajectory is
+        still golden — each impact cycle of a group shares that cycle's
+        baseline — and a sample whose first flips latch at step ``s``
+        diverges to a scalar continuation over its remaining cycles
+        (per-sample writeback makes the state diverge from there, so
+        there is nothing left to share).
 
+        ``rngs`` must hold one generator per sample (each consumed
+        exactly as the scalar path would consume it: all of a sample's
+        per-cycle injections are drawn up front, which matches the scalar
+        interleaving because the simulation stages consume no RNG);
+        omitted, every sample gets a fresh independent stream.
+        Alternatively, ``injections`` supplies the pre-drawn per-cycle
+        injection list of every sample (empty for out-of-range samples)
+        and no RNG is touched.  Records are bit-identical to
+        ``run_sample`` on each sample.
+        """
         context = self.context
-        hits_before, misses_before = self._cache_hits, self._cache_misses
-        groups: "OrderedDict[int, List[int]]" = OrderedDict()
+        impact_cycles = getattr(self.spec.technique, "impact_cycles", 1)
+        n = len(samples)
+        records: List[Optional[SampleRecord]] = [None] * n
+        cycles: List[int] = []
         for i, sample in enumerate(samples):
             injection_cycle = context.target_cycle - sample.t
+            cycles.append(injection_cycle)
             if injection_cycle < 0 or injection_cycle >= context.n_cycles:
                 records[i] = SampleRecord(
                     sample=sample,
@@ -313,51 +341,125 @@ class CrossLevelEngine:
                     flipped_bits=frozenset(),
                     injection_cycle=injection_cycle,
                 )
-                continue
-            groups.setdefault(injection_cycle, []).append(i)
-
-        for injection_cycle, indices in groups.items():
-            entry, post_step, baseline = self._cycle_state(
-                injection_cycle, registry
-            )
-            clock.lap("restart")
+        if injections is None:
+            if rngs is None:
+                rngs = [as_generator(None) for _ in samples]
+            if len(rngs) != n:
+                raise EvaluationError("run_batch needs one rng per sample")
             injections = [
-                self.spec.build_injection(
-                    context.placement, samples[i], rngs[i]
-                )
-                for i in indices
+                []
+                if records[i] is not None
+                else self._draw_injections(samples[i], cycles[i], rngs[i])
+                for i in range(n)
             ]
-            results = self.transient_sim.simulate_cycle_batch(
-                entry.inputs, entry.state, injections, baseline=baseline
-            )
-            clock.lap("transient")
-            for i, result in zip(indices, results):
-                start = time.perf_counter() if registry is not None else 0.0
-                records[i] = self._classify_batched(
-                    samples[i], injection_cycle, result, post_step, clock
+        elif len(injections) != n:
+            raise EvaluationError("run_batch needs one injection list per sample")
+
+        hits_before, misses_before = self._cache_hits, self._cache_misses
+        groups: "OrderedDict[int, List[int]]" = OrderedDict()
+        for i in range(n):
+            if records[i] is None:
+                groups.setdefault(cycles[i], []).append(i)
+
+        batch_sizes: List[int] = []
+        for injection_cycle, indices in groups.items():
+            n_exec = min(impact_cycles, context.n_cycles - injection_cycle)
+            active = list(indices)
+            n_injected = dict.fromkeys(indices, 0)
+            n_latched = dict.fromkeys(indices, 0)
+            for step in range(n_exec):
+                entry, post_step, baseline = self._cycle_state(
+                    injection_cycle + step, registry
                 )
-                if registry is not None:
-                    observe_batched_sample(
-                        registry, records[i], time.perf_counter() - start
+                clock.lap("restart")
+                results = self.transient_sim.simulate_cycle_batch(
+                    entry.inputs,
+                    entry.state,
+                    [injections[i][step] for i in active],
+                    baseline=baseline,
+                )
+                batch_sizes.append(len(active))
+                clock.lap("transient")
+                still_golden: List[int] = []
+                for i, result in zip(active, results):
+                    n_injected[i] += result.n_pulses_injected
+                    n_latched[i] += result.n_pulses_latched
+                    if not result.flipped_bits:
+                        still_golden.append(i)
+                        continue
+                    start = time.perf_counter() if registry is not None else 0.0
+                    records[i] = self._finish_diverged(
+                        samples[i],
+                        cycles[i],
+                        frozenset(result.flipped_bits),
+                        post_step,
+                        injections[i][step + 1 :],
+                        n_injected[i],
+                        n_latched[i],
+                        impact_cycles,
+                        clock,
                     )
+                    if registry is not None:
+                        observe_batched_sample(
+                            registry, records[i], time.perf_counter() - start
+                        )
+                active = still_golden
+                if not active:
+                    break
+            for i in active:
+                records[i] = SampleRecord(
+                    sample=samples[i],
+                    e=0,
+                    category=OutcomeCategory.MASKED,
+                    flipped_bits=frozenset(),
+                    injection_cycle=cycles[i],
+                    n_pulses_injected=n_injected[i],
+                    n_pulses_latched=n_latched[i],
+                )
         if registry is not None:
             observe_batch(
                 registry,
-                [len(indices) for indices in groups.values()],
+                batch_sizes,
                 self._cache_hits - hits_before,
                 self._cache_misses - misses_before,
             )
+            self._report_store_traffic(registry)
         return records  # type: ignore[return-value]
+
+    def _draw_injections(
+        self, sample: AttackSample, injection_cycle: int, rng
+    ) -> List:
+        """Pre-draw one sample's per-impact-cycle injections, in order.
+
+        Consumes the sample's stream exactly as the scalar loop would:
+        ``run_sample`` interleaves (RTL step, build_injection, simulate)
+        per cycle, but only ``build_injection`` touches the RNG, so
+        drawing all of a sample's injections back-to-back is the same
+        stream consumption.
+        """
+        n_exec = min(
+            getattr(self.spec.technique, "impact_cycles", 1),
+            self.context.n_cycles - injection_cycle,
+        )
+        return [
+            self.spec.build_injection(self.context.placement, sample, rng)
+            for _ in range(n_exec)
+        ]
 
     def _cycle_state(
         self, injection_cycle: int, registry: Optional[MetricsRegistry]
     ):
         """The shared per-cycle state: trace entry, snapshot, baseline.
 
-        A miss restarts the RTL from the nearest golden checkpoint, steps
-        through the injection cycle recording the MPU trace, snapshots the
-        post-step state (so faulty samples can resume without repeating
-        the restart), and evaluates the golden gate-level baseline.
+        An LRU miss consults the persistent baseline store (when
+        configured) before recomputing: a store hit means the RTL
+        restart/step and golden gate evaluation of this cycle were paid
+        by an earlier campaign, possibly in another process.  A full
+        miss restarts the RTL from the nearest golden checkpoint, steps
+        through the injection cycle recording the MPU trace, snapshots
+        the post-step state (so faulty samples can resume without
+        repeating the restart), evaluates the golden gate-level
+        baseline — and writes the result through to the store.
         """
         cached = self._cycle_cache.get(injection_cycle)
         if cached is not None:
@@ -365,6 +467,11 @@ class CrossLevelEngine:
             self._cache_hits += 1
             return cached
         self._cache_misses += 1
+        if self.baseline_store is not None:
+            state = self.baseline_store.load(injection_cycle)
+            if state is not None:
+                self._insert_cycle_state(injection_cycle, state)
+                return state
         context = self.context
         simulator = context.simulator
         soc = context.soc
@@ -377,28 +484,142 @@ class CrossLevelEngine:
         post_step = Checkpoint.capture(soc, simulator.cycle)
         baseline = self.transient_sim.make_baseline(entry.inputs, entry.state)
         state = (entry, post_step, baseline)
+        self._insert_cycle_state(injection_cycle, state)
+        if self.baseline_store is not None:
+            self.baseline_store.save(injection_cycle, *state)
+        return state
+
+    def _insert_cycle_state(self, injection_cycle: int, state: tuple) -> None:
         self._cycle_cache[injection_cycle] = state
         while len(self._cycle_cache) > self.config.baseline_cache_size:
             self._cycle_cache.popitem(last=False)
-        return state
 
-    def _classify_batched(
+    @property
+    def baseline_store_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the persistent baseline store so far."""
+        if self.baseline_store is None:
+            return (0, 0)
+        return (self.baseline_store.hits, self.baseline_store.misses)
+
+    def warm_baseline_cache(self) -> int:
+        """Pre-load persisted cycle baselines into the LRU; returns count.
+
+        Called at campaign start (``CampaignSpec.build_runtime``) so the
+        first chunk already runs against warm state; each loaded cycle
+        counts as a store hit.  Cycles absent from the store are left to
+        the lazy path — probing them is not a demand miss.
+        """
+        store = self.baseline_store
+        if store is None:
+            return 0
+        loaded = 0
+        for cycle in range(self.context.n_cycles):
+            if len(self._cycle_cache) >= self.config.baseline_cache_size:
+                break
+            if cycle in self._cycle_cache:
+                continue
+            state = store.load(cycle, probe=True)
+            if state is not None:
+                self._insert_cycle_state(cycle, state)
+                loaded += 1
+        return loaded
+
+    def _report_store_traffic(self, registry: MetricsRegistry) -> None:
+        """Forward baseline-store counter deltas into ``registry``."""
+        store = self.baseline_store
+        if store is None:
+            return
+        current = (store.hits, store.misses, store.rejected, store.writes)
+        delta = tuple(c - p for c, p in zip(current, self._store_reported))
+        self._store_reported = current
+        observe_baseline_store(registry, *delta)
+
+    def _write_back(self, flipped: FrozenSet[Tuple[str, int]]) -> None:
+        """Inject latched-wrong bits into the live RTL state."""
+        masks: Dict[str, int] = {}
+        for register, bit in flipped:
+            masks[register] = masks.get(register, 0) | (1 << bit)
+        self.context.simulator.inject_bit_errors(masks)
+
+    def _finish_diverged(
         self,
         sample: AttackSample,
         injection_cycle: int,
-        result,
+        flipped: FrozenSet[Tuple[str, int]],
         post_step: Checkpoint,
+        remaining: List,
+        n_injected: int,
+        n_latched: int,
+        impact_cycles: int,
         clock=NULL_CLOCK,
     ) -> SampleRecord:
-        """Classification tail of run_sample, from a batched gate result."""
-        flipped = frozenset(result.flipped_bits)
-        n_injected = result.n_pulses_injected
-        n_latched = result.n_pulses_latched
-        if not flipped:
+        """Scalar continuation of one batched sample after its first flips.
+
+        ``remaining`` holds the sample's pre-drawn injections for impact
+        cycles after the one that flipped.  With none left, the verdict
+        is a pure function of (restored cycle, flipped bits) — the RTL
+        resume starts from a canonical checkpoint and the analytical
+        evaluator is deterministic — so it is memoized across the batch
+        (and the engine's lifetime) in ``_outcome_cache``.  With cycles
+        left, the sample replays them exactly as ``run_sample`` would:
+        per-cycle RTL step, gate simulation, and writeback on a now
+        per-sample faulty trajectory (including flips cancelling back to
+        a masked outcome via the symmetric difference).
+        """
+        context = self.context
+        simulator = context.simulator
+        soc = context.soc
+        if remaining:
+            post_step.restore(soc)
+            simulator.cycle = post_step.cycle
+            self._write_back(flipped)
+            clock.lap("writeback")
+            for injection in remaining:
+                if simulator.cycle >= context.n_cycles:
+                    break
+                soc.record_mpu_trace = True
+                soc.mpu_trace = []
+                simulator.step()
+                soc.record_mpu_trace = False
+                entry = soc.mpu_trace[-1]
+                clock.lap("rtl_step")
+                result = self.transient_sim.simulate_cycle(
+                    entry.inputs, entry.state, injection
+                )
+                n_injected += result.n_pulses_injected
+                n_latched += result.n_pulses_latched
+                clock.lap("transient")
+                if result.flipped_bits:
+                    self._write_back(frozenset(result.flipped_bits))
+                    flipped = flipped ^ frozenset(result.flipped_bits)
+                    clock.lap("writeback")
+            if not flipped:
+                return SampleRecord(
+                    sample=sample,
+                    e=0,
+                    category=OutcomeCategory.MASKED,
+                    flipped_bits=flipped,
+                    injection_cycle=injection_cycle,
+                    n_pulses_injected=n_injected,
+                    n_pulses_latched=n_latched,
+                )
+            memory_only = self._all_memory_type(flipped)
+            clock.lap("classify")
+            category = (
+                OutcomeCategory.MEMORY_ONLY
+                if memory_only
+                else OutcomeCategory.NEEDS_RTL
+            )
+            # impact_cycles > 1 here, so the analytical gate is closed
+            # (run_sample requires impact_cycles == 1); resume in place.
+            simulator.run_to(context.n_cycles)
+            clock.lap("rtl_resume")
+            e = 1 if context.benchmark.attack_succeeded(soc) else 0
+            clock.lap("compare")
             return SampleRecord(
                 sample=sample,
-                e=0,
-                category=OutcomeCategory.MASKED,
+                e=e,
+                category=category,
                 flipped_bits=flipped,
                 injection_cycle=injection_cycle,
                 n_pulses_injected=n_injected,
@@ -410,39 +631,34 @@ class CrossLevelEngine:
         category = (
             OutcomeCategory.MEMORY_ONLY if memory_only else OutcomeCategory.NEEDS_RTL
         )
-        if (
+        analytical = (
             memory_only
+            and impact_cycles == 1
             and self.config.analytical_memory_eval
             and self._analytical is not None
-        ):
-            e = self._analytical.evaluate(flipped, injection_cycle)
-            clock.lap("analytical")
-            return SampleRecord(
-                sample=sample,
-                e=e,
-                category=category,
-                flipped_bits=flipped,
-                injection_cycle=injection_cycle,
-                n_pulses_injected=n_injected,
-                n_pulses_latched=n_latched,
-                analytical=True,
-            )
-
-        # Resume from the shared post-step snapshot: equivalent to the
-        # scalar restart+step (the snapshot is complete), minus the cost.
-        context = self.context
-        simulator = context.simulator
-        post_step.restore(context.soc)
-        simulator.cycle = post_step.cycle
-        masks: Dict[str, int] = {}
-        for register, bit in flipped:
-            masks[register] = masks.get(register, 0) | (1 << bit)
-        simulator.inject_bit_errors(masks)
-        clock.lap("writeback")
-        simulator.run_to(context.n_cycles)
-        clock.lap("rtl_resume")
-        e = 1 if context.benchmark.attack_succeeded(context.soc) else 0
-        clock.lap("compare")
+        )
+        key = (post_step.cycle, flipped, impact_cycles)
+        e = self._outcome_cache.get(key)
+        if e is not None:
+            self._outcome_cache.move_to_end(key)
+        else:
+            if analytical:
+                e = self._analytical.evaluate(flipped, injection_cycle)
+                clock.lap("analytical")
+            else:
+                # Resume from the shared post-step snapshot: equivalent to
+                # the scalar restart+step (the snapshot is complete).
+                post_step.restore(soc)
+                simulator.cycle = post_step.cycle
+                self._write_back(flipped)
+                clock.lap("writeback")
+                simulator.run_to(context.n_cycles)
+                clock.lap("rtl_resume")
+                e = 1 if context.benchmark.attack_succeeded(soc) else 0
+                clock.lap("compare")
+            self._outcome_cache[key] = e
+            while len(self._outcome_cache) > self.config.outcome_cache_size:
+                self._outcome_cache.popitem(last=False)
         return SampleRecord(
             sample=sample,
             e=e,
@@ -451,6 +667,7 @@ class CrossLevelEngine:
             injection_cycle=injection_cycle,
             n_pulses_injected=n_injected,
             n_pulses_latched=n_latched,
+            analytical=analytical,
         )
 
     # ------------------------------------------------------------------
@@ -473,23 +690,26 @@ class CrossLevelEngine:
         ``i±1`` and any sample is replayable in isolation.  An int /
         ``Generator`` / ``None`` seed keeps the legacy single shared
         stream (stable for callers that pin integer seeds in tests).
+
+        Both seed kinds run through the batched kernel (bit-identical to
+        the scalar loop either way); ``batch=False`` and engine-level
+        ``stop_on_convergence`` fall back to the scalar loop, counted in
+        ``engine_batch_fallback_total`` and warned about once.
         """
         if n_samples <= 0:
             raise EvaluationError("n_samples must be positive")
+        reason = self._batch_fallback_reason()
+        if reason is None:
+            return self._evaluate_batched(sampler, n_samples, seed, progress)
+        self._warn_batch_fallback(reason, seed)
         per_sample_base = seed if isinstance(seed, np.random.SeedSequence) else None
-        if (
-            self.config.batch
-            and per_sample_base is not None
-            and getattr(self.spec.technique, "impact_cycles", 1) == 1
-        ):
-            return self._evaluate_batched(
-                sampler, n_samples, per_sample_base, progress
-            )
         rng = None if per_sample_base is not None else as_generator(seed)
         estimator = SsfEstimator(record_history=True)
         records = []
         tracer = self.tracer
         registry = MetricsRegistry() if self.observe else None
+        if registry is not None:
+            observe_batch_fallback(registry, reason)
         observing = registry is not None or tracer.enabled
         start = time.perf_counter()
         for i in range(n_samples):
@@ -530,22 +750,47 @@ class CrossLevelEngine:
             metrics=registry.snapshot() if registry is not None else None,
         )
 
+    def _batch_fallback_reason(self) -> Optional[str]:
+        """Why ``evaluate`` must take the scalar loop, or None to batch."""
+        if not self.config.batch:
+            return "disabled"
+        if self.config.stop_on_convergence:
+            # The batched kernel pre-draws and evaluates the whole budget;
+            # an engine-level early stop would discard most of that work,
+            # so convergence-stopped calls keep the incremental loop.
+            return "stop_on_convergence"
+        return None
+
+    def _warn_batch_fallback(self, reason: str, seed: SeedLike) -> None:
+        seed_kind = type(seed).__name__ if seed is not None else "None"
+        impact_cycles = getattr(self.spec.technique, "impact_cycles", 1)
+        warn_once(
+            f"engine-batch-fallback-{reason}",
+            f"batched kernel disengaged ({reason}): evaluating through the "
+            f"scalar loop (seed kind={seed_kind}, "
+            f"impact_cycles={impact_cycles})",
+        )
+
     def _evaluate_batched(
         self,
         sampler: Sampler,
         n_samples: int,
-        base: np.random.SeedSequence,
+        seed: SeedLike,
         progress: Optional[Callable[[int, SsfEstimator], None]],
     ) -> CampaignResult:
         """Batched campaign body: draw everything, dispatch run_batch.
 
-        Bit-identical to the scalar loop: each sample's independent RNG
-        stream sees the same draw-then-inject call sequence, and the
-        estimator consumes outcomes in original sample order (Welford
-        updates are order-sensitive in float).  An engine-level
-        convergence stop truncates the returned records at the same
-        boundary the scalar loop would — the already-computed tail is
-        simply discarded.
+        Bit-identical to the scalar loop for every seed kind.  A
+        ``SeedSequence`` derives one independent stream per sample (any
+        consumption order is the scalar order).  An int / ``Generator`` /
+        ``None`` seed keeps the single shared stream, consumed in the
+        exact scalar interleaving: sample ``i``'s draw, then all of
+        sample ``i``'s per-cycle injections, then sample ``i+1``'s draw —
+        the simulation stages between them consume no RNG.  The estimator
+        consumes outcomes in original sample order (Welford updates are
+        order-sensitive in float).  An engine-level convergence stop
+        truncates the returned records at the same boundary the scalar
+        loop would — the already-computed tail is simply discarded.
         """
         estimator = SsfEstimator(record_history=True)
         registry = MetricsRegistry() if self.observe else None
@@ -553,13 +798,31 @@ class CrossLevelEngine:
         observing = registry is not None or tracer.enabled
         start = time.perf_counter()
         clock = StageClock() if observing else NULL_CLOCK
-        rngs = [
-            as_generator(sample_seed_sequence(base, i))
-            for i in range(n_samples)
-        ]
-        samples = [sampler.sample(rng) for rng in rngs]
+        context = self.context
+        if isinstance(seed, np.random.SeedSequence):
+            rngs = [
+                as_generator(sample_seed_sequence(seed, i))
+                for i in range(n_samples)
+            ]
+        else:
+            shared = as_generator(seed)
+            rngs = [shared] * n_samples
+        samples: List[AttackSample] = []
+        injections: List[List] = []
+        for i in range(n_samples):
+            sample = sampler.sample(rngs[i])
+            samples.append(sample)
+            injection_cycle = context.target_cycle - sample.t
+            if injection_cycle < 0 or injection_cycle >= context.n_cycles:
+                injections.append([])
+            else:
+                injections.append(
+                    self._draw_injections(sample, injection_cycle, rngs[i])
+                )
         clock.lap("draw")
-        records = self.run_batch(samples, rngs, registry=registry, clock=clock)
+        records = self.run_batch(
+            samples, registry=registry, clock=clock, injections=injections
+        )
         if registry is not None:
             observe_batch_timing(
                 registry, clock.stage_totals(), clock.total_seconds(), n_samples

@@ -164,6 +164,7 @@ class FleetWorker:
         engine_factory: Optional[EngineFactory] = None,
         max_chunks: Optional[int] = None,
         telemetry: bool = True,
+        artifacts_dir: Optional[str] = None,
     ):
         self.client = client
         self.worker_id = worker_id or default_worker_id()
@@ -171,6 +172,11 @@ class FleetWorker:
         self.engine_factory = engine_factory
         self.max_chunks = max_chunks
         self.telemetry = telemetry
+        # Local ArtifactStore root for persistent cycle baselines: leased
+        # specs without a baseline_store get this one, so a worker
+        # re-attached to the same machine warm-starts golden state across
+        # campaigns and restarts (``repro worker --artifacts-dir``).
+        self.artifacts_dir = artifacts_dir
         self.chunks_completed = 0
         self.chunks_rejected = 0
         self._stop = threading.Event()
@@ -398,9 +404,17 @@ class FleetWorker:
                 )
 
     def _runtime_for(self, grant: dict):
+        import dataclasses
+
         from repro.campaign.spec_hash import spec_hash
 
         spec = CampaignSpec.from_dict(grant["spec"])
+        if self.artifacts_dir and spec.baseline_store is None:
+            # Worker-side store warm-up: baseline_store is non-semantic,
+            # so the digest (and the posted result identity) is unchanged.
+            spec = dataclasses.replace(
+                spec, baseline_store=str(self.artifacts_dir)
+            )
         digest = spec_hash(spec)
         cached = self._runtimes.get(digest)
         cache_hit = cached is not None

@@ -33,6 +33,9 @@ in ``docs/architecture.md``):
 ``engine_baseline_cache_total{outcome}``  counter    cycle-baseline cache hit/miss
 ``engine_baseline_cache_hit_ratio``       gauge      lifetime cache hit ratio
 ``engine_batch_seconds``                  histogram  whole-batch wall time
+``engine_batch_fallback_total{reason}``   counter    campaigns refused by the batched kernel
+``engine_baseline_store_total{outcome}``  counter    persistent baseline store hit/miss/write/rejected
+``engine_baseline_store_hit_ratio``       gauge      lifetime persistent-store hit ratio
 ========================================  =========  ==============================
 
 The batch/cache metrics describe *how* the batched kernel executed, not
@@ -193,6 +196,62 @@ def observe_batch(
         registry.gauge(
             "engine_baseline_cache_hit_ratio", deterministic=False
         ).set(hits.value / total)
+
+
+def observe_batch_fallback(registry: MetricsRegistry, reason: str) -> None:
+    """Count one ``evaluate`` call that fell back to the scalar loop.
+
+    ``reason`` names the gate that refused batching (``disabled``,
+    ``stop_on_convergence``).  Fallbacks depend on engine configuration,
+    not on sample outcomes, so the counter is non-deterministic — a
+    batched and a scalar run of the same spec must still compare equal
+    on the deterministic view.
+    """
+    registry.counter(
+        "engine_batch_fallback_total", deterministic=False, reason=reason
+    ).inc()
+
+
+def observe_baseline_store(
+    registry: MetricsRegistry,
+    hits: int,
+    misses: int,
+    rejected: int = 0,
+    writes: int = 0,
+) -> None:
+    """Record persistent baseline-store traffic deltas for one batch.
+
+    Mirrors :func:`observe_batch`'s cache counters one level down the
+    hierarchy: the in-memory LRU fronts the on-disk store, so a store
+    hit means "golden simulation skipped across processes".  ``rejected``
+    counts artifacts discarded on load because their fingerprint or
+    precharacterization version no longer matches (each rejection is
+    also a miss).  Store traffic depends on what earlier campaigns left
+    on disk, so everything here is non-deterministic.
+    """
+    if not (hits or misses or rejected or writes):
+        return
+    hit_counter = registry.counter(
+        "engine_baseline_store_total", deterministic=False, outcome="hit"
+    )
+    miss_counter = registry.counter(
+        "engine_baseline_store_total", deterministic=False, outcome="miss"
+    )
+    hit_counter.inc(hits)
+    miss_counter.inc(misses)
+    if rejected:
+        registry.counter(
+            "engine_baseline_store_total", deterministic=False, outcome="rejected"
+        ).inc(rejected)
+    if writes:
+        registry.counter(
+            "engine_baseline_store_total", deterministic=False, outcome="write"
+        ).inc(writes)
+    total = hit_counter.value + miss_counter.value
+    if total:
+        registry.gauge(
+            "engine_baseline_store_hit_ratio", deterministic=False
+        ).set(hit_counter.value / total)
 
 
 def observe_batched_sample(

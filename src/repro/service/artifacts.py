@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 from typing import Callable, Tuple, Union
 
@@ -28,6 +29,11 @@ from typing import Callable, Tuple, Union
 KIND_PRECHARAC = "precharac"
 #: Surrogate calibration JSON (``repro.surrogate.persistence``).
 KIND_CALIBRATION = "calibration"
+#: Per-cycle golden baseline JSON (``CycleBaselineStore``).
+KIND_BASELINE = "baseline"
+
+#: Payload schema of one persisted cycle baseline.
+BASELINE_FORMAT_VERSION = 1
 
 #: ``builder(path)`` materializes the artifact at ``path``.
 ArtifactBuilder = Callable[[pathlib.Path], None]
@@ -111,6 +117,165 @@ def ensure_precharac(
 
     return store.ensure(
         KIND_PRECHARAC, builder, benchmark=benchmark, variant=name
+    )
+
+
+def netlist_fingerprint(netlist) -> dict:
+    """Cheap structural identity of a netlist for artifact validation.
+
+    Node count plus the register manifest — the same discriminator the
+    surrogate persistence layer uses.  Any countermeasure / elaboration
+    change shifts at least one of them, and with it every baseline key.
+    """
+    return {
+        "n_nodes": len(netlist),
+        "registers": dict(netlist.register_widths()),
+    }
+
+
+class CycleBaselineStore:
+    """Persistent per-cycle golden baselines for one (design, workload).
+
+    The second cache tier behind :class:`~repro.core.engine.
+    CrossLevelEngine`'s in-memory LRU: each entry is the full shared
+    per-cycle state — the MPU trace entry, the post-step architectural
+    checkpoint, and the gate-level :class:`~repro.gatesim.transient.
+    CycleBaseline` — addressed content-wise by (benchmark, variant,
+    netlist fingerprint, precharacterization version, cycle) under the
+    service's :class:`ArtifactStore` (which salts every key with the
+    code version).  A campaign on a design whose netlist changed in any
+    way therefore *misses* — never loads stale golden state — and the
+    payload additionally embeds the fingerprint so a tampered or
+    hand-moved artifact is rejected on load rather than trusted.
+
+    Everything persisted is integers (register words, int8 node values),
+    so a JSON round-trip is exact and a loaded baseline is bit-identical
+    to a recomputed one.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        benchmark: str,
+        variant: str,
+        fingerprint: dict,
+        precharac_version: int,
+    ):
+        self.store = store
+        self.benchmark = benchmark
+        self.variant = variant
+        self.fingerprint = fingerprint
+        self.precharac_version = precharac_version
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+        self.writes = 0
+
+    def _path(self, cycle: int) -> pathlib.Path:
+        return self.store.path_for(
+            KIND_BASELINE,
+            benchmark=self.benchmark,
+            variant=self.variant,
+            fingerprint=self.fingerprint,
+            precharac_version=self.precharac_version,
+            cycle=cycle,
+        )
+
+    def load(self, cycle: int, probe: bool = False):
+        """Return ``(entry, post_step, baseline)`` or None.
+
+        ``probe=True`` (the LRU warm-up path) does not count an absent
+        artifact as a miss — no demand existed yet.  An artifact whose
+        embedded fingerprint or precharacterization version disagrees
+        with this store's is rejected (counted, and a demand miss), so a
+        stale baseline can only ever cost a recompute, never a wrong
+        SSF.
+        """
+        import numpy as np
+
+        from repro.gatesim.transient import CycleBaseline
+        from repro.rtl.checkpoint import Checkpoint
+        from repro.soc.soc import MpuTraceEntry
+
+        path = self._path(cycle)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            if not probe:
+                self.misses += 1
+            return None
+        if (
+            payload.get("version") != BASELINE_FORMAT_VERSION
+            or payload.get("fingerprint") != self.fingerprint
+            or payload.get("precharac_version") != self.precharac_version
+        ):
+            self.rejected += 1
+            if not probe:
+                self.misses += 1
+            return None
+        data = payload["state"]
+        entry = MpuTraceEntry(
+            cycle=data["entry"]["cycle"],
+            inputs=dict(data["entry"]["inputs"]),
+            state=dict(data["entry"]["state"]),
+        )
+        post_step = Checkpoint(
+            cycle=data["post_step"]["cycle"],
+            registers=dict(data["post_step"]["registers"]),
+            arrays={k: list(v) for k, v in data["post_step"]["arrays"].items()},
+        )
+        baseline = CycleBaseline(
+            values=np.asarray(data["values"], dtype=np.int8),
+            golden_next=dict(data["golden_next"]),
+        )
+        self.hits += 1
+        return entry, post_step, baseline
+
+    def save(self, cycle: int, entry, post_step, baseline) -> None:
+        """Write one cycle's state through to disk (atomic, idempotent)."""
+        path = self._path(cycle)
+        if path.exists():
+            return
+        payload = {
+            "version": BASELINE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "precharac_version": self.precharac_version,
+            "cycle": cycle,
+            "state": {
+                "entry": {
+                    "cycle": entry.cycle,
+                    "inputs": dict(entry.inputs),
+                    "state": dict(entry.state),
+                },
+                "post_step": {
+                    "cycle": post_step.cycle,
+                    "registers": dict(post_step.registers),
+                    "arrays": {k: list(v) for k, v in post_step.arrays.items()},
+                },
+                "values": [int(v) for v in baseline.values],
+                "golden_next": dict(baseline.golden_next),
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        self.writes += 1
+
+
+def baseline_store_for(
+    store: ArtifactStore, benchmark: str, variant: str, netlist
+) -> CycleBaselineStore:
+    """A baseline store scoped to one (benchmark, variant, netlist)."""
+    from repro.precharac.persistence import FORMAT_VERSION
+    from repro.soc.mpu import MpuVariant
+
+    return CycleBaselineStore(
+        store,
+        benchmark=benchmark,
+        variant=MpuVariant.parse(variant).name,
+        fingerprint=netlist_fingerprint(netlist),
+        precharac_version=FORMAT_VERSION,
     )
 
 

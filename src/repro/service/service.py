@@ -417,8 +417,8 @@ class EvaluationService:
         """Route derived precomputation through the artifact cache.
 
         Only applies when this process builds the real runtime (no
-        injected engine factory, no fleet dispatch).  Both rewritten
-        fields are non-semantic, so the spec hash — and with it result
+        injected engine factory, no fleet dispatch).  Every rewritten
+        field is non-semantic, so the spec hash — and with it result
         caching, dedup, and resume identity — is unchanged.
         """
         if spec.charac_cache is None:
@@ -429,6 +429,13 @@ class EvaluationService:
         if spec.engine == "surrogate" and spec.calibration is None:
             target = calibration_path(self.artifacts, spec)
             spec = dataclasses.replace(spec, calibration=str(target))
+        if spec.baseline_store is None:
+            # Cycle baselines persist in the same content-addressed store,
+            # so a restarted service warm-starts repeat campaigns on the
+            # same (design, workload) without re-simulating golden cycles.
+            spec = dataclasses.replace(
+                spec, baseline_store=str(self.artifacts.root)
+            )
         return spec
 
     def _execute(self, job: Job) -> None:

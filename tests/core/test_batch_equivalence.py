@@ -212,19 +212,23 @@ class TestMetrics:
 # gating + cache behaviour
 # ----------------------------------------------------------------------
 class TestGatingAndCache:
-    def test_int_seed_uses_legacy_scalar_path(self, pinpoint):
-        """An int seed means one shared stream: batching must not engage,
-        and the batched engine must match the scalar engine exactly."""
+    def test_int_seed_engages_batched_kernel(self, pinpoint):
+        """An int seed means one shared stream — since PR 9 the kernel
+        pre-draws (sample, injections) pairs in the exact scalar
+        interleave, so shared-stream seeds batch too, bit-identically."""
         _, batched, scalar, samplers = pinpoint
         hits, misses = batched.baseline_cache_stats
         rb = batched.evaluate(samplers["uniform"], 30, seed=12345)
         rs = scalar.evaluate(samplers["uniform"], 30, seed=12345)
         _assert_results_identical(rb, rs)
-        assert batched.baseline_cache_stats == (hits, misses)
+        # Engagement: the cycle cache saw traffic from the batched run.
+        assert batched.baseline_cache_stats != (hits, misses)
+        assert any(m["name"] == "engine_batch_size" for m in rb.metrics)
 
-    def test_multi_impact_cycles_falls_back(self, small_context):
-        """impact_cycles > 1 makes per-sample RTL state diverge, so the
-        batch gate must fall back to the scalar loop — still identical."""
+    def test_multi_impact_cycles_batches(self, small_context):
+        """impact_cycles > 1: samples stay batched while their RTL state
+        tracks golden, diverging to a scalar continuation on the first
+        flip — still bit-identical to the scalar loop."""
         spec = default_attack_spec(
             small_context, window=8, subblock_fraction=0.25
         )
@@ -234,6 +238,7 @@ class TestGatingAndCache:
         rb = batched.evaluate(sampler, 20, seed=np.random.SeedSequence(6))
         rs = scalar.evaluate(sampler, 20, seed=np.random.SeedSequence(6))
         _assert_results_identical(rb, rs)
+        assert any(m["name"] == "engine_batch_size" for m in rb.metrics)
 
     def test_cache_engages_across_evaluate_calls(self, small_context):
         spec = default_attack_spec(

@@ -1,0 +1,206 @@
+"""Columnar (multi-word-lane) propagation == per-sample exact path.
+
+``simulate_cycle_batch`` has two exact backends: the per-sample sweep
+(uint64 reachability prune + scalar propagation per injection) and the
+columnar sweep (every sample's pulses in shared numpy arrays tagged with
+an owner lane, one topological pass for the whole batch).  Both must be
+bit-identical to each other *and* to ``simulate_cycle`` — including the
+float arithmetic of delay addition, attenuation, interval merging, and
+the per-node pulse-count truncation.
+
+Random netlists from ``tests/strategies.py`` exercise DAG shapes the MPU
+cannot: deep MUX trees, constant feeds, multi-fanout reconvergence.  The
+batch shapes cover ragged tails around the auto-vectorization threshold
+and the uint64 word boundary, plus the all-masked and all-latched
+extremes where the columnar arrays are empty or maximal.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gatesim.transient import (
+    VECTORIZED_MIN_BATCH,
+    TransientInjection,
+    TransientSimulator,
+)
+
+from tests.strategies import random_netlists
+
+
+def _canon(result):
+    """Order-insensitive view of one TransientResult."""
+    return (
+        sorted(result.flipped_bits),
+        result.n_pulses_injected,
+        result.n_pulses_latched,
+        result.golden_next_state,
+        result.faulty_next_state,
+        result.any_fault,
+    )
+
+
+def _random_io(nl, rng):
+    inputs = {name.split("[")[0]: int(rng.integers(0, 2)) for name in nl.inputs}
+    state = {reg: int(rng.integers(0, 2)) for reg in nl.registers}
+    return inputs, state
+
+
+def _random_injections(nl, sim, rng, n, width_lo=20.0, width_hi=400.0):
+    comb = [node.nid for node in nl.nodes if node.kind.is_combinational]
+    dffs = [node.nid for node in nl.nodes if node.is_dff]
+    out = []
+    for _ in range(n):
+        gate_pulses = {}
+        if comb:
+            for _ in range(int(rng.integers(0, 4))):
+                nid = int(comb[rng.integers(0, len(comb))])
+                gate_pulses[nid] = float(rng.uniform(width_lo, width_hi))
+        struck = []
+        if dffs and rng.random() < 0.3:
+            struck = [int(dffs[rng.integers(0, len(dffs))])]
+        out.append(
+            TransientInjection(
+                gate_pulses=gate_pulses,
+                struck_dffs=struck,
+                strike_time_ps=float(
+                    rng.uniform(0, sim.timing.clock_period_ps)
+                ),
+            )
+        )
+    return out
+
+
+def _assert_backends_agree(sim, inputs, state, injections):
+    columnar = sim.simulate_cycle_batch(
+        inputs, state, injections, vectorized=True
+    )
+    per_sample = sim.simulate_cycle_batch(
+        inputs, state, injections, vectorized=False
+    )
+    scalar = [
+        sim.simulate_cycle(inputs, state, injection)
+        for injection in injections
+    ]
+    for rc, rp, rs in zip(columnar, per_sample, scalar):
+        assert _canon(rc) == _canon(rp) == _canon(rs)
+
+
+class TestLanePropagationProperty:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_netlists_random_batches(self, data):
+        nl = data.draw(random_netlists())
+        sim = TransientSimulator(nl)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        inputs, state = _random_io(nl, rng)
+        # Ragged shapes: below the auto threshold, around the uint64
+        # word boundary, and odd tails.
+        n = data.draw(
+            st.sampled_from((1, 3, VECTORIZED_MIN_BATCH - 1, 13, 63, 65, 70))
+        )
+        injections = _random_injections(nl, sim, rng, n)
+        _assert_backends_agree(sim, inputs, state, injections)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_all_masked_extreme(self, data):
+        """Every pulse below min_pulse: the columnar arrays go empty at
+        the first attenuation and nothing may latch anywhere."""
+        nl = data.draw(random_netlists())
+        sim = TransientSimulator(nl)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        inputs, state = _random_io(nl, rng)
+        injections = _random_injections(
+            nl, sim, rng, 20,
+            width_lo=0.0, width_hi=sim.timing.min_pulse_ps * 0.99,
+        )
+        for injection in injections:
+            injection.struck_dffs = []
+        results = sim.simulate_cycle_batch(
+            inputs, state, injections, vectorized=True
+        )
+        assert all(not r.any_fault for r in results)
+        _assert_backends_agree(sim, inputs, state, injections)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_all_latched_extreme(self, data):
+        """Cycle-wide pulses on every gate: maximal columnar occupancy,
+        heavy merging, every latch window crossed."""
+        nl = data.draw(random_netlists())
+        sim = TransientSimulator(nl)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        inputs, state = _random_io(nl, rng)
+        comb = [node.nid for node in nl.nodes if node.kind.is_combinational]
+        wide = float(sim.timing.clock_period_ps * 2)
+        injections = [
+            TransientInjection(
+                gate_pulses={nid: wide for nid in comb},
+                strike_time_ps=0.0,
+            )
+            for _ in range(12)
+        ]
+        _assert_backends_agree(sim, inputs, state, injections)
+
+
+class TestLanePropagationEdges:
+    def test_empty_injections_in_batch(self, mpu_netlist):
+        """Samples whose pulses all missed combinational logic ride the
+        batch as empty owners — no pulses, no faults, correct counts."""
+        sim = TransientSimulator(mpu_netlist)
+        rng = np.random.default_rng(3)
+        from repro.soc.mpu import MpuBehavioral, MpuInputs
+
+        mpu = MpuBehavioral()
+        state = mpu.get_registers()
+        inputs = MpuInputs().as_port_dict()
+        comb = [
+            node.nid for node in mpu_netlist.nodes
+            if node.kind.is_combinational
+        ]
+        injections = []
+        for i in range(16):
+            if i % 3 == 0:
+                injections.append(TransientInjection())
+            else:
+                injections.append(
+                    TransientInjection(
+                        gate_pulses={
+                            int(comb[rng.integers(0, len(comb))]):
+                            float(rng.uniform(50, 300))
+                        },
+                        strike_time_ps=float(rng.uniform(0, 1800)),
+                    )
+                )
+        _assert_backends_agree(sim, inputs, state, injections)
+        results = sim.simulate_cycle_batch(
+            inputs, state, injections, vectorized=True
+        )
+        for i, result in enumerate(results):
+            if i % 3 == 0:
+                assert result.n_pulses_injected == 0
+                assert not result.any_fault
+
+    def test_auto_threshold_selects_backends(self, mpu_netlist):
+        """vectorized=None: batches below VECTORIZED_MIN_BATCH take the
+        per-sample path, larger ones the columnar path — both exact, so
+        the only observable is equality with the forced backends."""
+        sim = TransientSimulator(mpu_netlist)
+        from repro.soc.mpu import MpuBehavioral, MpuInputs
+
+        state = MpuBehavioral().get_registers()
+        inputs = MpuInputs().as_port_dict()
+        rng = np.random.default_rng(9)
+        injections = _random_injections(
+            mpu_netlist, sim, rng, VECTORIZED_MIN_BATCH + 2
+        )
+        for n in (VECTORIZED_MIN_BATCH - 1, VECTORIZED_MIN_BATCH):
+            auto = sim.simulate_cycle_batch(
+                inputs, state, injections[:n]
+            )
+            forced = sim.simulate_cycle_batch(
+                inputs, state, injections[:n],
+                vectorized=n >= VECTORIZED_MIN_BATCH,
+            )
+            assert [_canon(a) for a in auto] == [_canon(f) for f in forced]
