@@ -1,0 +1,148 @@
+"""Sweep fan-out throughput guard (PR 10 tentpole acceptance).
+
+Runs one hardening sweep cold (every member job evaluated) and once
+more warm (every member served from the content-addressed result
+cache), through a real HTTP evaluation service with the stub engine.
+Measures points/sec for both passes and the warm-pass cache-hit ratio.
+
+Acceptance (fails the build): the warm pass is 100% cache hits and at
+least ``MIN_WARM_SPEEDUP``× faster than the cold pass, and the two
+reports are byte-identical — caching must change the wall clock, never
+the answer.
+
+Results go to ``benchmarks/results/BENCH_sweep.json`` so CI can archive
+and trend them.  ``REPRO_BENCH_QUICK=1`` shrinks the design space for
+the CI smoke job.
+"""
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:  # for `tests.campaign.stubs`
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.service import (  # noqa: E402
+    EvaluationService,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.sweep import SweepRunner, SweepSpec, SweepStore  # noqa: E402
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+CHUNK_DELAY_S = 0.02        # per-chunk sleep: the simulated evaluation cost
+N_SAMPLES = 80 if QUICK else 200
+SEEDS = (1, 2) if QUICK else (1, 2, 3, 4)
+MIN_WARM_SPEEDUP = 2.0      # cached pass must clearly beat re-evaluation
+
+SWEEP = SweepSpec(
+    name="bench-sweep",
+    base={
+        "benchmark": "write",
+        "sampler": "random",
+        "chunk_size": 20,
+        "stopping": {"mode": "fixed", "n_samples": N_SAMPLES},
+    },
+    axes={
+        "variant": ("none", "parity", "tmr+parity"),
+        "seed": SEEDS,
+    },
+)
+
+
+def _run_sweep(server, sweeps_dir, sweep_id):
+    """One full sweep; returns (wall_s, report_text, status)."""
+    from repro.sweep import sweep_status
+
+    store = SweepStore.create(sweeps_dir, SWEEP, sweep_id=sweep_id)
+    runner = SweepRunner(
+        SWEEP,
+        store,
+        ServiceClient(server.url),
+        poll_s=0.02,
+        timeout_s=300.0,
+    )
+    start = time.perf_counter()
+    runner.run()
+    wall_s = time.perf_counter() - start
+    return wall_s, store.read_report_text(), sweep_status(store)
+
+
+def test_sweep_fanout(tmp_path, emit):
+    service = EvaluationService(
+        tmp_path / "runs",
+        max_concurrency=4,
+        engine_factory=lambda spec: (
+            BernoulliEngine(p=0.3, delay_s=CHUNK_DELAY_S),
+            StubSampler(),
+        ),
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    try:
+        cold_s, cold_report, cold_status = _run_sweep(
+            server, tmp_path / "sweeps", "cold"
+        )
+        warm_s, warm_report, warm_status = _run_sweep(
+            server, tmp_path / "sweeps", "warm"
+        )
+    finally:
+        server.stop(cancel_running=True)
+
+    n_points = cold_status["n_points"]
+    rows = [
+        {
+            "pass": name,
+            "wall_s": round(wall_s, 3),
+            "points_per_s": round(n_points / wall_s, 2),
+            "cache_hit_ratio": status["cache_hit_ratio"],
+        }
+        for name, wall_s, status in (
+            ("cold", cold_s, cold_status),
+            ("warm", warm_s, warm_status),
+        )
+    ]
+    speedup = round(rows[0]["wall_s"] / rows[1]["wall_s"], 2)
+
+    payload = {
+        "bench": "sweep",
+        "quick": QUICK,
+        "n_points": n_points,
+        "n_samples_per_point": N_SAMPLES,
+        "chunk_delay_s": CHUNK_DELAY_S,
+        "warm_speedup": speedup,
+        "rows": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"Sweep fan-out ({n_points} points x {N_SAMPLES} samples, "
+        f"{CHUNK_DELAY_S}s/chunk{', quick' if QUICK else ''})"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['pass']:>4}: {row['points_per_s']:>7} points/s"
+            f"  wall {row['wall_s']:>7}s"
+            f"  cache hits {row['cache_hit_ratio']:.2f}"
+        )
+    lines.append(f"  warm speedup {speedup}x")
+    emit("sweep", "\n".join(lines))
+
+    # Caching changes the wall clock, never the answer.
+    assert warm_report == cold_report
+    assert rows[0]["cache_hit_ratio"] == 0.0
+    assert rows[1]["cache_hit_ratio"] == 1.0
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm sweep speedup {speedup}x below the "
+        f"{MIN_WARM_SPEEDUP}x acceptance bar: {rows}"
+    )

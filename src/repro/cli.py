@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.reporting import format_table
@@ -858,6 +859,164 @@ def cmd_job_cancel(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# hardening sweeps (campaign-of-campaigns)
+# ----------------------------------------------------------------------
+class _SweepProgressPrinter(threading.Thread):
+    """Stream sweep progress events to stderr while the runner works.
+
+    Subscribes to the runner's :class:`~repro.fleet.events.EventBus`
+    topic (the same events the service would fan out over SSE) and
+    prints one line per ``sweep_progress`` event, so ``repro sweep run``
+    shows live fan-out/cache/done counts without polluting stdout —
+    ``--json`` output stays a single parseable document.
+    """
+
+    def __init__(self, bus, topic: str):
+        super().__init__(daemon=True, name="sweep-progress")
+        self.bus = bus
+        self.topic = topic
+        self._halt = threading.Event()
+        self._after = 0
+
+    def run(self) -> None:
+        from repro.fleet.events import EVENT_END
+
+        while not self._halt.is_set():
+            for seq, event in self.bus.wait(
+                self.topic, self._after, timeout_s=0.3
+            ):
+                self._after = seq + 1
+                kind = event.get("type")
+                if kind == "sweep_progress":
+                    print(
+                        f"sweep {self.topic}: "
+                        f"{event['n_done']}/{event['n_points']} done, "
+                        f"{event['n_cached']} cached, "
+                        f"{event['states']['running']} running",
+                        file=sys.stderr,
+                    )
+                elif kind == EVENT_END:
+                    return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+def _sweep_summary(store, report: dict) -> dict:
+    """The stable ``--json`` summary for ``sweep run`` / ``report``."""
+    from repro.sweep import sweep_status
+
+    status = sweep_status(store)
+    return {
+        "sweep_id": store.sweep_id,
+        "name": report["name"],
+        "sweep_hash": report["sweep_hash"],
+        "n_points": report["n_points"],
+        "n_duplicates": report["n_duplicates"],
+        "n_cached": status["n_cached"],
+        "cache_hit_ratio": status["cache_hit_ratio"],
+        "pareto": report["pareto"],
+        "verdict": report["regression"]["verdict"],
+        "report_path": str(store.path / "report.json"),
+    }
+
+
+def cmd_sweep_run(args) -> int:
+    import dataclasses as _dataclasses
+
+    from repro.sweep import (
+        SweepRunner,
+        SweepStore,
+        load_sweep_spec,
+        render_report_table,
+    )
+
+    spec = load_sweep_spec(args.spec)
+    if args.baseline:
+        spec = _dataclasses.replace(spec, baseline_report=args.baseline)
+    if args.sweep_id and SweepStore.exists(args.sweeps_dir, args.sweep_id):
+        store = SweepStore.open(args.sweeps_dir, args.sweep_id)
+        if store.load_spec().to_dict() != spec.to_dict():
+            from repro.errors import SweepError
+
+            raise SweepError(
+                f"sweep {args.sweep_id!r} already exists with a "
+                f"different spec; pick a fresh --sweep-id"
+            )
+    else:
+        store = SweepStore.create(
+            args.sweeps_dir, spec, sweep_id=args.sweep_id
+        )
+    runner = SweepRunner(
+        spec,
+        store,
+        _service_client(args),
+        poll_s=args.poll,
+        timeout_s=args.timeout,
+        priority=args.priority,
+    )
+    printer = None
+    if not args.quiet:
+        printer = _SweepProgressPrinter(runner.events, store.sweep_id)
+        printer.start()
+    try:
+        report = runner.run()
+    finally:
+        if printer is not None:
+            printer.stop()
+    if args.json:
+        print(json.dumps(_sweep_summary(store, report), sort_keys=True))
+    else:
+        print(render_report_table(report))
+    return 1 if report["regression"]["verdict"] == "regressed" else 0
+
+
+def cmd_sweep_status(args) -> int:
+    from repro.sweep import SweepStore, sweep_status
+
+    store = SweepStore.open(args.sweeps_dir, args.sweep_id)
+    client = _service_client(args) if args.url else None
+    payload = sweep_status(store, client)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        rows = [
+            ["sweep id", payload["sweep_id"]],
+            ["name", payload["name"]],
+            ["points", payload["n_points"]],
+            ["submitted", payload["n_submitted"]],
+            ["cached", payload["n_cached"]],
+            ["cache hit ratio", f"{payload['cache_hit_ratio']:.2f}"],
+            ["states", json.dumps(payload["states"], sort_keys=True)],
+            ["complete", payload["complete"]],
+            ["verdict", payload["verdict"]],
+        ]
+        print(format_table(["field", "value"], rows, title="Sweep status"))
+    return 0 if payload["complete"] else 1
+
+
+def cmd_sweep_report(args) -> int:
+    from repro.errors import SweepError
+    from repro.sweep import SweepStore, render_report_table
+
+    store = SweepStore.open(args.sweeps_dir, args.sweep_id)
+    report = store.read_report()
+    if report is None:
+        raise SweepError(
+            f"sweep {args.sweep_id!r} has no report yet: run "
+            f"`repro sweep run` to completion first"
+        )
+    if args.json:
+        # The report verb emits the full canonical document (the same
+        # bytes-modulo-whitespace as report.json), not the run summary.
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_report_table(report))
+    return 1 if report["regression"]["verdict"] == "regressed" else 0
+
+
 def cmd_conformance(args) -> int:
     from repro.conformance import (
         DESIGNS,
@@ -1439,6 +1598,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job_id")
     _client_flags(p)
     p.set_defaults(func=cmd_job_cancel)
+
+    # ------------------------------------------------------------------
+    # hardening sweeps
+    # ------------------------------------------------------------------
+    p = sub.add_parser(
+        "sweep",
+        help="campaign-of-campaigns hardening sweeps over a design space",
+    )
+    sweep_sub = p.add_subparsers(dest="sweep_cmd", required=True)
+
+    ps = sweep_sub.add_parser(
+        "run",
+        help="expand a sweep spec, fan the points through a running "
+        "service, and aggregate the comparative report",
+    )
+    ps.add_argument("spec", help="path to a SweepSpec JSON document")
+    ps.add_argument("--sweeps-dir", default="sweeps",
+                    help="directory holding durable sweep state")
+    ps.add_argument("--sweep-id", default=None,
+                    help="stable sweep id (re-running the same id "
+                    "resumes: submissions dedupe on the service)")
+    ps.add_argument("--baseline", default=None, metavar="REPORT",
+                    help="pinned baseline report.json to regress "
+                    "against (overrides the spec's baseline_report)")
+    ps.add_argument("--priority", type=int, default=0,
+                    help="priority for every member campaign")
+    ps.add_argument("--poll", type=float, default=0.2,
+                    help="member-job poll interval in seconds")
+    ps.add_argument("--timeout", type=float, default=3600.0,
+                    help="overall sweep timeout in seconds")
+    ps.add_argument("--quiet", action="store_true",
+                    help="suppress the stderr progress stream")
+    _client_flags(ps)
+    ps.set_defaults(func=cmd_sweep_run)
+
+    ps = sweep_sub.add_parser(
+        "status", help="fan-out progress of a sweep (exit 1 until the "
+        "report exists)"
+    )
+    ps.add_argument("sweep_id")
+    ps.add_argument("--sweeps-dir", default="sweeps")
+    ps.add_argument("--url", default=None,
+                    help="refresh point states from this running "
+                    "service (default: durable log only)")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the response as JSON on stdout")
+    ps.set_defaults(func=cmd_sweep_status)
+
+    ps = sweep_sub.add_parser(
+        "report", help="comparative report of a finished sweep (exit 1 "
+        "when the verdict is 'regressed')"
+    )
+    ps.add_argument("sweep_id")
+    ps.add_argument("--sweeps-dir", default="sweeps")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON on stdout")
+    ps.set_defaults(func=cmd_sweep_report)
 
     return parser
 

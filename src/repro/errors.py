@@ -54,6 +54,16 @@ class ServiceError(ReproError):
         self.status = status  # HTTP status code, 0 for transport errors
 
 
+class SweepError(ReproError):
+    """A hardening sweep (design-space campaign-of-campaigns) failed.
+
+    Raised for malformed :class:`~repro.sweep.spec.SweepSpec` documents
+    (unknown axis/base fields, empty axes, points that do not form a
+    valid :class:`~repro.campaign.spec.CampaignSpec`) and for sweep
+    execution failures (failed member jobs, missing baseline reports).
+    """
+
+
 class JobCancelled(ReproError):
     """Raised inside a service worker to unwind a cancelled campaign."""
 

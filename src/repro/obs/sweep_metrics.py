@@ -1,0 +1,60 @@
+"""Sweep-level metrics: points by state, cache hits, sweep hit ratio.
+
+The sweep coordinator (:mod:`repro.sweep.runner`) publishes its fan-out
+progress into the same :class:`~repro.obs.metrics.MetricsRegistry` the
+service exposes on ``GET /v1/metrics``, labelled by sweep id so several
+concurrent sweeps stay distinguishable.  Everything here is flagged
+non-deterministic — point states and hit ratios depend on submission
+timing and cache warmth, never on the Monte Carlo estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.metrics import MetricsRegistry
+
+SWEEP_POINTS = "sweep_points"
+SWEEP_POINTS_TOTAL = "sweep_points_total"
+SWEEP_POINTS_CACHED = "sweep_points_cached"
+SWEEP_CACHE_HIT_RATIO = "sweep_cache_hit_ratio"
+
+#: Point states the by-state gauge always carries (zeros included, so a
+#: state that just emptied reads 0 instead of a stale count).
+POINT_STATES = ("queued", "running", "cached", "done", "failed")
+
+
+def update_sweep_gauges(
+    registry: MetricsRegistry,
+    sweep_id: str,
+    total: int,
+    state_counts: Dict[str, int],
+    cached: int,
+) -> None:
+    """Refresh one sweep's point gauges and cache-hit ratio.
+
+    ``cached`` counts points answered from the content-addressed result
+    cache at submission; the ratio is cached/total, so a fully warm
+    resubmission of the sweep reads 1.0.
+    """
+    registry.gauge(
+        SWEEP_POINTS_TOTAL, deterministic=False, sweep=sweep_id
+    ).set(total)
+    for state in POINT_STATES:
+        registry.gauge(
+            SWEEP_POINTS, deterministic=False, sweep=sweep_id, state=state
+        ).set(state_counts.get(state, 0))
+    registry.gauge(
+        SWEEP_POINTS_CACHED, deterministic=False, sweep=sweep_id
+    ).set(cached)
+    registry.gauge(
+        SWEEP_CACHE_HIT_RATIO, deterministic=False, sweep=sweep_id
+    ).set(cached / total if total else 0.0)
+
+
+def sweep_cache_hit_ratio(
+    registry: MetricsRegistry, sweep_id: str
+) -> float:
+    return (
+        registry.value(SWEEP_CACHE_HIT_RATIO, sweep=sweep_id) or 0.0
+    )

@@ -132,6 +132,30 @@ class ServiceClient:
             body={"spec": spec_data, "priority": priority},
         )
 
+    def submit_many(
+        self,
+        specs,
+        priority: int = 0,
+    ) -> list:
+        """Submit N specs in one ``POST /v1/campaigns/batch``.
+
+        Sweep fan-out calls this instead of N :meth:`submit` round
+        trips: one connection, one request, per-spec job documents back
+        in input order.  Like :meth:`submit`, the POST is never retried
+        at this layer — although batch submission *is* idempotent under
+        the service's spec-hash dedup, the transport cannot know that.
+        """
+        payload = [
+            spec.to_dict() if isinstance(spec, CampaignSpec) else spec
+            for spec in specs
+        ]
+        response = self._request(
+            "POST",
+            "/v1/campaigns/batch",
+            body={"specs": payload, "priority": priority},
+        )
+        return response["jobs"]
+
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/campaigns/{job_id}")
 

@@ -23,6 +23,7 @@ HTTP client (``curl``) can consume.
 Routes (all under ``/v1``)::
 
     POST   /v1/campaigns              submit a CampaignSpec (JSON body)
+    POST   /v1/campaigns/batch        submit N specs in one request
     GET    /v1/campaigns              list jobs
     GET    /v1/campaigns/{id}         job status + live sample count
     GET    /v1/campaigns/{id}/result  SSF + Wilson CI (when done)
@@ -230,6 +231,8 @@ class ApiRouter:
                 return ApiResponse.json(
                     200, {"jobs": service.list_jobs()}
                 )
+        if path == f"{API_PREFIX}/campaigns/batch" and method == "POST":
+            return self._submit_batch(request)
         if path.startswith(f"{API_PREFIX}/campaigns/"):
             job_id, sub = self._job_path(path)
             if job_id:
@@ -264,6 +267,45 @@ class ApiRouter:
                 "state": job.state,
                 "cache_hit": cache_hit,
             },
+        )
+
+    def _submit_batch(self, request: ApiRequest) -> ApiResponse:
+        """``POST /v1/campaigns/batch``: N specs, one request.
+
+        All specs are validated before any is submitted, so a malformed
+        entry rejects the whole batch without enqueueing a partial
+        prefix — the caller can fix and resend the batch idempotently.
+        """
+        payload = request.json()
+        raw_specs = payload.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ServiceError(
+                "batch submit needs a non-empty 'specs' list", status=400
+            )
+        priority = int(payload.get("priority", 0))
+        specs = []
+        for index, spec_data in enumerate(raw_specs):
+            try:
+                specs.append(CampaignSpec.from_dict(spec_data))
+            except (ReproError, TypeError) as exc:
+                raise ServiceError(
+                    f"invalid campaign spec at index {index}: {exc}",
+                    status=400,
+                )
+        submitted = self.service.submit_many(specs, priority=priority)
+        jobs = [
+            {
+                "job_id": job.job_id,
+                "run_id": job.run_id,
+                "spec_hash": job.spec_hash,
+                "state": job.state,
+                "cache_hit": cache_hit,
+            }
+            for job, cache_hit in submitted
+        ]
+        all_cached = all(entry["cache_hit"] for entry in jobs)
+        return ApiResponse.json(
+            200 if all_cached else 202, {"jobs": jobs}
         )
 
     def _job_route(

@@ -305,6 +305,21 @@ class EvaluationService:
             )
             return job, False
 
+    def submit_many(
+        self, specs, priority: int = 0
+    ) -> list:
+        """Submit a batch of specs; returns ``[(job, cache_hit), ...]``
+        in input order.
+
+        Each spec goes through the exact single-submit dedup path, so
+        duplicate specs inside one batch coalesce onto one job just as
+        they would across batches.  The batch holds the service lock
+        once, keeping fan-out atomic with respect to concurrent
+        submitters.
+        """
+        with self._lock:
+            return [self.submit(spec, priority=priority) for spec in specs]
+
     def _find_job(self, digest: str, states) -> Optional[Job]:
         candidates = [
             j

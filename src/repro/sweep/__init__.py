@@ -1,0 +1,51 @@
+"""Hardening sweeps: campaign-of-campaigns design-space evaluation.
+
+``repro.sweep`` turns the single-campaign service into a pre-silicon
+security-signoff product: a declarative :class:`SweepSpec` expands a
+design space (countermeasure variants × attack windows × sampling knobs
+× engine fidelities) into one :class:`~repro.campaign.spec.CampaignSpec`
+per point, fans the points through the evaluation service's durable job
+queue (deduplicating via content-addressed spec hashes), and aggregates
+the finished estimates into a comparative report — SSF ± Wilson CI per
+point, a Pareto front over (silicon area, SSF), and regression verdicts
+against a pinned baseline report.
+"""
+
+from repro.sweep.report import (
+    build_report,
+    load_baseline,
+    pareto_front,
+    render_report_table,
+    report_json,
+    variant_area,
+)
+from repro.sweep.runner import SweepRunner, sweep_status
+from repro.sweep.spec import (
+    STOPPING_FIELDS,
+    SWEEPABLE_FIELDS,
+    SweepPlan,
+    SweepPoint,
+    SweepSpec,
+    VALID_AXES,
+    load_sweep_spec,
+)
+from repro.sweep.store import SweepStore
+
+__all__ = [
+    "STOPPING_FIELDS",
+    "SWEEPABLE_FIELDS",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStore",
+    "VALID_AXES",
+    "build_report",
+    "load_baseline",
+    "load_sweep_spec",
+    "pareto_front",
+    "render_report_table",
+    "report_json",
+    "sweep_status",
+    "variant_area",
+]

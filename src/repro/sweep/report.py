@@ -1,0 +1,238 @@
+"""Comparative sweep report: SSF ± CI per point, Pareto front, regression.
+
+The report is *canonical*: a pure function of the design space and the
+member campaigns' estimates.  Job ids, run ids, cache hits, and wall
+times are deliberately excluded, so an interrupted-and-resumed sweep
+(whose points are adopted from the durable queue or served from the
+result cache) renders a **bit-identical** ``report.json`` to an
+uninterrupted run — the property the SIGKILL-resume tests pin.
+
+Three sections:
+
+* ``points`` — per design point: SSF ± Wilson CI (straight from the
+  campaign result payload), silicon area of the point's countermeasure
+  variant (measured from the elaborated MPU netlist, memoized per
+  variant), and area overhead relative to the cheapest point;
+* ``pareto`` — the Pareto-efficient labels minimizing (area, SSF):
+  a point is dominated when another point is no worse on both axes and
+  strictly better on one;
+* ``regression`` — verdict against a pinned baseline report: a point
+  *regressed* when its CI lower bound clears the baseline's CI upper
+  bound by more than ``regression_margin`` (i.e. SSF got significantly
+  worse); disjoint-below counts as improved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import SweepError
+from repro.sweep.spec import SweepPlan, SweepPoint, SweepSpec
+
+REPORT_SCHEMA = 1
+
+#: Result-payload keys copied verbatim into each report point.  Order
+#: matters only for readability; all are deterministic for a fixed spec.
+RESULT_KEYS = (
+    "ssf",
+    "ci_low",
+    "ci_high",
+    "ci_z",
+    "n_samples",
+    "n_success",
+    "std_error",
+    "stop_reason",
+)
+
+_AREA_CACHE: Dict[str, float] = {}
+
+
+def variant_area(variant: str) -> float:
+    """Silicon area (µm²) of one countermeasure variant's MPU netlist.
+
+    Memoized per normalized variant name: a sweep touching four variants
+    elaborates four netlists once, however many points share them.
+    """
+    from repro.soc.mpu import MpuVariant, build_mpu_netlist
+
+    name = MpuVariant.parse(variant).name
+    if name not in _AREA_CACHE:
+        _AREA_CACHE[name] = build_mpu_netlist(
+            variant=MpuVariant.parse(name)
+        ).area()
+    return _AREA_CACHE[name]
+
+
+def pareto_front(points: Sequence[Mapping]) -> List[str]:
+    """Labels of the Pareto-efficient points minimizing (area, SSF).
+
+    Input order never matters: the front is computed pairwise and the
+    result sorted by (area, ssf, label) — the reordering-invariance
+    property pinned by the Hypothesis suite.  Ties (equal on both axes)
+    are all kept: neither strictly dominates the other.
+    """
+    front = []
+    for candidate in points:
+        dominated = any(
+            other is not candidate
+            and other["area_um2"] <= candidate["area_um2"]
+            and other["ssf"] <= candidate["ssf"]
+            and (
+                other["area_um2"] < candidate["area_um2"]
+                or other["ssf"] < candidate["ssf"]
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda p: (p["area_um2"], p["ssf"], p["label"]))
+    return [p["label"] for p in front]
+
+
+def _regression(
+    points: Sequence[Mapping],
+    baseline: Optional[Mapping],
+    margin: float,
+) -> dict:
+    """Per-point verdicts against a pinned baseline report."""
+    if baseline is None:
+        return {"baseline": None, "verdict": "no_baseline", "points": []}
+    base_points = {p["label"]: p for p in baseline.get("points", [])}
+    rows = []
+    any_regressed = False
+    for point in points:
+        base = base_points.get(point["label"])
+        if base is None:
+            rows.append({"label": point["label"], "verdict": "new"})
+            continue
+        regressed = point["ci_low"] > base["ci_high"] + margin
+        improved = point["ci_high"] < base["ci_low"] - margin
+        any_regressed = any_regressed or regressed
+        rows.append(
+            {
+                "label": point["label"],
+                "ssf": point["ssf"],
+                "baseline_ssf": base["ssf"],
+                "baseline_ci_low": base["ci_low"],
+                "baseline_ci_high": base["ci_high"],
+                "verdict": (
+                    "regressed" if regressed
+                    else "improved" if improved
+                    else "unchanged"
+                ),
+            }
+        )
+    return {
+        "baseline": {
+            "name": baseline.get("name"),
+            "sweep_hash": baseline.get("sweep_hash"),
+        },
+        "verdict": "regressed" if any_regressed else "pass",
+        "points": rows,
+    }
+
+
+def build_report(
+    spec: SweepSpec,
+    plan: SweepPlan,
+    results: Mapping[str, Mapping],
+    baseline: Optional[Mapping] = None,
+) -> dict:
+    """Assemble the canonical comparative report.
+
+    ``results`` maps each point's spec hash to its campaign result
+    payload (the :func:`repro.service.cache.result_payload` document).
+    A missing result is a caller bug — the runner only aggregates once
+    every member job is done.
+    """
+    point_rows: List[dict] = []
+    for point in plan.points:
+        result = results.get(point.digest)
+        if result is None:
+            raise SweepError(
+                f"sweep point ({point.label}) has no result to aggregate"
+            )
+        row = {
+            "label": point.label,
+            "axes": dict(point.overrides),
+            "spec_hash": point.digest,
+            "area_um2": variant_area(point.spec.variant),
+        }
+        for key in RESULT_KEYS:
+            row[key] = result.get(key)
+        point_rows.append(row)
+
+    min_area = min((row["area_um2"] for row in point_rows), default=0.0)
+    for row in point_rows:
+        row["area_overhead"] = (
+            (row["area_um2"] - min_area) / min_area if min_area else 0.0
+        )
+    front = pareto_front(point_rows)
+    for row in point_rows:
+        row["pareto"] = row["label"] in front
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "name": spec.name,
+        "sweep_hash": spec.sweep_hash(),
+        "n_points": len(plan.points),
+        "n_duplicates": plan.n_duplicates,
+        "points": point_rows,
+        "pareto": front,
+        "regression": _regression(
+            point_rows, baseline, spec.regression_margin
+        ),
+    }
+
+
+def report_json(report: Mapping) -> str:
+    """The canonical serialized form (what ``report.json`` holds)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> dict:
+    """Read a pinned baseline report, raising :class:`SweepError` on
+    missing or corrupt files."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SweepError(
+            f"cannot load baseline report {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or "points" not in data:
+        raise SweepError(
+            f"baseline report {path} is not a sweep report "
+            f"(missing 'points')"
+        )
+    return data
+
+
+def render_report_table(report: Mapping) -> str:
+    """Human-readable rendering for the non-``--json`` CLI path."""
+    lines = [
+        f"sweep: {report['name']}  "
+        f"({report['n_points']} points, "
+        f"{report['n_duplicates']} duplicates collapsed)",
+        "",
+        f"{'label':<44} {'ssf':>8} {'ci_low':>8} {'ci_high':>8} "
+        f"{'area_um2':>10} {'overhead':>9} {'pareto':>7}",
+    ]
+    for row in report["points"]:
+        lines.append(
+            f"{row['label']:<44} {row['ssf']:>8.4f} "
+            f"{row['ci_low']:>8.4f} {row['ci_high']:>8.4f} "
+            f"{row['area_um2']:>10.1f} "
+            f"{row['area_overhead'] * 100:>8.2f}% "
+            f"{'*' if row['pareto'] else '':>7}"
+        )
+    lines.append("")
+    lines.append("pareto front: " + ", ".join(report["pareto"]))
+    regression = report["regression"]
+    lines.append(f"regression verdict: {regression['verdict']}")
+    for row in regression["points"]:
+        if row["verdict"] != "unchanged":
+            lines.append(f"  {row['label']}: {row['verdict']}")
+    return "\n".join(lines)

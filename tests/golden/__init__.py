@@ -1,0 +1,1 @@
+"""Golden-file suites pinning machine-readable CLI contracts."""

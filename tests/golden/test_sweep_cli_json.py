@@ -1,0 +1,188 @@
+"""Golden key-set and exit-code tests for the ``repro sweep`` verbs.
+
+Same contract discipline as ``tests/test_cli_json.py``: the JSON key
+sets of ``sweep run`` / ``sweep status`` / ``sweep report`` are pinned
+in ``tests/golden/cli_json_keys.json`` (regenerate deliberately with
+``REPRO_REGEN_GOLDEN=1``), and the exit-code conventions — 0 success,
+1 domain verdict (regression), 2 usage/error — are asserted directly.
+"""
+
+import json
+
+import pytest
+
+from repro.service import EvaluationService, ServiceServer
+from repro.sweep import SweepSpec, SweepStore
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+from tests.test_cli_json import check_keys, run_cli
+
+SWEEP_DOC = {
+    "name": "golden-sweep",
+    "base": {
+        "benchmark": "write",
+        "sampler": "random",
+        "chunk_size": 20,
+        "stopping": {"mode": "fixed", "n_samples": 40},
+    },
+    "axes": {"variant": ["none", "parity"], "seed": [1, 2]},
+}
+
+
+@pytest.fixture()
+def service_url(tmp_path):
+    service = EvaluationService(
+        tmp_path / "svc-runs",
+        engine_factory=lambda spec: (BernoulliEngine(p=0.3), StubSampler()),
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    yield server.url
+    server.stop(cancel_running=True)
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "sweep-spec.json"
+    path.write_text(json.dumps(SWEEP_DOC))
+    return path
+
+
+def run_sweep_cli(capsys, tmp_path, service_url, spec_path, sweep_id):
+    return run_cli(capsys, [
+        "sweep", "run", str(spec_path),
+        "--sweeps-dir", str(tmp_path / "sweeps"),
+        "--sweep-id", sweep_id,
+        "--url", service_url, "--quiet", "--json",
+    ])
+
+
+class TestSweepVerbs:
+    def test_run_status_report_json(
+        self, capsys, tmp_path, service_url, spec_path
+    ):
+        code, summary = run_sweep_cli(
+            capsys, tmp_path, service_url, spec_path, "golden"
+        )
+        assert code == 0
+        assert summary["n_points"] == 4
+        assert summary["verdict"] == "no_baseline"
+        check_keys("sweep_run", summary)
+
+        code, status = run_cli(capsys, [
+            "sweep", "status", "golden",
+            "--sweeps-dir", str(tmp_path / "sweeps"), "--json",
+        ])
+        assert code == 0
+        assert status["complete"] is True
+        check_keys("sweep_status", status)
+
+        code, report = run_cli(capsys, [
+            "sweep", "report", "golden",
+            "--sweeps-dir", str(tmp_path / "sweeps"), "--json",
+        ])
+        assert code == 0
+        assert report["n_points"] == 4
+        check_keys("sweep_report", report)
+        check_keys("sweep_report_point", report["points"][0])
+        check_keys("sweep_report_regression", report["regression"])
+
+    def test_second_run_reports_full_cache_hits(
+        self, capsys, tmp_path, service_url, spec_path
+    ):
+        run_sweep_cli(capsys, tmp_path, service_url, spec_path, "cold")
+        code, summary = run_sweep_cli(
+            capsys, tmp_path, service_url, spec_path, "warm"
+        )
+        assert code == 0
+        assert summary["n_cached"] == 4
+        assert summary["cache_hit_ratio"] == 1.0
+
+    def test_regressed_sweep_exits_one(
+        self, capsys, tmp_path, service_url, spec_path
+    ):
+        code, summary = run_sweep_cli(
+            capsys, tmp_path, service_url, spec_path, "base"
+        )
+        assert code == 0
+        report = json.loads(
+            (tmp_path / "sweeps" / "base" / "report.json").read_text()
+        )
+        for row in report["points"]:
+            row["ci_low"] = 0.0
+            row["ci_high"] = 1e-9  # every real estimate now regresses
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(report))
+
+        code, summary = run_cli(capsys, [
+            "sweep", "run", str(spec_path),
+            "--sweeps-dir", str(tmp_path / "sweeps"),
+            "--sweep-id", "regressed",
+            "--baseline", str(baseline),
+            "--url", service_url, "--quiet", "--json",
+        ])
+        assert code == 1
+        assert summary["verdict"] == "regressed"
+
+        code, report_doc = run_cli(capsys, [
+            "sweep", "report", "regressed",
+            "--sweeps-dir", str(tmp_path / "sweeps"), "--json",
+        ])
+        assert code == 1
+        assert report_doc["regression"]["verdict"] == "regressed"
+
+
+class TestExitCodeConventions:
+    def test_unknown_sweep_id_exits_two(self, capsys, tmp_path):
+        from repro import cli
+
+        for verb in ("status", "report"):
+            code = cli.main([
+                "sweep", verb, "missing",
+                "--sweeps-dir", str(tmp_path / "nosweeps"), "--json",
+            ])
+            assert code == 2
+            assert "error:" in capsys.readouterr().err
+
+    def test_bad_spec_file_exits_two(self, capsys, tmp_path, service_url):
+        from repro import cli
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**SWEEP_DOC, "axes": {"windw": [1]}}))
+        code = cli.main([
+            "sweep", "run", str(bad),
+            "--sweeps-dir", str(tmp_path / "sweeps"),
+            "--url", service_url, "--quiet", "--json",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown sweep axis 'windw'" in err
+
+    def test_incomplete_sweep_status_exits_one(self, capsys, tmp_path):
+        SweepStore.create(
+            tmp_path / "sweeps",
+            SweepSpec(base=SWEEP_DOC["base"], axes={"seed": (1, 2)}),
+            sweep_id="pending",
+        )
+        code, status = run_cli(capsys, [
+            "sweep", "status", "pending",
+            "--sweeps-dir", str(tmp_path / "sweeps"), "--json",
+        ])
+        assert code == 1
+        assert status["complete"] is False
+
+    def test_report_before_completion_exits_two(self, capsys, tmp_path):
+        from repro import cli
+
+        SweepStore.create(
+            tmp_path / "sweeps",
+            SweepSpec(base=SWEEP_DOC["base"], axes={"seed": (1, 2)}),
+            sweep_id="pending",
+        )
+        code = cli.main([
+            "sweep", "report", "pending",
+            "--sweeps-dir", str(tmp_path / "sweeps"), "--json",
+        ])
+        assert code == 2
+        assert "no report yet" in capsys.readouterr().err

@@ -1,0 +1,92 @@
+"""Batch submission: one POST /v1/campaigns/batch, per-spec job ids.
+
+The endpoint is the sweep fan-out's transport.  Its contract: response
+order matches request order, duplicates inside one batch coalesce onto
+the same job, and an invalid spec anywhere in the batch rejects the
+whole POST with nothing enqueued (POSTs are never retried by the
+client, so all-or-nothing keeps a failed fan-out side-effect free).
+"""
+
+import pytest
+
+from repro.campaign import CampaignSpec, StoppingConfig
+from repro.campaign.spec_hash import spec_hash
+from repro.errors import ServiceError
+from repro.service import EvaluationService, ServiceClient, ServiceServer
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+SPECS = [
+    CampaignSpec(
+        seed=seed, chunk_size=20, stopping=StoppingConfig(n_samples=40)
+    )
+    for seed in (1, 2, 3)
+]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = EvaluationService(
+        tmp_path / "runs",
+        engine_factory=lambda spec: (
+            BernoulliEngine(p=0.3), StubSampler()
+        ),
+    )
+    srv = ServiceServer(service, port=0)
+    srv.start()
+    yield srv
+    srv.stop(cancel_running=True)
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestSubmitMany:
+    def test_batch_preserves_request_order(self, server, client):
+        jobs = client.submit_many(SPECS)
+        assert len(jobs) == 3
+        hashes = [job["spec_hash"] for job in jobs]
+        assert hashes == [spec_hash(spec) for spec in SPECS]
+        assert len({job["job_id"] for job in jobs}) == 3
+        for job in jobs:
+            assert job["cache_hit"] is False
+            assert job["state"] == "queued"
+        assert len(server.service.jobs) == 3
+
+    def test_duplicates_in_one_batch_coalesce(self, server, client):
+        jobs = client.submit_many([SPECS[0], SPECS[1], SPECS[0]])
+        assert jobs[0]["job_id"] == jobs[2]["job_id"]
+        assert jobs[1]["job_id"] != jobs[0]["job_id"]
+        # Only two distinct jobs exist despite three submissions.
+        assert len(server.service.jobs) == 2
+
+    def test_resubmitted_batch_is_all_cache_hits(self, server, client):
+        first = client.submit_many(SPECS)
+        for job in first:
+            client.wait(job["job_id"], timeout_s=30)
+        second = client.submit_many(SPECS)
+        assert [job["cache_hit"] for job in second] == [True] * 3
+        assert [job["job_id"] for job in second] == [
+            job["job_id"] for job in first
+        ]
+
+    def test_invalid_spec_rejects_the_whole_batch(self, server, client):
+        bad = dict(SPECS[1].to_dict(), sampler="bogus")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_many([SPECS[0].to_dict(), bad])
+        assert excinfo.value.status == 400
+        assert "index 1" in str(excinfo.value)
+        # All-or-nothing: the valid spec at index 0 was not enqueued.
+        assert len(server.service.jobs) == 0
+
+    def test_empty_batch_is_rejected(self, server, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_many([])
+        assert excinfo.value.status == 400
+
+    def test_priority_applies_to_every_member(self, server, client):
+        jobs = client.submit_many(SPECS, priority=7)
+        for job in jobs:
+            assert server.service.jobs[job["job_id"]].priority == 7

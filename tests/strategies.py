@@ -186,6 +186,67 @@ def campaign_specs(draw):
     )
 
 
+#: Axis-value pools for sweep strategies.  Values are JSON-stable
+#: (ints, strings) and always produce valid campaigns against the
+#: conservative base drawn in :func:`sweep_specs` (engine stays exact,
+#: so impact_cycles/fidelity constraints never bite).
+SWEEP_AXIS_POOLS = {
+    "variant": ("none", "parity", "dual", "dual+parity", "tmr+parity"),
+    "window": tuple(range(10, 61, 10)),
+    "seed": tuple(range(1, 9)),
+    "chunk_size": (10, 25, 50),
+    "sampler": ("random", "cone", "importance"),
+    "subblock_fraction": (0.125, 0.25, 0.5),
+    "stopping.n_samples": (20, 40, 60, 80),
+}
+
+
+@st.composite
+def sweep_axes(draw):
+    """1-3 distinct sweep axes, each with 1-3 values from its pool.
+
+    Values may repeat inside an axis (``unique=False``), exercising the
+    expansion's duplicate-collapse path.
+    """
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(SWEEP_AXIS_POOLS)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return {
+        name: tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(SWEEP_AXIS_POOLS[name]),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+        for name in names
+    }
+
+
+@st.composite
+def sweep_specs(draw):
+    """A valid hardening sweep over a cheap fixed-budget base campaign."""
+    from repro.sweep import SweepSpec
+
+    return SweepSpec(
+        name="prop-sweep",
+        base={
+            "benchmark": draw(st.sampled_from(("write", "read"))),
+            "sampler": "random",
+            "chunk_size": 20,
+            "stopping": {"mode": "fixed", "n_samples": 40},
+        },
+        axes=draw(sweep_axes()),
+    )
+
+
 @st.composite
 def seu_patterns(draw):
     """A canonical latched-SEU pattern: a sorted, unique bit set."""

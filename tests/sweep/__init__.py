@@ -1,0 +1,1 @@
+"""Hardening-sweep (campaign-of-campaigns) test suite."""

@@ -1,0 +1,220 @@
+"""Sweep crash-safety: SIGKILL the coordinator, restart, bit-identical
+report.
+
+Two kill windows, mirroring ``tests/service/test_crash_resume.py``:
+
+* **mid-fan-out** — the coordinator dies with only a prefix of the
+  design space submitted (``fanout_batch=1`` plus a per-batch delay
+  widens the window);
+* **mid-aggregation** — every member job is terminal but ``report.json``
+  has not been written yet (``report_delay_s`` widens the window).
+
+In both cases the parent restarts the sweep over the same directories
+and the finished report must be byte-identical to a reference sweep
+that was never interrupted: resume is a plain re-run, with the
+service's content-addressed dedup absorbing every resubmission.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import EvaluationService, ServiceClient, ServiceServer
+from repro.sweep import SweepRunner, SweepSpec, SweepStore
+
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX SIGKILL"
+)
+
+SWEEP = SweepSpec(
+    name="crash-sweep",
+    base={
+        "benchmark": "write",
+        "sampler": "random",
+        "chunk_size": 20,
+        "stopping": {"mode": "fixed", "n_samples": 60},
+    },
+    axes={
+        "variant": ("none", "parity"),
+        "seed": (1, 2, 3),
+    },
+)
+
+N_POINTS = 6
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from repro.service import EvaluationService, ServiceClient, ServiceServer
+from repro.sweep import SweepRunner, SweepStore
+from tests.campaign.stubs import BernoulliEngine, StubSampler
+from tests.sweep.test_crash_resume import SWEEP
+
+service = EvaluationService(
+    {runs_dir!r},
+    max_concurrency=2,
+    engine_factory=lambda spec: (
+        BernoulliEngine(p=0.3, delay_s=0.1), StubSampler()
+    ),
+)
+server = ServiceServer(service, port=0)
+server.start()
+store = SweepStore.create({sweeps_dir!r}, SWEEP, sweep_id="crash")
+SweepRunner(
+    SWEEP,
+    store,
+    ServiceClient(server.url),
+    poll_s=0.05,
+    fanout_batch=1,
+    fanout_delay_s={fanout_delay_s},
+    report_delay_s={report_delay_s},
+).run()
+"""
+
+
+def stub_factory(spec):
+    return BernoulliEngine(p=0.3, delay_s=0.1), StubSampler()
+
+
+def reference_report(tmp_path) -> str:
+    """Uninterrupted sweep in pristine directories."""
+    service = EvaluationService(
+        tmp_path / "ref-runs", max_concurrency=2, engine_factory=stub_factory
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    try:
+        store = SweepStore.create(
+            tmp_path / "ref-sweeps", SWEEP, sweep_id="ref"
+        )
+        SweepRunner(
+            SWEEP, store, ServiceClient(server.url), poll_s=0.05
+        ).run()
+        return store.read_report_text()
+    finally:
+        server.stop(cancel_running=True)
+
+
+def spawn_child(tmp_path, fanout_delay_s, report_delay_s):
+    script = CHILD_SCRIPT.format(
+        src=str(REPO_ROOT / "src"),
+        root=str(REPO_ROOT),
+        runs_dir=str(tmp_path / "runs"),
+        sweeps_dir=str(tmp_path / "sweeps"),
+        fanout_delay_s=fanout_delay_s,
+        report_delay_s=report_delay_s,
+    )
+    return subprocess.Popen([sys.executable, "-c", script])
+
+
+def kill_when(child, predicate, timeout_s=60.0):
+    """SIGKILL the child once ``predicate()`` is true."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            raise AssertionError(
+                f"child exited on its own (rc={child.returncode}) "
+                "before the kill window"
+            )
+        if predicate():
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+            assert child.returncode == -signal.SIGKILL
+            return
+        time.sleep(0.02)
+    raise AssertionError("kill window never opened")
+
+
+def resume_and_report(tmp_path) -> str:
+    """Restart the sweep in-process over the same directories."""
+    service = EvaluationService(
+        tmp_path / "runs", max_concurrency=2, engine_factory=stub_factory
+    )
+    server = ServiceServer(service, port=0)
+    server.start()
+    try:
+        store = SweepStore.open(tmp_path / "sweeps", "crash")
+        SweepRunner(
+            SWEEP, store, ServiceClient(server.url), poll_s=0.05
+        ).run()
+        return store.read_report_text()
+    finally:
+        server.stop(cancel_running=True)
+
+
+class TestSweepCrashResume:
+    def test_sigkill_mid_fan_out_resumes_to_identical_report(
+        self, tmp_path
+    ):
+        reference = reference_report(tmp_path)
+        points_log = tmp_path / "sweeps" / "crash" / "points.jsonl"
+
+        child = spawn_child(
+            tmp_path, fanout_delay_s=0.4, report_delay_s=0.0
+        )
+
+        def partial_fan_out():
+            if not points_log.exists():
+                return False
+            lines = [
+                l for l in points_log.read_text().splitlines() if l
+            ]
+            return len(lines) >= 2
+
+        try:
+            kill_when(child, partial_fan_out)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+
+        # Mid-fan-out: only a prefix of the design space was submitted.
+        store = SweepStore.open(tmp_path / "sweeps", "crash")
+        assert 0 < len(store.read_points()) < N_POINTS
+        assert store.read_report_text() is None
+
+        assert resume_and_report(tmp_path) == reference
+
+    def test_sigkill_mid_aggregation_resumes_to_identical_report(
+        self, tmp_path
+    ):
+        reference = reference_report(tmp_path)
+
+        child = spawn_child(
+            tmp_path, fanout_delay_s=0.0, report_delay_s=30.0
+        )
+        store_path = tmp_path / "sweeps" / "crash"
+
+        def all_done_no_report():
+            if (store_path / "report.json").exists():
+                return False
+            if not (store_path / "points.jsonl").exists():
+                return False
+            points = SweepStore(store_path).read_points()
+            return len(points) == N_POINTS and all(
+                p.get("state") == "done" for p in points.values()
+            )
+
+        try:
+            kill_when(child, all_done_no_report)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+
+        # Mid-aggregation: every member finished, no report written.
+        store = SweepStore.open(tmp_path / "sweeps", "crash")
+        assert len(store.read_points()) == N_POINTS
+        assert store.read_report_text() is None
+
+        assert resume_and_report(tmp_path) == reference

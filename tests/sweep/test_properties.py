@@ -1,0 +1,104 @@
+"""Hypothesis properties of design-space expansion and the Pareto front.
+
+Pinned invariants (ISSUE 10):
+
+* expansion is deterministic and order-stable;
+* every expanded point carries a distinct ``spec_hash``;
+* duplicate points collapse (same digest set, first occurrence wins);
+* the Pareto front is invariant under point reordering.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep import pareto_front
+
+from tests.strategies import sweep_specs
+
+
+@given(sweep_specs())
+@settings(max_examples=40, deadline=None)
+def test_expansion_is_deterministic_and_order_stable(spec):
+    first = spec.expand()
+    second = spec.expand()
+    assert [
+        (p.index, p.label, p.digest, p.overrides) for p in first.points
+    ] == [
+        (p.index, p.label, p.digest, p.overrides) for p in second.points
+    ]
+    assert first.n_raw == second.n_raw
+    assert [p.index for p in first.points] == list(range(len(first.points)))
+
+
+@given(sweep_specs())
+@settings(max_examples=40, deadline=None)
+def test_every_point_has_a_distinct_spec_hash(spec):
+    digests = [p.digest for p in spec.expand().points]
+    assert len(digests) == len(set(digests))
+
+
+@given(sweep_specs())
+@settings(max_examples=40, deadline=None)
+def test_duplicate_axis_values_collapse_to_the_same_points(spec):
+    axes = {name: tuple(values) for name, values in spec.axes.items()}
+    name = next(iter(axes))
+    axes[name] = axes[name] + (axes[name][0],)  # repeat one value
+    doubled = dataclasses.replace(spec, axes=axes)
+
+    base_plan = spec.expand()
+    doubled_plan = doubled.expand()
+    assert {p.digest for p in doubled_plan.points} == {
+        p.digest for p in base_plan.points
+    }
+    assert doubled_plan.n_raw > base_plan.n_raw
+    assert doubled_plan.n_duplicates > base_plan.n_duplicates
+
+
+@st.composite
+def pareto_rows(draw):
+    """Synthetic report point rows with drawn (area, ssf) coordinates."""
+    n = draw(st.integers(1, 12))
+    coord = st.floats(
+        min_value=0.0, max_value=10.0,
+        allow_nan=False, allow_infinity=False,
+    )
+    return [
+        {
+            "label": f"p{i}",
+            "area_um2": draw(coord),
+            "ssf": draw(coord),
+        }
+        for i in range(n)
+    ]
+
+
+@given(pareto_rows(), st.randoms())
+@settings(max_examples=80, deadline=None)
+def test_pareto_front_is_invariant_under_reordering(rows, rng):
+    front = pareto_front(rows)
+    shuffled = list(rows)
+    rng.shuffle(shuffled)
+    assert pareto_front(shuffled) == front
+
+
+@given(pareto_rows())
+@settings(max_examples=80, deadline=None)
+def test_pareto_front_members_are_undominated(rows):
+    front = set(pareto_front(rows))
+    assert front, "a non-empty point set always has a Pareto front"
+    by_label = {row["label"]: row for row in rows}
+    for label in front:
+        row = by_label[label]
+        dominators = [
+            other
+            for other in rows
+            if other["area_um2"] <= row["area_um2"]
+            and other["ssf"] <= row["ssf"]
+            and (
+                other["area_um2"] < row["area_um2"]
+                or other["ssf"] < row["ssf"]
+            )
+        ]
+        assert not dominators
